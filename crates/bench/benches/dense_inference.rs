@@ -1,0 +1,28 @@
+//! Criterion companion to Figure 8: dense-network inference, one benchmark
+//! per approach at a fixed small cell (width 32, depth 2, 2000 tuples) so
+//! relative ordering is visible in seconds of bench time.
+
+use bench::bench_engine_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
+
+fn dense_inference(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        engine: bench_engine_config(),
+        ..ExperimentConfig::new(Workload::Dense { width: 32, depth: 2 }, 2_000)
+    };
+    let experiment = Experiment::build(config).expect("setup");
+    let mut group = c.benchmark_group("figure8_dense_w32_d2_n2000");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for approach in Approach::ALL {
+        group.bench_function(approach.label(), |b| {
+            b.iter(|| experiment.run(approach, false).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dense_inference);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the engine operators the generated ModelJoin queries
+//! lean on: scan with/without SMA pruning, hash join, hash aggregation —
+//! the substrate costs behind Figures 8/9.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vector_engine::{ColumnVector, Engine, EngineConfig};
+
+fn setup_engine() -> Engine {
+    let engine = Engine::new(EngineConfig::default());
+    engine.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)").expect("ddl");
+    let n = 100_000i64;
+    engine
+        .insert_columns(
+            "t",
+            vec![
+                ColumnVector::Int((0..n).collect()),
+                ColumnVector::Int((0..n).map(|i| i % 100).collect()),
+                ColumnVector::Float((0..n).map(|i| (i as f64 * 0.1).sin()).collect()),
+            ],
+        )
+        .expect("load");
+    engine.table("t").expect("t").declare_unique("id").expect("hint");
+    engine.execute("CREATE TABLE dim (grp INT, w FLOAT)").expect("ddl");
+    engine
+        .insert_columns(
+            "dim",
+            vec![
+                ColumnVector::Int((0..100).collect()),
+                ColumnVector::Float((0..100).map(|i| i as f64).collect()),
+            ],
+        )
+        .expect("load");
+    engine
+}
+
+fn engine_operators(c: &mut Criterion) {
+    let engine = setup_engine();
+    let mut group = c.benchmark_group("engine_operators_100k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("scan_full", |b| {
+        b.iter(|| engine.execute("SELECT SUM(v) FROM t").expect("q"));
+    });
+    group.bench_function("scan_sma_pruned_range", |b| {
+        b.iter(|| {
+            engine
+                .execute("SELECT SUM(v) FROM t WHERE id >= 99000 AND id <= 99999")
+                .expect("q")
+        });
+    });
+    group.bench_function("hash_join_probe_100k_x_100", |b| {
+        b.iter(|| {
+            engine
+                .execute("SELECT SUM(t.v * dim.w) FROM t, dim WHERE t.grp = dim.grp")
+                .expect("q")
+        });
+    });
+    group.bench_function("hash_aggregate_100_groups", |b| {
+        b.iter(|| engine.execute("SELECT grp, SUM(v) FROM t GROUP BY grp").expect("q"));
+    });
+    group.bench_function("parallel_group_by_unique_key", |b| {
+        b.iter(|| {
+            engine
+                .execute("SELECT id, SUM(v) FROM t WHERE id < 20000 GROUP BY id")
+                .expect("q")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_operators);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion companion to Figure 9: LSTM inference (width 32, 3 time
+//! steps, 1000 tuples) across all approaches.
+
+use bench::bench_engine_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
+
+fn lstm_inference(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        engine: bench_engine_config(),
+        ..ExperimentConfig::new(Workload::Lstm { width: 32 }, 1_000)
+    };
+    let experiment = Experiment::build(config).expect("setup");
+    let mut group = c.benchmark_group("figure9_lstm_w32_n1000");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for approach in Approach::ALL {
+        group.bench_function(approach.label(), |b| {
+            b.iter(|| experiment.run(approach, false).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lstm_inference);
+criterion_main!(benches);

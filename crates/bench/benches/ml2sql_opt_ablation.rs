@@ -1,0 +1,30 @@
+//! Ablation of the ML-To-SQL optimization levels (paper Sec. 4.4):
+//! basic `(Layer, Node)` joins vs. added layer filters (SMA pruning) vs.
+//! unique node IDs with range predicates.
+
+use bench::bench_engine_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
+use ml2sql::OptLevel;
+
+fn opt_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml2sql_opt_levels_w16_d3_n2000");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for opt in OptLevel::all() {
+        let config = ExperimentConfig {
+            engine: bench_engine_config(),
+            opt,
+            ..ExperimentConfig::new(Workload::Dense { width: 16, depth: 3 }, 2_000)
+        };
+        let experiment = Experiment::build(config).expect("setup");
+        group.bench_function(opt.name(), |b| {
+            b.iter(|| experiment.run(Approach::Ml2Sql, false).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, opt_ablation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates **Table 2**: the qualitative comparison of the five
+//! approach classes. The portability/generalizability rows are the
+//! approaches' static properties; the performance and memory rows are
+//! *derived from measurements* taken by this binary (small model =
+//! Dense(32,2), large model = Dense(128,4); memory on the large model),
+//! graded relative to the best approach per row.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2 [--rows N]
+//! ```
+
+use indbml_core::memtrack::{self, TrackingAllocator};
+use indbml_core::qualitative::{derive_table2, render_table2, ApproachClass};
+use indbml_core::{Experiment, ExperimentConfig, Workload};
+use std::collections::HashMap;
+use std::time::Duration;
+use vector_engine::EngineConfig;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn measure(
+    workload: Workload,
+    rows: usize,
+) -> (HashMap<ApproachClass, Duration>, HashMap<ApproachClass, usize>) {
+    let mut runtimes = HashMap::new();
+    let mut peaks = HashMap::new();
+    for class in ApproachClass::ALL {
+        let config = ExperimentConfig {
+            engine: EngineConfig::default(),
+            ..ExperimentConfig::new(workload, rows)
+        };
+        let Ok(experiment) = Experiment::build(config) else {
+            continue;
+        };
+        memtrack::reset_peak();
+        match experiment.run(class.representative(), false) {
+            Ok(outcome) => {
+                runtimes.insert(class, outcome.runtime);
+                peaks.insert(class, memtrack::peak_bytes());
+            }
+            Err(e) => eprintln!("{}: {e}", class.label()),
+        }
+    }
+    (runtimes, peaks)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = args
+        .iter()
+        .position(|a| a == "--rows")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+
+    println!("# Table 2: qualitative comparison (derived from measurements at {rows} tuples)");
+    let (small_rt, _) = measure(Workload::Dense { width: 32, depth: 2 }, rows);
+    let (large_rt, large_mem) = measure(Workload::Dense { width: 128, depth: 4 }, rows);
+
+    println!("\nmeasured inputs:");
+    for class in ApproachClass::ALL {
+        println!(
+            "  {:<18} small {:>10} large {:>10} peak {:>12}",
+            class.label(),
+            small_rt
+                .get(&class)
+                .map_or("-".into(), |d| format!("{:.3}s", d.as_secs_f64())),
+            large_rt
+                .get(&class)
+                .map_or("-".into(), |d| format!("{:.3}s", d.as_secs_f64())),
+            large_mem
+                .get(&class)
+                .map_or("-".into(), |&b| memtrack::format_bytes(b)),
+        );
+    }
+
+    let table = derive_table2(&small_rt, &large_rt, &large_mem);
+    println!("\n== Table 2: qualitative comparison of ML inference approaches ==");
+    print!("{}", render_table2(&table));
+}

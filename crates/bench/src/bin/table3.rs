@@ -1,0 +1,119 @@
+//! Regenerates **Table 3**: peak memory for model inference of (by
+//! default a scaled-down stand-in for) 100K tuples, for the models
+//! Dense(32,4), Dense(128,4), Dense(512,4) and LSTM(128), across
+//! ModelJoin, TF(C-API), TF(Python) and ML-To-SQL.
+//!
+//! This binary registers the counting allocator
+//! ([`indbml_core::memtrack`]); each approach runs in a fresh experiment
+//! with the peak reset in between, so the reported number is the peak
+//! *above* the loaded base tables — the query's working set, which is what
+//! the paper compares.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table3 [--full] [--rows N]
+//! ```
+
+use indbml_core::memtrack::{self, TrackingAllocator};
+use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
+use vector_engine::EngineConfig;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let rows = args
+        .iter()
+        .position(|a| a == "--rows")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if full { 100_000 } else { 10_000 });
+
+    // The paper's Table 3 columns.
+    let approaches = [
+        Approach::ModelJoinCpu,
+        Approach::TfCapiCpu,
+        Approach::TfPythonCpu,
+        Approach::Ml2Sql,
+    ];
+    // The paper's Table 3 rows.
+    let workloads = [
+        ("Dense(32,4)", Workload::Dense { width: 32, depth: 4 }),
+        ("Dense(128,4)", Workload::Dense { width: 128, depth: 4 }),
+        ("Dense(512,4)", Workload::Dense { width: 512, depth: 4 }),
+        ("LSTM(128)", Workload::Lstm { width: 128 }),
+    ];
+    // The same single-core budget rule as the figures (ML-To-SQL on
+    // Dense(512,4) materializes rows * ~800k intermediate tuples).
+    // Overridable with --budget N.
+    let budget: u64 = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if full { u64::MAX } else { 60_000_000 });
+
+    println!("# Table 3: peak memory for model inference of {rows} tuples");
+    println!("model,approach,peak_bytes,peak_human");
+    let mut table: Vec<(String, Vec<Option<usize>>)> = Vec::new();
+    for (label, workload) in workloads {
+        let mut row = Vec::new();
+        for approach in approaches {
+            let model = workload.model(42);
+            if approach == Approach::Ml2Sql && bench::ml2sql_cost(rows, &model) > budget {
+                println!("{label},{},skipped,-", approach.label());
+                row.push(None);
+                continue;
+            }
+            // Fresh experiment per measurement so table loads do not leak
+            // into each other's peaks.
+            let config = ExperimentConfig {
+                engine: EngineConfig::default(),
+                ..ExperimentConfig::new(workload, rows)
+            };
+            let experiment = match Experiment::build(config) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("setup {label}: {e}");
+                    row.push(None);
+                    continue;
+                }
+            };
+            memtrack::reset_peak();
+            match experiment.run(approach, false) {
+                Ok(_) => {
+                    let peak = memtrack::peak_bytes();
+                    println!(
+                        "{label},{},{peak},{}",
+                        approach.label(),
+                        memtrack::format_bytes(peak)
+                    );
+                    row.push(Some(peak));
+                }
+                Err(e) => {
+                    eprintln!("{label} / {approach}: {e}");
+                    row.push(None);
+                }
+            }
+        }
+        table.push((label.to_string(), row));
+    }
+
+    println!("\n== Table 3: peak memory for model inference of {rows} tuples ==");
+    print!("{:<14}", "Model");
+    for a in ["ModelJoin", "TF(C-API)", "TF(Python)", "ML-To-SQL"] {
+        print!("{a:>14}");
+    }
+    println!();
+    for (label, row) in &table {
+        print!("{label:<14}");
+        for cell in row {
+            match cell {
+                Some(b) => print!("{:>14}", memtrack::format_bytes(*b)),
+                None => print!("{:>14}", "skipped"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,95 @@
+//! The eight evaluated series of the paper's Figures 8 and 9.
+
+use std::fmt;
+
+/// One in-DBMS ML inference approach, named as in the paper's figure
+/// legends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// The native ModelJoin operator, CPU variant (Sec. 5).
+    ModelJoinCpu,
+    /// The native ModelJoin operator, (simulated-)GPU variant.
+    ModelJoinGpu,
+    /// The Raven-like operator over the ML runtime's C-API, CPU.
+    TfCapiCpu,
+    /// The Raven-like operator over the ML runtime's C-API, GPU.
+    TfCapiGpu,
+    /// Client-side Python + runtime over ODBC, CPU ("TF_CPU").
+    TfPythonCpu,
+    /// Client-side Python + runtime over ODBC, GPU ("TF_GPU").
+    TfPythonGpu,
+    /// Vectorized Python UDF inside the engine.
+    Udf,
+    /// Generated standard-SQL inference (Sec. 4).
+    Ml2Sql,
+}
+
+impl Approach {
+    /// All eight series, in the paper's legend order.
+    pub const ALL: [Approach; 8] = [
+        Approach::ModelJoinCpu,
+        Approach::ModelJoinGpu,
+        Approach::TfCapiCpu,
+        Approach::TfCapiGpu,
+        Approach::TfPythonCpu,
+        Approach::TfPythonGpu,
+        Approach::Udf,
+        Approach::Ml2Sql,
+    ];
+
+    /// The label the paper's figures use.
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::ModelJoinCpu => "ModelJoin_CPU",
+            Approach::ModelJoinGpu => "ModelJoin_GPU",
+            Approach::TfCapiCpu => "TF_CAPI_CPU",
+            Approach::TfCapiGpu => "TF_CAPI_GPU",
+            Approach::TfPythonCpu => "TF_CPU",
+            Approach::TfPythonGpu => "TF_GPU",
+            Approach::Udf => "UDF",
+            Approach::Ml2Sql => "ML-To-SQL",
+        }
+    }
+
+    /// Does this approach run (part of) its inference on the simulated GPU?
+    /// Such results are model-derived (DESIGN.md §2) and flagged in the
+    /// harness output.
+    pub fn uses_gpu(self) -> bool {
+        matches!(
+            self,
+            Approach::ModelJoinGpu | Approach::TfCapiGpu | Approach::TfPythonGpu
+        )
+    }
+
+    /// Parse a figure label (for bench harness CLI filters).
+    pub fn parse(label: &str) -> Option<Approach> {
+        Approach::ALL.iter().copied().find(|a| a.label().eq_ignore_ascii_case(label))
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for a in Approach::ALL {
+            assert_eq!(Approach::parse(a.label()), Some(a));
+        }
+        assert_eq!(Approach::parse("ml-to-sql"), Some(Approach::Ml2Sql));
+        assert_eq!(Approach::parse("nope"), None);
+    }
+
+    #[test]
+    fn gpu_flagging() {
+        assert!(Approach::ModelJoinGpu.uses_gpu());
+        assert!(!Approach::Udf.uses_gpu());
+        assert_eq!(Approach::ALL.iter().filter(|a| a.uses_gpu()).count(), 3);
+    }
+}

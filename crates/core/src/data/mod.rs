@@ -1,0 +1,50 @@
+//! The evaluation datasets (paper Sec. 6.1).
+
+pub mod iris;
+
+pub use iris::{iris_features, iris_labels, IRIS, IRIS_ROWS};
+
+/// Generate the paper's LSTM workload: a sine-wave time series windowed
+/// into `timesteps` input columns per tuple ("we generated a time series
+/// based on a sinus function and used 3 time steps for each forecast").
+///
+/// Row `i` holds `sin(0.1 * (i + t))` for `t in 0..timesteps` — the
+/// pre-windowed form the paper assumes after the self-join (Sec. 4:
+/// "self-joining the table n-1 times ... with a join predicate that lets
+/// tuples match with their predecessor in the series").
+pub fn sine_series(rows: usize, timesteps: usize) -> Vec<Vec<f32>> {
+    (0..rows)
+        .map(|i| (0..timesteps).map(|t| ((i + t) as f32 * 0.1).sin()).collect())
+        .collect()
+}
+
+/// Replicate the Iris feature rows to `n` tuples ("the Iris dataset that
+/// is replicated to mimic varying fact table sizes").
+pub fn replicated_iris(n: usize) -> Vec<Vec<f32>> {
+    let base = iris_features();
+    (0..n).map(|i| base[i % base.len()].to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_series_windows_overlap() {
+        let s = sine_series(10, 3);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0].len(), 3);
+        // Window i shifted by one equals window i+1 on the overlap.
+        assert!((s[0][1] - s[1][0]).abs() < 1e-7);
+        assert!((s[0][2] - s[1][1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn replication_wraps_around() {
+        let r = replicated_iris(310);
+        assert_eq!(r.len(), 310);
+        assert_eq!(r[0], r[150]);
+        assert_eq!(r[5], r[305]);
+        assert_eq!(r[0].len(), 4);
+    }
+}

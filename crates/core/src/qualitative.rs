@@ -1,0 +1,226 @@
+//! The qualitative comparison of Table 2.
+//!
+//! Two of the five dimensions (portability, generalizability) are static
+//! properties of the approach classes; the paper's text fixes them. The
+//! other three (performance on small/large models, memory consumption) are
+//! *derived from measurements*: [`derive_table2`] grades measured runtimes
+//! and peaks relative to the best approach in each column, reproducing the
+//! Good/Medium/Bad scheme.
+
+use crate::approach::Approach;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A Table 2 grade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Grade {
+    Good,
+    Medium,
+    Bad,
+}
+
+impl fmt::Display for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Grade::Good => "Good",
+            Grade::Medium => "Medium",
+            Grade::Bad => "Bad",
+        })
+    }
+}
+
+/// The five Table 2 columns collapse the eight measured series into five
+/// approach classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApproachClass {
+    Ml2Sql,
+    NativeModelJoin,
+    TfPython,
+    TfCapi,
+    Udf,
+}
+
+impl ApproachClass {
+    pub const ALL: [ApproachClass; 5] = [
+        ApproachClass::Ml2Sql,
+        ApproachClass::NativeModelJoin,
+        ApproachClass::TfPython,
+        ApproachClass::TfCapi,
+        ApproachClass::Udf,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ApproachClass::Ml2Sql => "ML-To-SQL",
+            ApproachClass::NativeModelJoin => "Native ModelJoin",
+            ApproachClass::TfPython => "TF(Python)",
+            ApproachClass::TfCapi => "TF(C-API)",
+            ApproachClass::Udf => "UDF",
+        }
+    }
+
+    /// Which measured series represents the class (CPU variants).
+    pub fn representative(self) -> Approach {
+        match self {
+            ApproachClass::Ml2Sql => Approach::Ml2Sql,
+            ApproachClass::NativeModelJoin => Approach::ModelJoinCpu,
+            ApproachClass::TfPython => Approach::TfPythonCpu,
+            ApproachClass::TfCapi => Approach::TfCapiCpu,
+            ApproachClass::Udf => Approach::Udf,
+        }
+    }
+
+    /// Static property: can the approach be taken to another SQL system
+    /// without engine changes? (Paper Table 2 row "Portability".)
+    pub fn portability(self) -> Grade {
+        match self {
+            ApproachClass::Ml2Sql | ApproachClass::TfPython => Grade::Good,
+            ApproachClass::Udf => Grade::Medium,
+            ApproachClass::NativeModelJoin | ApproachClass::TfCapi => Grade::Bad,
+        }
+    }
+
+    /// Static property: does the approach support arbitrary model types or
+    /// only the reimplemented ones? (Paper Table 2 row "Generalizability".)
+    pub fn generalizability(self) -> Grade {
+        match self {
+            ApproachClass::TfPython | ApproachClass::TfCapi | ApproachClass::Udf => Grade::Good,
+            ApproachClass::Ml2Sql | ApproachClass::NativeModelJoin => Grade::Bad,
+        }
+    }
+}
+
+/// One row of the derived Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    pub class: ApproachClass,
+    pub perf_small: Grade,
+    pub perf_large: Grade,
+    pub memory: Grade,
+    pub portability: Grade,
+    pub generalizability: Grade,
+}
+
+/// Grade a measurement relative to the best in its column: within 3x of
+/// the best is Good, within 12x Medium, beyond that Bad. The thresholds
+/// reproduce the paper's "order of magnitude" language.
+fn grade(value: f64, best: f64) -> Grade {
+    if best <= 0.0 || value <= best * 3.0 {
+        Grade::Good
+    } else if value <= best * 12.0 {
+        Grade::Medium
+    } else {
+        Grade::Bad
+    }
+}
+
+/// Derive Table 2 from measurements: runtimes on a small and a large
+/// model, and peak memory, per approach class.
+pub fn derive_table2(
+    small_runtime: &HashMap<ApproachClass, Duration>,
+    large_runtime: &HashMap<ApproachClass, Duration>,
+    peak_memory: &HashMap<ApproachClass, usize>,
+) -> Vec<Table2Row> {
+    let best = |m: &HashMap<ApproachClass, Duration>| {
+        m.values().map(Duration::as_secs_f64).fold(f64::INFINITY, f64::min)
+    };
+    let best_small = best(small_runtime);
+    let best_large = best(large_runtime);
+    let best_mem =
+        peak_memory.values().copied().map(|v| v as f64).fold(f64::INFINITY, f64::min);
+    ApproachClass::ALL
+        .iter()
+        .map(|&class| Table2Row {
+            class,
+            perf_small: small_runtime
+                .get(&class)
+                .map_or(Grade::Bad, |d| grade(d.as_secs_f64(), best_small)),
+            perf_large: large_runtime
+                .get(&class)
+                .map_or(Grade::Bad, |d| grade(d.as_secs_f64(), best_large)),
+            memory: peak_memory
+                .get(&class)
+                .map_or(Grade::Bad, |&b| grade(b as f64, best_mem)),
+            portability: class.portability(),
+            generalizability: class.generalizability(),
+        })
+        .collect()
+}
+
+/// Render rows as the paper's Table 2 layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28}{:>12}{:>12}{:>12}{:>12}{:>12}\n",
+        "", "ML-To-SQL", "ModelJoin", "TF(Python)", "TF(C-API)", "UDF"
+    ));
+    let pick = |f: &dyn Fn(&Table2Row) -> Grade, label: &str, out: &mut String| {
+        let mut line = format!("{label:<28}");
+        for class in [
+            ApproachClass::Ml2Sql,
+            ApproachClass::NativeModelJoin,
+            ApproachClass::TfPython,
+            ApproachClass::TfCapi,
+            ApproachClass::Udf,
+        ] {
+            let row = rows.iter().find(|r| r.class == class).expect("all classes present");
+            line.push_str(&format!("{:>12}", f(row).to_string()));
+        }
+        line.push('\n');
+        out.push_str(&line);
+    };
+    pick(&|r| r.perf_small, "Performance (Small Models)", &mut out);
+    pick(&|r| r.perf_large, "Performance (Large Models)", &mut out);
+    pick(&|r| r.memory, "Memory Consumption", &mut out);
+    pick(&|r| r.portability, "Portability", &mut out);
+    pick(&|r| r.generalizability, "Generalizability", &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_columns_match_the_paper() {
+        // Paper Table 2, rows Portability and Generalizability.
+        assert_eq!(ApproachClass::Ml2Sql.portability(), Grade::Good);
+        assert_eq!(ApproachClass::NativeModelJoin.portability(), Grade::Bad);
+        assert_eq!(ApproachClass::TfPython.portability(), Grade::Good);
+        assert_eq!(ApproachClass::TfCapi.portability(), Grade::Bad);
+        assert_eq!(ApproachClass::Udf.portability(), Grade::Medium);
+
+        assert_eq!(ApproachClass::Ml2Sql.generalizability(), Grade::Bad);
+        assert_eq!(ApproachClass::NativeModelJoin.generalizability(), Grade::Bad);
+        assert_eq!(ApproachClass::TfPython.generalizability(), Grade::Good);
+        assert_eq!(ApproachClass::TfCapi.generalizability(), Grade::Good);
+        assert_eq!(ApproachClass::Udf.generalizability(), Grade::Good);
+    }
+
+    #[test]
+    fn grading_thresholds() {
+        assert_eq!(grade(1.0, 1.0), Grade::Good);
+        assert_eq!(grade(2.9, 1.0), Grade::Good);
+        assert_eq!(grade(5.0, 1.0), Grade::Medium);
+        assert_eq!(grade(20.0, 1.0), Grade::Bad);
+    }
+
+    #[test]
+    fn derived_table_shape() {
+        let mut small = HashMap::new();
+        let mut large = HashMap::new();
+        let mut mem = HashMap::new();
+        for (i, class) in ApproachClass::ALL.iter().enumerate() {
+            small.insert(*class, Duration::from_millis(10 * (i as u64 + 1)));
+            large.insert(*class, Duration::from_millis(100));
+            mem.insert(*class, 1000 * (i + 1));
+        }
+        let rows = derive_table2(&small, &large, &mem);
+        assert_eq!(rows.len(), 5);
+        let text = render_table2(&rows);
+        assert!(text.contains("Performance (Small Models)"));
+        assert!(text.contains("Generalizability"));
+        assert_eq!(text.lines().count(), 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! SQL rendering of activation functions (paper Sec. 4.3.5).
+
+use nn::Activation;
+
+/// How activations are spelled in the generated SQL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivationDialect {
+    /// Use the engine's built-in `SIGMOID`/`TANH`/`RELU` functions.
+    Native,
+    /// Use only portable SQL-92 arithmetic (`EXP`, `GREATEST`) so the
+    /// generated query runs on any SQL-compliant system — the portability
+    /// goal of ML-To-SQL.
+    Portable,
+}
+
+/// Render the activation applied to SQL expression `x`.
+///
+/// The portable spellings are chosen to be overflow-safe in IEEE
+/// arithmetic: `sigmoid(x) = 1 / (1 + e^-x)` saturates to 0/1 and
+/// `tanh(x) = 1 - 2 / (e^(2x) + 1)` saturates to ±1 instead of producing
+/// `inf/inf` NaNs.
+pub fn activation_sql(act: Activation, x: &str, dialect: ActivationDialect) -> String {
+    match (act, dialect) {
+        (Activation::Linear, _) => x.to_string(),
+        (Activation::Relu, ActivationDialect::Native) => format!("RELU({x})"),
+        (Activation::Relu, ActivationDialect::Portable) => format!("GREATEST({x}, 0.0)"),
+        (Activation::Sigmoid, ActivationDialect::Native) => format!("SIGMOID({x})"),
+        (Activation::Sigmoid, ActivationDialect::Portable) => {
+            format!("(1.0 / (1.0 + EXP(-({x}))))")
+        }
+        (Activation::Tanh, ActivationDialect::Native) => format!("TANH({x})"),
+        (Activation::Tanh, ActivationDialect::Portable) => {
+            format!("(1.0 - 2.0 / (EXP(2.0 * ({x})) + 1.0))")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vector_engine::{Engine, EngineConfig, Value};
+
+    fn eval(sql_expr: &str) -> f64 {
+        let e = Engine::new(EngineConfig::test_small());
+        let q = e.execute(&format!("SELECT {sql_expr} AS v")).unwrap();
+        match q.rows()[0][0] {
+            Value::Float(f) => f,
+            Value::Int(i) => i as f64,
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn native_and_portable_agree() {
+        for x in [-3.0f64, -0.5, 0.0, 0.5, 3.0] {
+            for act in Activation::all() {
+                let native = eval(&activation_sql(
+                    act,
+                    &format!("({x})"),
+                    ActivationDialect::Native,
+                ));
+                let portable = eval(&activation_sql(
+                    act,
+                    &format!("({x})"),
+                    ActivationDialect::Portable,
+                ));
+                assert!(
+                    (native - portable).abs() < 1e-12,
+                    "{act} at {x}: native {native} vs portable {portable}"
+                );
+                let reference = act.apply_scalar(x as f32) as f64;
+                assert!((native - reference).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn portable_forms_saturate_instead_of_nan() {
+        let big = eval(&activation_sql(
+            Activation::Tanh,
+            "(1000.0)",
+            ActivationDialect::Portable,
+        ));
+        assert_eq!(big, 1.0);
+        let small = eval(&activation_sql(
+            Activation::Tanh,
+            "(-1000.0)",
+            ActivationDialect::Portable,
+        ));
+        assert_eq!(small, -1.0);
+        let sig = eval(&activation_sql(
+            Activation::Sigmoid,
+            "(-1000.0)",
+            ActivationDialect::Portable,
+        ));
+        assert_eq!(sig, 0.0);
+    }
+
+    #[test]
+    fn linear_is_identity_text() {
+        assert_eq!(
+            activation_sql(Activation::Linear, "output", ActivationDialect::Portable),
+            "output"
+        );
+    }
+}

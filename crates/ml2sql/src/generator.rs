@@ -1,0 +1,624 @@
+//! The ML-To-SQL query generator.
+
+use crate::activations::{activation_sql, ActivationDialect};
+use model_repr::{Layout, ModelMeta, SlotInfo, SlotKind};
+use nn::Activation;
+use std::fmt::Write as _;
+
+/// Optimization level of the generated queries (the Sec. 4.4 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Plain `(Layer, Node)` representation, joins on both columns, no
+    /// redundant filters.
+    Basic,
+    /// Adds the per-join filter on the model's `Layer` column, enabling
+    /// SMA block pruning of the model table.
+    LayerFilters,
+    /// Unique node IDs: 14-column model table, single-column joins and
+    /// range predicates on `Node`.
+    NodeId,
+}
+
+impl OptLevel {
+    /// The model-table layout this level runs against.
+    pub fn layout(self) -> Layout {
+        match self {
+            OptLevel::Basic | OptLevel::LayerFilters => Layout::LayerNode,
+            OptLevel::NodeId => Layout::NodeId,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Basic => "basic",
+            OptLevel::LayerFilters => "layer_filters",
+            OptLevel::NodeId => "node_id",
+        }
+    }
+
+    pub fn all() -> [OptLevel; 3] {
+        [OptLevel::Basic, OptLevel::LayerFilters, OptLevel::NodeId]
+    }
+}
+
+/// Generation options.
+#[derive(Clone, Copy, Debug)]
+pub struct GenOptions {
+    pub opt: OptLevel,
+    pub dialect: ActivationDialect,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { opt: OptLevel::NodeId, dialect: ActivationDialect::Native }
+    }
+}
+
+/// Generates the nested ModelJoin SQL for one (fact table, model) pair.
+#[derive(Debug)]
+pub struct SqlGenerator<'a> {
+    meta: &'a ModelMeta,
+    model_table: String,
+    fact_table: String,
+    id_col: String,
+    input_cols: Vec<String>,
+    payload_cols: Vec<String>,
+    options: GenOptions,
+}
+
+impl<'a> SqlGenerator<'a> {
+    /// `input_cols` are the fact-table columns fed to the model (in model
+    /// input order); `payload_cols` are carried through by the late
+    /// projection of the output function.
+    pub fn new(
+        meta: &'a ModelMeta,
+        model_table: &str,
+        fact_table: &str,
+        id_col: &str,
+        input_cols: &[&str],
+        payload_cols: &[&str],
+        options: GenOptions,
+    ) -> Result<SqlGenerator<'a>, String> {
+        if input_cols.len() != meta.input_dim {
+            return Err(format!(
+                "model expects {} input columns, got {}",
+                meta.input_dim,
+                input_cols.len()
+            ));
+        }
+        for s in &meta.slots {
+            if s.kind == SlotKind::LstmKernel && s.features != 1 {
+                return Err(
+                    "ML-To-SQL supports LSTM layers with one feature per time step \
+                     (the paper's time-series setup); use the native ModelJoin for more"
+                        .into(),
+                );
+            }
+        }
+        Ok(SqlGenerator {
+            meta,
+            model_table: model_table.to_string(),
+            fact_table: fact_table.to_string(),
+            id_col: id_col.to_string(),
+            input_cols: input_cols.iter().map(|s| s.to_string()).collect(),
+            payload_cols: payload_cols.iter().map(|s| s.to_string()).collect(),
+            options,
+        })
+    }
+
+    fn layout(&self) -> Layout {
+        self.options.opt.layout()
+    }
+
+    /// Render an activation in the configured dialect.
+    fn act(&self, a: Activation, x: &str) -> String {
+        activation_sql(a, x, self.options.dialect)
+    }
+
+    /// The redundant model-side filter for edges into `slot`
+    /// (`"" `when the optimization level does not emit one).
+    fn slot_filter(&self, slot: &SlotInfo) -> String {
+        match self.options.opt {
+            OptLevel::Basic => String::new(),
+            OptLevel::LayerFilters => format!(" AND model.layer = {}", slot.layer),
+            OptLevel::NodeId => format!(
+                " AND model.node >= {} AND model.node <= {}",
+                slot.node_base,
+                slot.node_base + slot.dim as i64 - 1
+            ),
+        }
+    }
+
+    /// A *structural* model-side restriction to edges into `slot` — needed
+    /// where no intermediate-result join key distinguishes the edges (LSTM
+    /// sublayers), independent of the optimization level.
+    fn slot_restrict(&self, slot: &SlotInfo) -> String {
+        match self.layout() {
+            Layout::LayerNode => format!("model.layer = {}", slot.layer),
+            Layout::NodeId => format!(
+                "model.node >= {} AND model.node <= {}",
+                slot.node_base,
+                slot.node_base + slot.dim as i64 - 1
+            ),
+        }
+    }
+
+    /// Intermediate-result column list: NodeId drops the `layer` column.
+    fn state_cols(&self) -> &'static str {
+        match self.layout() {
+            Layout::LayerNode => "id, layer, node",
+            Layout::NodeId => "id, node",
+        }
+    }
+
+    /// The input function (paper Listing 3): distribute input column `i` to
+    /// node `i` of the input layer.
+    pub fn input_function(&self) -> String {
+        let mut inner_cols = String::new();
+        let mut case = String::from("CASE");
+        for (i, col) in self.input_cols.iter().enumerate() {
+            let _ = write!(inner_cols, ", data.{col} AS c{i}");
+            let _ = write!(case, " WHEN node = {i} THEN c{i}");
+        }
+        case.push_str(" END");
+        let (layer_sel, filter) = match self.layout() {
+            Layout::LayerNode => (", model.layer AS layer", "model.layer_in = -1"),
+            Layout::NodeId => ("", "model.node_in = -1"),
+        };
+        format!(
+            "SELECT {cols}, {case} AS output_activated FROM \
+             (SELECT data.{id} AS id{inner_cols}{layer_sel}, model.node AS node \
+             FROM {fact} AS data, {model} AS model \
+             WHERE {filter}) AS t_in",
+            cols = self.state_cols(),
+            id = self.id_col,
+            fact = self.fact_table,
+            model = self.model_table,
+        )
+    }
+
+    /// The dense layer forward function (paper Listing 4) for the layer in
+    /// `slot`.
+    pub fn dense_forward(&self, prev: &str, slot: &SlotInfo) -> String {
+        let (node_sel, group_layer, join) = match self.layout() {
+            Layout::LayerNode => (
+                "model.layer AS layer, model.node AS node",
+                ", model.layer",
+                "input.node = model.node_in AND input.layer = model.layer_in",
+            ),
+            Layout::NodeId => {
+                ("model.node AS node", "", "input.node = model.node_in")
+            }
+        };
+        format!(
+            "SELECT {cols}, s + bias AS output FROM \
+             (SELECT input.id AS id, {node_sel}, \
+             SUM(input.output_activated * model.w_i) AS s, model.b_i AS bias \
+             FROM ({prev}) AS input, {model} AS model \
+             WHERE {join}{filter} \
+             GROUP BY input.id{group_layer}, model.node, model.b_i) AS t{n}",
+            cols = self.state_cols(),
+            model = self.model_table,
+            filter = self.slot_filter(slot),
+            n = slot.layer,
+        )
+    }
+
+    /// The activation function applied to a layer-forward result.
+    pub fn activation_function(&self, prev: &str, a: Activation, n: i64) -> String {
+        format!(
+            "SELECT {cols}, {act} AS output_activated FROM ({prev}) AS a{n}",
+            cols = self.state_cols(),
+            act = self.act(a, "output"),
+        )
+    }
+
+    /// The output function (paper Sec. 4.3.4): late projection joining the
+    /// prediction(s) back to the fact tuples on the unique id.
+    pub fn output_function(&self, final_query: &str) -> String {
+        let out = self.meta.output_slot();
+        let mut payload = String::new();
+        for p in &self.payload_cols {
+            let _ = write!(payload, ", data.{p} AS {p}");
+        }
+        if out.dim == 1 {
+            return format!(
+                "SELECT data.{id} AS id{payload}, inf.output_activated AS prediction \
+                 FROM {fact} AS data, ({final_query}) AS inf \
+                 WHERE data.{id} = inf.id",
+                id = self.id_col,
+                fact = self.fact_table,
+            );
+        }
+        // Multiple output nodes: one join per node, filtered on the Node
+        // column (Sec. 4.3.4).
+        let mut selects = String::new();
+        let mut froms = String::new();
+        let mut conds = String::new();
+        for j in 0..out.dim {
+            let node_value = match self.layout() {
+                Layout::LayerNode => j as i64,
+                Layout::NodeId => out.node_base + j as i64,
+            };
+            let _ = write!(selects, ", inf{j}.output_activated AS prediction_{j}");
+            let _ = write!(froms, ", ({final_query}) AS inf{j}");
+            let _ = write!(
+                conds,
+                " AND data.{id} = inf{j}.id AND inf{j}.node = {node_value}",
+                id = self.id_col
+            );
+        }
+        format!(
+            "SELECT data.{id} AS id{payload}{selects} FROM {fact} AS data{froms} \
+             WHERE TRUE{conds}",
+            id = self.id_col,
+            fact = self.fact_table,
+        )
+    }
+
+    /// The per-time-step kernel query of the LSTM pipeline (Sec. 4.3.3):
+    /// gate pre-activations from the time-step input column.
+    fn lstm_kernel(&self, kernel_slot: &SlotInfo, t: usize) -> String {
+        let col = &self.input_cols[t];
+        format!(
+            "SELECT data.{id} AS id, model.node AS node, \
+             SUM(data.{col} * model.w_i) AS ki, SUM(data.{col} * model.w_f) AS kf, \
+             SUM(data.{col} * model.w_c) AS kc, SUM(data.{col} * model.w_o) AS ko, \
+             model.b_i AS bi, model.b_f AS bf, model.b_c AS bc, model.b_o AS bo \
+             FROM {fact} AS data, {model} AS model \
+             WHERE {restrict} \
+             GROUP BY data.{id}, model.node, model.b_i, model.b_f, model.b_c, model.b_o",
+            id = self.id_col,
+            fact = self.fact_table,
+            model = self.model_table,
+            restrict = self.slot_restrict(kernel_slot),
+        )
+    }
+
+    /// The recurrent-kernel query: gate contributions of the previous
+    /// hidden state, mapped back into kernel-slot node space.
+    fn lstm_recurrent(&self, rec_slot: &SlotInfo, kernel_slot: &SlotInfo, prev: &str) -> String {
+        let node_map = match self.layout() {
+            Layout::LayerNode => String::new(),
+            Layout::NodeId => format!(" - {}", rec_slot.node_base - kernel_slot.node_base),
+        };
+        format!(
+            "SELECT prev.id AS id, model.node{node_map} AS node, \
+             SUM(prev.h * model.u_i) AS ri, SUM(prev.h * model.u_f) AS rf, \
+             SUM(prev.h * model.u_c) AS rc, SUM(prev.h * model.u_o) AS ro \
+             FROM ({prev}) AS prev, {model} AS model \
+             WHERE prev.node = model.node_in AND {restrict} \
+             GROUP BY prev.id, model.node",
+            model = self.model_table,
+            restrict = self.slot_restrict(rec_slot),
+        )
+    }
+
+    /// One LSTM time step: combine kernel, recurrent and previous cell
+    /// state into `(id, node, h, c)` per the Keras cell equations.
+    fn lstm_state(
+        &self,
+        kernel_slot: &SlotInfo,
+        rec_slot: &SlotInfo,
+        t: usize,
+        prev_state: Option<&str>,
+    ) -> String {
+        let sig = |x: &str| self.act(Activation::Sigmoid, x);
+        let tanh = |x: &str| self.act(Activation::Tanh, x);
+        match prev_state {
+            None => {
+                // t = 0: no recurrence, no previous cell state.
+                let kernel = self.lstm_kernel(kernel_slot, t);
+                let i_g = sig("ki + bi");
+                let c_cand = tanh("kc + bc");
+                let o_g = sig("ko + bo");
+                format!(
+                    "SELECT id, node, o * {tanh_c} AS h, c FROM \
+                     (SELECT id, node, {o_g} AS o, {i_g} * {c_cand} AS c \
+                     FROM ({kernel}) AS k0) AS s0",
+                    tanh_c = tanh("c"),
+                )
+            }
+            Some(prev) => {
+                let kernel = self.lstm_kernel(kernel_slot, t);
+                let recurrent = self.lstm_recurrent(rec_slot, kernel_slot, prev);
+                let i_g = sig("k.ki + r.ri + k.bi");
+                let f_g = sig("k.kf + r.rf + k.bf");
+                let c_cand = tanh("k.kc + r.rc + k.bc");
+                let o_g = sig("k.ko + r.ro + k.bo");
+                format!(
+                    "SELECT id, node, o * {tanh_c} AS h, c FROM \
+                     (SELECT k.id AS id, k.node AS node, {o_g} AS o, \
+                     {f_g} * prev.c + {i_g} * {c_cand} AS c \
+                     FROM ({kernel}) AS k, ({recurrent}) AS r, ({prev}) AS prev \
+                     WHERE k.id = r.id AND k.node = r.node \
+                     AND k.id = prev.id AND k.node = prev.node) AS s{t}",
+                    tanh_c = tanh("c"),
+                )
+            }
+        }
+    }
+
+    /// The full unrolled LSTM pipeline, ending in the standard intermediate
+    /// shape so dense layers can follow.
+    fn lstm_pipeline(&self, kernel_slot: &SlotInfo, rec_slot: &SlotInfo) -> String {
+        let timesteps = kernel_slot.timesteps;
+        let mut state = self.lstm_state(kernel_slot, rec_slot, 0, None);
+        for t in 1..timesteps {
+            state = self.lstm_state(kernel_slot, rec_slot, t, Some(&state));
+        }
+        // Map the final hidden state into the recurrent slot's node space,
+        // where the next layer's edges originate.
+        match self.layout() {
+            Layout::LayerNode => format!(
+                "SELECT id, {layer} AS layer, node, h AS output_activated \
+                 FROM ({state}) AS fin",
+                layer = rec_slot.layer,
+            ),
+            Layout::NodeId => format!(
+                "SELECT id, node + {delta} AS node, h AS output_activated \
+                 FROM ({state}) AS fin",
+                delta = rec_slot.node_base - kernel_slot.node_base,
+            ),
+        }
+    }
+
+    /// Generate the complete ModelJoin query (paper Listing 1):
+    /// `Output(Activate(Forward(... Input(fact, model) ...)))`.
+    pub fn generate(&self) -> Result<String, String> {
+        let slots = &self.meta.slots;
+        let mut cursor: usize;
+        let mut current: String;
+        match slots.get(1).map(|s| s.kind) {
+            Some(SlotKind::LstmKernel) => {
+                current = self.lstm_pipeline(&slots[1], &slots[2]);
+                cursor = 3;
+            }
+            Some(SlotKind::Dense(_)) => {
+                current = self.input_function();
+                cursor = 1;
+            }
+            other => return Err(format!("unsupported first slot {other:?}")),
+        }
+        while cursor < slots.len() {
+            let slot = &slots[cursor];
+            let SlotKind::Dense(act) = slot.kind else {
+                return Err(format!(
+                    "unsupported slot {:?} at position {cursor} (only a leading LSTM \
+                     is supported)",
+                    slot.kind
+                ));
+            };
+            current = self.dense_forward(&current, slot);
+            current = self.activation_function(&current, act, slot.layer);
+            cursor += 1;
+        }
+        Ok(self.output_function(&current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model_repr::load_into_engine;
+    use nn::{paper, Model, ModelBuilder};
+    use vector_engine::{ColumnVector, Engine, EngineConfig, Result as EResult};
+
+    /// Load a fact table with `n` rows of `dim` input columns c0..c{dim-1}.
+    fn load_fact(engine: &Engine, model: &Model, n: usize) -> Vec<Vec<f32>> {
+        let dim = model.input_dim();
+        let mut cols = vec![format!("id INT")];
+        for i in 0..dim {
+            cols.push(format!("c{i} FLOAT"));
+        }
+        engine
+            .execute(&format!("CREATE TABLE facts ({})", cols.join(", ")))
+            .unwrap();
+        let mut data = Vec::new();
+        let mut columns = vec![ColumnVector::Int((0..n as i64).collect())];
+        let mut feature_cols: Vec<Vec<f64>> = vec![Vec::new(); dim];
+        for r in 0..n {
+            let row: Vec<f32> =
+                (0..dim).map(|c| ((r * dim + c) as f32 * 0.7).sin()).collect();
+            for (c, v) in row.iter().enumerate() {
+                feature_cols[c].push(*v as f64);
+            }
+            data.push(row);
+        }
+        columns.extend(feature_cols.into_iter().map(ColumnVector::Float));
+        engine.insert_columns("facts", columns).unwrap();
+        engine.table("facts").unwrap().declare_unique("id").unwrap();
+        data
+    }
+
+    fn run_model_join(
+        model: &Model,
+        n: usize,
+        options: GenOptions,
+    ) -> EResult<(Vec<f64>, Vec<Vec<f32>>)> {
+        let engine = Engine::new(EngineConfig {
+            vector_size: 16,
+            partitions: 3,
+            parallelism: 2,
+            ..Default::default()
+        });
+        let data = load_fact(&engine, model, n);
+        let (_, meta) =
+            load_into_engine(&engine, "model_table", model, options.opt.layout())?;
+        let input_cols: Vec<String> =
+            (0..model.input_dim()).map(|i| format!("c{i}")).collect();
+        let input_refs: Vec<&str> = input_cols.iter().map(|s| s.as_str()).collect();
+        let generator = SqlGenerator::new(
+            &meta,
+            "model_table",
+            "facts",
+            "id",
+            &input_refs,
+            &[],
+            options,
+        )
+        .map_err(vector_engine::EngineError::Plan)?;
+        let sql = generator.generate().map_err(vector_engine::EngineError::Plan)?;
+        let result = engine.execute(&format!("{sql} ORDER BY id"))?;
+        let preds = result.column("prediction")?.as_float()?.to_vec();
+        Ok((preds, data))
+    }
+
+    fn assert_matches_oracle(model: &Model, n: usize, options: GenOptions) {
+        let (preds, data) = run_model_join(model, n, options).unwrap();
+        assert_eq!(preds.len(), n, "one prediction per tuple");
+        for (r, row) in data.iter().enumerate() {
+            let expected = model.predict_row(row)[0] as f64;
+            assert!(
+                (preds[r] - expected).abs() < 1e-4,
+                "row {r}: sql {} vs oracle {expected} ({:?})",
+                preds[r],
+                options.opt
+            );
+        }
+    }
+
+    #[test]
+    fn dense_model_all_opt_levels_match_oracle() {
+        let model = ModelBuilder::new(4, 3)
+            .dense_biased(5, Activation::Relu)
+            .dense_biased(3, Activation::Tanh)
+            .dense_biased(1, Activation::Sigmoid)
+            .build();
+        for opt in OptLevel::all() {
+            assert_matches_oracle(
+                &model,
+                11,
+                GenOptions { opt, dialect: ActivationDialect::Native },
+            );
+        }
+    }
+
+    #[test]
+    fn portable_dialect_matches_oracle() {
+        let model = paper::dense_model(6, 2, 5);
+        assert_matches_oracle(
+            &model,
+            7,
+            GenOptions { opt: OptLevel::NodeId, dialect: ActivationDialect::Portable },
+        );
+    }
+
+    #[test]
+    fn lstm_model_all_opt_levels_match_oracle() {
+        let model = paper::lstm_model(4, 9);
+        for opt in OptLevel::all() {
+            assert_matches_oracle(
+                &model,
+                6,
+                GenOptions { opt, dialect: ActivationDialect::Native },
+            );
+        }
+    }
+
+    #[test]
+    fn multi_output_model() {
+        let model = ModelBuilder::new(3, 17)
+            .dense_biased(4, Activation::Tanh)
+            .dense_biased(2, Activation::Linear)
+            .build();
+        let engine = Engine::new(EngineConfig::test_small());
+        let data = load_fact(&engine, &model, 5);
+        let (_, meta) =
+            load_into_engine(&engine, "model_table", &model, Layout::NodeId).unwrap();
+        let generator = SqlGenerator::new(
+            &meta,
+            "model_table",
+            "facts",
+            "id",
+            &["c0", "c1", "c2"],
+            &[],
+            GenOptions::default(),
+        )
+        .unwrap();
+        let sql = generator.generate().unwrap();
+        let q = engine.execute(&format!("{sql} ORDER BY id")).unwrap();
+        let p0 = q.column("prediction_0").unwrap().as_float().unwrap();
+        let p1 = q.column("prediction_1").unwrap().as_float().unwrap();
+        for (r, row) in data.iter().enumerate() {
+            let expected = model.predict_row(row);
+            assert!((p0[r] - expected[0] as f64).abs() < 1e-4);
+            assert!((p1[r] - expected[1] as f64).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn payload_columns_are_carried_through() {
+        let model = ModelBuilder::new(2, 1).dense(1, Activation::Linear).build();
+        let engine = Engine::new(EngineConfig::test_small());
+        engine
+            .execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, tag VARCHAR)")
+            .unwrap();
+        engine
+            .execute(
+                "INSERT INTO facts VALUES (1, 0.1, 0.2, 'a'), (2, 0.3, 0.4, 'b')",
+            )
+            .unwrap();
+        let (_, meta) =
+            load_into_engine(&engine, "model_table", &model, Layout::NodeId).unwrap();
+        let generator = SqlGenerator::new(
+            &meta,
+            "model_table",
+            "facts",
+            "id",
+            &["c0", "c1"],
+            &["tag"],
+            GenOptions::default(),
+        )
+        .unwrap();
+        let sql = generator.generate().unwrap();
+        let q = engine.execute(&format!("{sql} ORDER BY id")).unwrap();
+        assert_eq!(q.column("tag").unwrap().value(0), vector_engine::Value::Str("a".into()));
+        assert_eq!(q.num_rows(), 2);
+    }
+
+    #[test]
+    fn generated_sql_structure_reflects_opt_level() {
+        let model = paper::dense_model(4, 2, 0);
+        let meta = model_repr::ModelMeta::of(&model);
+        let mk = |opt| {
+            SqlGenerator::new(
+                &meta,
+                "m",
+                "f",
+                "id",
+                &["c0", "c1", "c2", "c3"],
+                &[],
+                GenOptions { opt, dialect: ActivationDialect::Native },
+            )
+            .unwrap()
+            .generate()
+            .unwrap()
+        };
+        let basic = mk(OptLevel::Basic);
+        assert!(basic.contains("input.layer = model.layer_in"));
+        assert!(!basic.contains("model.layer ="));
+        let filters = mk(OptLevel::LayerFilters);
+        assert!(filters.contains("AND model.layer = 1"));
+        let nodeid = mk(OptLevel::NodeId);
+        assert!(!nodeid.contains("layer"));
+        assert!(nodeid.contains("model.node >= 4 AND model.node <= 7"));
+    }
+
+    #[test]
+    fn input_dim_mismatch_rejected() {
+        let model = paper::dense_model(4, 2, 0);
+        let meta = model_repr::ModelMeta::of(&model);
+        let err = SqlGenerator::new(
+            &meta,
+            "m",
+            "f",
+            "id",
+            &["c0"],
+            &[],
+            GenOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("input columns"));
+    }
+}

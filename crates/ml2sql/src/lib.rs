@@ -1,0 +1,30 @@
+//! ML-To-SQL: generation of standard SQL performing neural-network
+//! inference over the relational model representation (paper Sec. 4).
+//!
+//! The ModelJoin between a fact table and a model table is expressed as a
+//! nesting of four generic building blocks (paper Table 1 / Listing 1):
+//!
+//! * **input function** — cross join of the fact table with the model's
+//!   input-layer edges, distributing the `i`-th input column to node `i`
+//!   via a `CASE` switch (Listing 3);
+//! * **layer forward function** — join of the intermediate result with the
+//!   model edges on the node identifiers, multiply by the kernel weight,
+//!   add the bias, and `SUM ... GROUP BY (id, node)` (Listing 4);
+//! * **activation function** — a projection applying the activation to the
+//!   `output` column (Sec. 4.3.5);
+//! * **output function** — the "late projection" join of the inference
+//!   result back to the fact table on the unique `id` (Sec. 4.3.4).
+//!
+//! LSTM layers unroll into one kernel + recurrent-kernel state query per
+//! time step following the split-sublayer scheme of Sec. 4.3.3.
+//!
+//! Three optimization levels reproduce the Sec. 4.4 ablation:
+//! [`OptLevel::Basic`] (plain `(Layer, Node)` pairs), [`OptLevel::LayerFilters`]
+//! (adds redundant layer filters that enable SMA block pruning) and
+//! [`OptLevel::NodeId`] (unique node IDs, 14-column table, range predicates).
+
+pub mod activations;
+pub mod generator;
+
+pub use activations::{activation_sql, ActivationDialect};
+pub use generator::{GenOptions, OptLevel, SqlGenerator};

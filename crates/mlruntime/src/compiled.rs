@@ -1,0 +1,276 @@
+//! Models compiled to dense tensors for batched inference.
+
+use nn::{Layer, Model};
+use tensor::blas::Transpose;
+use tensor::{Activation, Device, Matrix};
+
+/// One compiled layer.
+enum CompiledLayer {
+    Dense {
+        /// `input_dim x units`, row-major.
+        weights: Matrix,
+        bias: Vec<f32>,
+        activation: Activation,
+    },
+    Lstm {
+        features: usize,
+        timesteps: usize,
+        units: usize,
+        /// Gate order i, f, c, o; each `features x units`.
+        kernel: [Matrix; 4],
+        /// Each `units x units`.
+        recurrent: [Matrix; 4],
+        bias: [Vec<f32>; 4],
+    },
+}
+
+/// A model compiled for batched row-major inference on a device.
+///
+/// On construction for a GPU device the weights are charged as a one-time
+/// host→device transfer (the paper's model build / upload step).
+pub struct CompiledModel {
+    layers: Vec<CompiledLayer>,
+    input_dim: usize,
+    output_dim: usize,
+    device: Device,
+}
+
+impl CompiledModel {
+    pub fn compile(model: &Model, device: Device) -> CompiledModel {
+        let mut layers = Vec::with_capacity(model.layers().len());
+        let mut weight_bytes = 0usize;
+        for layer in model.layers() {
+            match layer {
+                Layer::Dense(d) => {
+                    weight_bytes += d.weights.byte_len() + d.bias.len() * 4;
+                    layers.push(CompiledLayer::Dense {
+                        weights: d.weights.clone(),
+                        bias: d.bias.clone(),
+                        activation: d.activation,
+                    });
+                }
+                Layer::Lstm(l) => {
+                    for g in 0..4 {
+                        weight_bytes += l.kernel[g].byte_len()
+                            + l.recurrent[g].byte_len()
+                            + l.bias[g].len() * 4;
+                    }
+                    layers.push(CompiledLayer::Lstm {
+                        features: l.input_features,
+                        timesteps: l.timesteps,
+                        units: l.units(),
+                        kernel: l.kernel.clone(),
+                        recurrent: l.recurrent.clone(),
+                        bias: l.bias.clone(),
+                    });
+                }
+            }
+        }
+        device.transfer_h2d(weight_bytes);
+        CompiledModel {
+            layers,
+            input_dim: model.input_dim(),
+            output_dim: model.output_dim(),
+            device,
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Batched inference: `input` is `rows x input_dim` row-major; the
+    /// result is `rows x output_dim`. Input upload and output download are
+    /// charged to the device transfer model.
+    pub fn run(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim, "input width mismatch");
+        self.device.transfer_h2d(input.byte_len());
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = match layer {
+                CompiledLayer::Dense { weights, bias, activation } => {
+                    let rows = current.rows();
+                    // Bias pre-copied into the result, beta = 1 (the
+                    // paper's replicated-bias trick, Sec. 5.4).
+                    let mut out = Matrix::from_fn(rows, weights.cols(), |_, c| bias[c]);
+                    self.device.gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &current,
+                        weights,
+                        1.0,
+                        &mut out,
+                    );
+                    self.device.activation(*activation, out.as_mut_slice());
+                    out
+                }
+                CompiledLayer::Lstm { features, timesteps, units, kernel, recurrent, bias } => {
+                    self.run_lstm(
+                        &current, *features, *timesteps, *units, kernel, recurrent, bias,
+                    )
+                }
+            };
+        }
+        self.device.transfer_d2h(current.byte_len());
+        current
+    }
+
+    /// Batched LSTM forward, the Listing-5 computation over a whole batch:
+    /// per time step `z_g = X_t W_g + H U_g + b_g`, then the Keras cell
+    /// combination.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lstm(
+        &self,
+        input: &Matrix,
+        features: usize,
+        timesteps: usize,
+        units: usize,
+        kernel: &[Matrix; 4],
+        recurrent: &[Matrix; 4],
+        bias: &[Vec<f32>; 4],
+    ) -> Matrix {
+        let rows = input.rows();
+        assert_eq!(input.cols(), timesteps * features);
+        let mut h = Matrix::zeros(rows, units);
+        let mut c = Matrix::zeros(rows, units);
+        let mut x_t = Matrix::zeros(rows, features);
+        let mut z: Vec<Matrix> = (0..4).map(|_| Matrix::zeros(rows, units)).collect();
+        let mut tmp = vec![0.0f32; rows * units];
+
+        for t in 0..timesteps {
+            for r in 0..rows {
+                let src = &input.row(r)[t * features..(t + 1) * features];
+                x_t.row_mut(r).copy_from_slice(src);
+            }
+            for g in 0..4 {
+                // z_g := bias (replicated) + X_t * W_g + H * U_g
+                for r in 0..rows {
+                    z[g].row_mut(r).copy_from_slice(&bias[g]);
+                }
+                self.device.gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    &x_t,
+                    &kernel[g],
+                    1.0,
+                    &mut z[g],
+                );
+                if t > 0 {
+                    self.device.gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &h,
+                        &recurrent[g],
+                        1.0,
+                        &mut z[g],
+                    );
+                }
+            }
+            self.device.activation(Activation::Sigmoid, z[0].as_mut_slice()); // i
+            self.device.activation(Activation::Sigmoid, z[1].as_mut_slice()); // f
+            self.device.activation(Activation::Tanh, z[2].as_mut_slice()); // c~
+            self.device.activation(Activation::Sigmoid, z[3].as_mut_slice()); // o
+
+            // c := f * c + i * c~
+            self.device.vs_mul(z[1].as_slice(), c.as_slice(), &mut tmp);
+            c.as_mut_slice().copy_from_slice(&tmp);
+            self.device.vs_mul(z[0].as_slice(), z[2].as_slice(), &mut tmp);
+            let c_slice = c.as_slice().to_vec();
+            self.device.vs_add(&c_slice, &tmp, c.as_mut_slice());
+
+            // h := o * tanh(c)
+            tmp.copy_from_slice(c.as_slice());
+            self.device.activation(Activation::Tanh, &mut tmp);
+            let tmp2 = tmp.clone();
+            self.device.vs_mul(z[3].as_slice(), &tmp2, h.as_mut_slice());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::{paper, ModelBuilder};
+
+    fn inputs(rows: usize, dim: usize) -> Matrix {
+        Matrix::from_fn(rows, dim, |r, c| ((r * dim + c) as f32 * 0.3).sin())
+    }
+
+    fn assert_matches_oracle(model: &nn::Model, rows: usize, device: Device) {
+        let compiled = CompiledModel::compile(model, device);
+        let x = inputs(rows, model.input_dim());
+        let out = compiled.run(&x);
+        let expected = model.predict(&x);
+        let diff = out.max_abs_diff(&expected);
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+
+    #[test]
+    fn dense_batch_matches_oracle_cpu_and_gpu() {
+        let model = paper::dense_model(16, 3, 4);
+        assert_matches_oracle(&model, 33, Device::cpu());
+        assert_matches_oracle(&model, 33, Device::gpu());
+    }
+
+    #[test]
+    fn lstm_batch_matches_oracle_cpu_and_gpu() {
+        let model = paper::lstm_model(8, 5);
+        assert_matches_oracle(&model, 17, Device::cpu());
+        assert_matches_oracle(&model, 17, Device::gpu());
+    }
+
+    #[test]
+    fn multi_feature_lstm_matches_oracle() {
+        // 2 features per time step, 4 steps — beyond what ML-To-SQL
+        // supports, exercising the general path.
+        let model = ModelBuilder::new(8, 3)
+            .lstm(5, 4, 2)
+            .dense_biased(2, Activation::Sigmoid)
+            .build();
+        assert_matches_oracle(&model, 9, Device::cpu());
+    }
+
+    #[test]
+    fn gpu_compile_charges_weight_upload() {
+        let device = Device::gpu();
+        let model = paper::dense_model(32, 2, 0);
+        let _compiled = CompiledModel::compile(&model, device.clone());
+        let report = device.report();
+        let expected = (model.param_count() * 4) as u64;
+        assert_eq!(report.h2d_bytes, expected);
+    }
+
+    #[test]
+    fn run_charges_input_and_output_transfers() {
+        let device = Device::gpu();
+        let model = paper::dense_model(8, 2, 0);
+        let compiled = CompiledModel::compile(&model, device.clone());
+        device.reset();
+        let x = inputs(10, 4);
+        let out = compiled.run(&x);
+        let report = device.report();
+        assert_eq!(report.h2d_bytes, x.byte_len() as u64);
+        assert_eq!(report.d2h_bytes, out.byte_len() as u64);
+        assert!(report.kernel_launches > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let model = paper::dense_model(8, 2, 0);
+        let compiled = CompiledModel::compile(&model, Device::cpu());
+        compiled.run(&Matrix::zeros(3, 7));
+    }
+}

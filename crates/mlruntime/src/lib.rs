@@ -1,0 +1,28 @@
+//! An external ML runtime stand-in ("TensorFlow") with a C-API-style
+//! session interface.
+//!
+//! The paper's Raven-like operator integrates TensorFlow into the engine
+//! through its C-API (Sec. 6.1): models are loaded into opaque sessions,
+//! inference consumes **row-major** `f32` tensors, and the caller pays the
+//! columnar↔row-major conversion at the boundary. This crate reproduces
+//! that interface:
+//!
+//! * [`compiled::CompiledModel`] — a model compiled to dense row-major
+//!   weight tensors executing on a [`tensor::Device`] (CPU or simulated
+//!   GPU), in `f32` like the real runtime;
+//! * [`session::Session`] — a safe session object (load → run → drop);
+//! * [`capi`] — the C-style surface: opaque integer handles, status codes,
+//!   `tf_new_session` / `tf_session_run` / `tf_delete_session`.
+//!
+//! The kernels are the same `tensor` BLAS routines the native ModelJoin
+//! uses, which mirrors the paper's finding that a mature runtime over the
+//! C-API and a native operator land within a small factor of each other —
+//! the measured difference is the data conversion at the API boundary.
+
+pub mod capi;
+pub mod compiled;
+pub mod session;
+
+pub use capi::{tf_delete_session, tf_new_session, tf_session_run, TfDeviceKind, TfStatus};
+pub use compiled::CompiledModel;
+pub use session::Session;

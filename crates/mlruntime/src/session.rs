@@ -1,0 +1,109 @@
+//! Safe session API over compiled models.
+
+use crate::compiled::CompiledModel;
+use nn::Model;
+use tensor::{Device, Matrix};
+
+/// A loaded inference session. Holds the compiled model and its device;
+/// sessions are immutable after creation and can be shared across threads.
+pub struct Session {
+    compiled: CompiledModel,
+    name: String,
+}
+
+impl Session {
+    /// Load a model object.
+    pub fn from_model(name: &str, model: &Model, device: Device) -> Session {
+        Session { compiled: CompiledModel::compile(model, device), name: name.to_string() }
+    }
+
+    /// Load a serialized model (the "saved model file" path the paper's
+    /// UDF variant uses: "we load the saved model, apply it to the data").
+    pub fn from_saved(name: &str, text: &str, device: Device) -> Result<Session, String> {
+        let model = nn::serial::from_str(text)?;
+        Ok(Session::from_model(name, &model, device))
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.compiled.input_dim()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.compiled.output_dim()
+    }
+
+    pub fn device(&self) -> &Device {
+        self.compiled.device()
+    }
+
+    /// Row-major batched inference: `input.len()` must be
+    /// `rows * input_dim`; the result has `rows * output_dim` values.
+    pub fn run(&self, input: &[f32], rows: usize) -> Result<Vec<f32>, String> {
+        if input.len() != rows * self.input_dim() {
+            return Err(format!(
+                "session {}: expected {} values ({} rows x {} columns), got {}",
+                self.name,
+                rows * self.input_dim(),
+                rows,
+                self.input_dim(),
+                input.len()
+            ));
+        }
+        let m = Matrix::from_vec(rows, self.input_dim(), input.to_vec());
+        Ok(self.compiled.run(&m).into_vec())
+    }
+
+    /// Matrix-in / matrix-out variant (no extra copies).
+    pub fn run_matrix(&self, input: &Matrix) -> Matrix {
+        self.compiled.run(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::paper;
+
+    #[test]
+    fn session_runs_row_major() {
+        let model = paper::dense_model(4, 2, 3);
+        let session = Session::from_model("m", &model, Device::cpu());
+        assert_eq!(session.input_dim(), 4);
+        assert_eq!(session.output_dim(), 1);
+        let rows = 3;
+        let input: Vec<f32> = (0..rows * 4).map(|i| (i as f32 * 0.1).cos()).collect();
+        let out = session.run(&input, rows).unwrap();
+        assert_eq!(out.len(), rows);
+        for r in 0..rows {
+            let expected = model.predict_row(&input[r * 4..(r + 1) * 4])[0];
+            assert!((out[r] - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn saved_model_round_trip() {
+        let model = paper::lstm_model(4, 8);
+        let text = nn::serial::to_string(&model);
+        let session = Session::from_saved("saved", &text, Device::cpu()).unwrap();
+        let out = session.run(&[0.1, 0.2, 0.3], 1).unwrap();
+        let expected = model.predict_row(&[0.1, 0.2, 0.3])[0];
+        assert!((out[0] - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bad_input_length_is_reported() {
+        let model = paper::dense_model(4, 2, 0);
+        let session = Session::from_model("m", &model, Device::cpu());
+        let err = session.run(&[1.0; 7], 2).unwrap_err();
+        assert!(err.contains("expected 8 values"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_saved_model_is_rejected() {
+        assert!(Session::from_saved("x", "not a model", Device::cpu()).is_err());
+    }
+}

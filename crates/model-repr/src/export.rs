@@ -1,0 +1,268 @@
+//! Model → relational table export.
+
+use crate::meta::{ModelMeta, SlotKind};
+use crate::schema::{model_table_schema, Layout};
+use nn::{Layer, Model};
+use vector_engine::{ColumnVector, Engine, Table};
+
+/// Gate index aliases into the 12-element weight vector.
+const W: usize = 0; // w_i..w_o at 0..4
+const U: usize = 4; // u_i..u_o at 4..8
+const B: usize = 8; // b_i..b_o at 8..12
+
+/// Collects edges in columnar form.
+struct Sink {
+    layout: Layout,
+    layer_in: Vec<i64>,
+    node_in: Vec<i64>,
+    layer: Vec<i64>,
+    node: Vec<i64>,
+    weights: Vec<Vec<f64>>,
+}
+
+impl Sink {
+    fn new(layout: Layout) -> Sink {
+        Sink {
+            layout,
+            layer_in: Vec::new(),
+            node_in: Vec::new(),
+            layer: Vec::new(),
+            node: Vec::new(),
+            weights: (0..12).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Emit one edge. Endpoints are given in LayerNode terms plus the
+    /// NodeId-layout IDs; the sink stores whichever the layout needs.
+    #[allow(clippy::too_many_arguments)]
+    fn edge(
+        &mut self,
+        layer_in: i64,
+        node_in_pair: i64,
+        layer: i64,
+        node_pair: i64,
+        node_in_id: i64,
+        node_id: i64,
+        w: [f64; 12],
+    ) {
+        match self.layout {
+            Layout::LayerNode => {
+                self.layer_in.push(layer_in);
+                self.node_in.push(node_in_pair);
+                self.layer.push(layer);
+                self.node.push(node_pair);
+            }
+            Layout::NodeId => {
+                self.node_in.push(node_in_id);
+                self.node.push(node_id);
+            }
+        }
+        for (col, v) in self.weights.iter_mut().zip(w) {
+            col.push(v);
+        }
+    }
+
+    fn into_columns(self) -> Vec<ColumnVector> {
+        let mut cols = Vec::with_capacity(self.layout.column_count());
+        match self.layout {
+            Layout::LayerNode => {
+                cols.push(ColumnVector::Int(self.layer_in));
+                cols.push(ColumnVector::Int(self.node_in));
+                cols.push(ColumnVector::Int(self.layer));
+                cols.push(ColumnVector::Int(self.node));
+            }
+            Layout::NodeId => {
+                cols.push(ColumnVector::Int(self.node_in));
+                cols.push(ColumnVector::Int(self.node));
+            }
+        }
+        cols.extend(self.weights.into_iter().map(ColumnVector::Float));
+        cols
+    }
+}
+
+/// Export a model's edges as model-table columns in the given layout.
+/// Returns the columns together with the metadata describing them.
+pub fn export_columns(model: &Model, layout: Layout) -> (Vec<ColumnVector>, ModelMeta) {
+    let meta = ModelMeta::of(model);
+    let mut sink = Sink::new(layout);
+
+    // 1. Artificial input node → input distribution layer, weight W_i = 1
+    //    (paper Sec. 4.3.1). The artificial node is (layer -1, node -1) /
+    //    node ID -1.
+    let input_slot = &meta.slots[0];
+    for i in 0..input_slot.dim {
+        let mut w = [0.0; 12];
+        w[W] = 1.0;
+        sink.edge(-1, -1, input_slot.layer, i as i64, -1, input_slot.node_base + i as i64, w);
+    }
+
+    // 2. Model layers. `prev` tracks the slot feeding the current layer.
+    let mut prev = 0usize;
+    let mut slot = 1usize;
+    for layer in model.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                let s = &meta.slots[slot];
+                let p = &meta.slots[prev];
+                debug_assert_eq!(p.dim, d.input_dim());
+                for i in 0..d.input_dim() {
+                    for j in 0..d.units() {
+                        let mut w = [0.0; 12];
+                        w[W] = d.weights.get(i, j) as f64;
+                        // Bias replicated to every incoming edge (Sec. 4.3).
+                        w[B] = d.bias[j] as f64;
+                        sink.edge(
+                            p.layer,
+                            i as i64,
+                            s.layer,
+                            j as i64,
+                            p.node_base + i as i64,
+                            s.node_base + j as i64,
+                            w,
+                        );
+                    }
+                }
+                prev = slot;
+                slot += 1;
+            }
+            Layer::Lstm(l) => {
+                let kernel_slot = &meta.slots[slot];
+                let rec_slot = &meta.slots[slot + 1];
+                let p = &meta.slots[prev];
+                debug_assert_eq!(kernel_slot.kind, SlotKind::LstmKernel);
+                debug_assert_eq!(rec_slot.kind, SlotKind::LstmRecurrent);
+                // Kernel sublayer: per feature (stored once — "weight
+                // matrices are equal for every time step", Sec. 4.3.3),
+                // with biases.
+                for f in 0..l.input_features {
+                    for j in 0..l.units() {
+                        let mut w = [0.0; 12];
+                        for g in 0..4 {
+                            w[W + g] = l.kernel[g].get(f, j) as f64;
+                            w[B + g] = l.bias[g][j] as f64;
+                        }
+                        sink.edge(
+                            p.layer,
+                            f as i64,
+                            kernel_slot.layer,
+                            j as i64,
+                            p.node_base + f as i64,
+                            kernel_slot.node_base + j as i64,
+                            w,
+                        );
+                    }
+                }
+                // Recurrent-kernel sublayer.
+                for h in 0..l.units() {
+                    for j in 0..l.units() {
+                        let mut w = [0.0; 12];
+                        for g in 0..4 {
+                            w[U + g] = l.recurrent[g].get(h, j) as f64;
+                        }
+                        sink.edge(
+                            kernel_slot.layer,
+                            h as i64,
+                            rec_slot.layer,
+                            j as i64,
+                            kernel_slot.node_base + h as i64,
+                            rec_slot.node_base + j as i64,
+                            w,
+                        );
+                    }
+                }
+                prev = slot + 1;
+                slot += 2;
+            }
+        }
+    }
+    (sink.into_columns(), meta)
+}
+
+/// Create the model table in an engine and bulk-load the edges; returns the
+/// table and metadata. This is the Rust analogue of ML-To-SQL's
+/// "automatically load a Python model object into the relational table
+/// representation" (Sec. 4.1).
+pub fn load_into_engine(
+    engine: &Engine,
+    table_name: &str,
+    model: &Model,
+    layout: Layout,
+) -> vector_engine::Result<(std::sync::Arc<Table>, ModelMeta)> {
+    let table = engine.create_table(table_name, model_table_schema(layout))?;
+    let (columns, meta) = export_columns(model, layout);
+    table.append(columns)?;
+    Ok((table, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::paper;
+    use vector_engine::EngineConfig;
+
+    #[test]
+    fn edge_count_matches_parameter_structure() {
+        // dense(width w, depth d): input edges (4) + 4*w + (d-1)*w^2 + w.
+        let (w_, d_) = (8usize, 3usize);
+        let model = paper::dense_model(w_, d_, 1);
+        let (cols, _) = export_columns(&model, Layout::LayerNode);
+        let expected = 4 + paper::dense_weight_count(w_, d_);
+        assert_eq!(cols[0].len(), expected);
+        assert_eq!(cols.len(), 16);
+    }
+
+    #[test]
+    fn lstm_edge_count() {
+        let model = paper::lstm_model(4, 1);
+        let (cols, meta) = export_columns(&model, Layout::NodeId);
+        // input edges (3) + kernel (1*4) + recurrent (4*4) + output dense (4).
+        assert_eq!(cols[0].len(), 3 + 4 + 16 + 4);
+        assert_eq!(cols.len(), 14);
+        assert_eq!(meta.node_count(), 3 + 4 + 4 + 1);
+    }
+
+    #[test]
+    fn input_edges_have_unit_weight_and_id_minus_one() {
+        let model = paper::dense_model(4, 2, 1);
+        let (cols, _) = export_columns(&model, Layout::NodeId);
+        let node_in = cols[0].as_int().unwrap();
+        let w_i = cols[2].as_float().unwrap();
+        for i in 0..4 {
+            assert_eq!(node_in[i], -1);
+            assert_eq!(w_i[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn bias_is_replicated_per_incoming_edge() {
+        let model = paper::dense_model(4, 2, 7);
+        let (cols, meta) = export_columns(&model, Layout::NodeId);
+        let node = cols[1].as_int().unwrap();
+        // NodeId layout: 2 endpoint columns, then w_i..w_o u_i..u_o b_i..b_o;
+        // b_i sits at ordinal 10.
+        let b_col = cols[10].as_float().unwrap();
+        // All edges into the same node carry the same bias.
+        let target = meta.slots[1].node_base; // first hidden node
+        let biases: Vec<f64> = node
+            .iter()
+            .zip(b_col)
+            .filter(|(n, _)| **n == target)
+            .map(|(_, b)| *b)
+            .collect();
+        assert_eq!(biases.len(), 4);
+        assert!(biases.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn loads_into_engine_with_row_count() {
+        let engine = Engine::new(EngineConfig::test_small());
+        let model = paper::dense_model(4, 2, 1);
+        let (table, meta) = load_into_engine(&engine, "m", &model, Layout::LayerNode).unwrap();
+        assert_eq!(table.row_count(), 4 + paper::dense_weight_count(4, 2));
+        assert_eq!(meta.slots.len(), 4);
+        // Queryable via SQL.
+        let q = engine.execute("SELECT COUNT(*) AS n FROM m WHERE layer_in = -1").unwrap();
+        assert_eq!(q.rows()[0][0], vector_engine::Value::Int(4));
+    }
+}

@@ -1,0 +1,701 @@
+//! The parallel model build phase (paper Sec. 5.2).
+
+use model_repr::{Layout, ModelMeta, SlotKind};
+use std::sync::{Arc, OnceLock};
+use tensor::blas::Transpose;
+use tensor::{Activation, Device, Matrix};
+use vector_engine::{Batch, EngineError, Result, Table};
+
+/// A layer of the built (in-memory) model.
+pub enum BuiltLayer {
+    Dense {
+        /// `input_dim x units` row-major. (The paper stores the weight
+        /// matrices "already in a transposed way" so cuBLAS's
+        /// column-major `sgemm` computes `A^T x^T`; a row-major
+        /// `input x units` buffer is byte-identical to that transposed
+        /// column-major matrix, so the layout on disk matches.)
+        weights: Matrix,
+        /// Bias replicated to `vectorsize x units` (Sec. 5.4).
+        bias_matrix: Matrix,
+        activation: Activation,
+    },
+    Lstm {
+        features: usize,
+        timesteps: usize,
+        units: usize,
+        /// Gate order i, f, c, o.
+        kernel: [Matrix; 4],
+        recurrent: [Matrix; 4],
+        bias_matrix: [Matrix; 4],
+    },
+}
+
+/// The shared in-memory model produced by the build phase.
+pub struct BuiltModel {
+    pub layers: Vec<BuiltLayer>,
+    pub input_dim: usize,
+    pub output_dim: usize,
+    vector_size: usize,
+}
+
+impl BuiltModel {
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Vectorized inference (paper Sec. 5.4): one pass over the layer list
+    /// for a whole `rows x input_dim` input matrix.
+    pub fn infer(&self, input: &Matrix, device: &Device) -> Matrix {
+        assert!(input.rows() <= self.vector_size, "batch exceeds vector size");
+        assert_eq!(input.cols(), self.input_dim, "input width mismatch");
+        device.transfer_h2d(input.byte_len());
+        let rows = input.rows();
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = match layer {
+                BuiltLayer::Dense { weights, bias_matrix, activation } => {
+                    // C pre-loaded with the replicated bias rows, beta = 1:
+                    // the bias addition comes for free with the sgemm
+                    // (Sec. 5.4).
+                    let units = weights.cols();
+                    let mut out = Matrix::from_vec(
+                        rows,
+                        units,
+                        bias_matrix.as_slice()[..rows * units].to_vec(),
+                    );
+                    device.gemm(
+                        Transpose::No,
+                        Transpose::No,
+                        1.0,
+                        &current,
+                        weights,
+                        1.0,
+                        &mut out,
+                    );
+                    device.activation(*activation, out.as_mut_slice());
+                    out
+                }
+                BuiltLayer::Lstm { features, timesteps, units, kernel, recurrent, bias_matrix } => {
+                    lstm_forward(
+                        &current, *features, *timesteps, *units, kernel, recurrent,
+                        bias_matrix, device,
+                    )
+                }
+            };
+        }
+        device.transfer_d2h(current.byte_len());
+        current
+    }
+}
+
+/// The LSTM layer forward function of paper Listing 5, vectorized over the
+/// batch: per time step `z_x := bias ; z_x += X_t W_x ; z_x += H U_x`,
+/// gate activations, cell/hidden update.
+#[allow(clippy::too_many_arguments)]
+fn lstm_forward(
+    input: &Matrix,
+    features: usize,
+    timesteps: usize,
+    units: usize,
+    kernel: &[Matrix; 4],
+    recurrent: &[Matrix; 4],
+    bias_matrix: &[Matrix; 4],
+    device: &Device,
+) -> Matrix {
+    let rows = input.rows();
+    let mut h = Matrix::zeros(rows, units);
+    let mut c = Matrix::zeros(rows, units);
+    let mut x_t = Matrix::zeros(rows, features);
+    let mut z: Vec<Matrix> = (0..4).map(|_| Matrix::zeros(rows, units)).collect();
+    let mut tmp = vec![0.0f32; rows * units];
+
+    for t in 0..timesteps {
+        for r in 0..rows {
+            x_t.row_mut(r)
+                .copy_from_slice(&input.row(r)[t * features..(t + 1) * features]);
+        }
+        for g in 0..4 {
+            // COPY(z_x, bias_x) — from the pre-replicated bias matrix.
+            device.copy(&bias_matrix[g].as_slice()[..rows * units], z[g].as_mut_slice());
+            device.gemm(Transpose::No, Transpose::No, 1.0, &x_t, &kernel[g], 1.0, &mut z[g]);
+            if t > 0 {
+                device.gemm(Transpose::No, Transpose::No, 1.0, &h, &recurrent[g], 1.0, &mut z[g]);
+            }
+        }
+        device.activation(Activation::Sigmoid, z[0].as_mut_slice());
+        device.activation(Activation::Sigmoid, z[1].as_mut_slice());
+        device.activation(Activation::Tanh, z[2].as_mut_slice());
+        device.activation(Activation::Sigmoid, z[3].as_mut_slice());
+
+        // c := f*c + i*c~   (vsMul / vsAdd of Listing 5)
+        device.vs_mul(z[1].as_slice(), c.as_slice(), &mut tmp);
+        c.as_mut_slice().copy_from_slice(&tmp);
+        device.vs_mul(z[0].as_slice(), z[2].as_slice(), &mut tmp);
+        let c_prev = c.as_slice().to_vec();
+        device.vs_add(&c_prev, &tmp, c.as_mut_slice());
+
+        // h := o * tanh(c)
+        tmp.copy_from_slice(c.as_slice());
+        device.activation(Activation::Tanh, &mut tmp);
+        let tanh_c = tmp.clone();
+        device.vs_mul(z[3].as_slice(), &tanh_c, h.as_mut_slice());
+    }
+    h
+}
+
+/// Description of one flat weight buffer to fill.
+struct SlabSpec {
+    len: usize,
+}
+
+/// Where an edge's weights land: resolved from the edge endpoints.
+struct EdgeTarget {
+    /// Writes as (buffer index, offset, weight-column index).
+    writes: [(usize, usize, usize); 4],
+    write_count: usize,
+}
+
+/// Routing tables from the model metadata.
+struct Router {
+    meta: ModelMeta,
+    layout: Layout,
+    /// Per slot: (first buffer index, kind).
+    slot_buffers: Vec<usize>,
+    specs: Vec<SlabSpec>,
+}
+
+/// Weight-vector column ordinals within the 12 weight columns.
+const W0: usize = 0;
+const U0: usize = 4;
+const B0: usize = 8;
+
+impl Router {
+    fn new(meta: &ModelMeta, layout: Layout) -> Router {
+        let mut specs = Vec::new();
+        let mut slot_buffers = Vec::new();
+        let mut prev_dim = meta.input_dim;
+        for slot in &meta.slots {
+            slot_buffers.push(specs.len());
+            match slot.kind {
+                SlotKind::Input => {}
+                SlotKind::Dense(_) => {
+                    specs.push(SlabSpec { len: prev_dim * slot.dim }); // W
+                    specs.push(SlabSpec { len: slot.dim }); // bias
+                    prev_dim = slot.dim;
+                }
+                SlotKind::LstmKernel => {
+                    for _ in 0..4 {
+                        specs.push(SlabSpec { len: slot.features * slot.dim }); // K_g
+                    }
+                    for _ in 0..4 {
+                        specs.push(SlabSpec { len: slot.dim }); // b_g
+                    }
+                }
+                SlotKind::LstmRecurrent => {
+                    for _ in 0..4 {
+                        specs.push(SlabSpec { len: slot.dim * slot.dim }); // U_g
+                    }
+                    prev_dim = slot.dim;
+                }
+            }
+        }
+        Router { meta: meta.clone(), layout, slot_buffers, specs }
+    }
+
+    /// Resolve an edge (by its endpoint columns) to its write targets.
+    /// Returns `None` for input-distribution edges (no learnable weights).
+    fn route(&self, endpoints: &[i64]) -> Option<EdgeTarget> {
+        let (slot_idx, rel_in, rel_out) = match self.layout {
+            Layout::LayerNode => {
+                let (_, node_in, layer, node) =
+                    (endpoints[0], endpoints[1], endpoints[2], endpoints[3]);
+                if layer <= 0 {
+                    return None; // input distribution edges
+                }
+                (layer as usize, node_in as usize, node as usize)
+            }
+            Layout::NodeId => {
+                let (node_in, node) = (endpoints[0], endpoints[1]);
+                let slot_idx = self
+                    .meta
+                    .slots
+                    .iter()
+                    .position(|s| {
+                        node >= s.node_base && node < s.node_base + s.dim as i64
+                    })?;
+                if slot_idx == 0 {
+                    return None;
+                }
+                let dst = &self.meta.slots[slot_idx];
+                let src_base = match dst.kind {
+                    SlotKind::LstmRecurrent => self.meta.slots[slot_idx - 1].node_base,
+                    _ => {
+                        // Edges into dense / kernel slots come from the slot
+                        // the source id falls into.
+                        self.meta
+                            .slots
+                            .iter()
+                            .find(|s| {
+                                node_in >= s.node_base
+                                    && node_in < s.node_base + s.dim as i64
+                            })?
+                            .node_base
+                    }
+                };
+                (
+                    slot_idx,
+                    (node_in - src_base) as usize,
+                    (node - dst.node_base) as usize,
+                )
+            }
+        };
+        let slot = &self.meta.slots[slot_idx];
+        let base = self.slot_buffers[slot_idx];
+        let mut writes = [(0usize, 0usize, 0usize); 4];
+        let mut n;
+        match slot.kind {
+            SlotKind::Input => return None,
+            SlotKind::Dense(_) => {
+                writes[0] = (base, rel_in * slot.dim + rel_out, W0);
+                n = 1;
+                if rel_in == 0 {
+                    // Bias is replicated on every incoming edge; exactly one
+                    // edge (rel_in == 0) writes it so threads never race.
+                    writes[1] = (base + 1, rel_out, B0);
+                    n = 2;
+                }
+            }
+            SlotKind::LstmKernel => {
+                for g in 0..4 {
+                    writes[g] = (base + g, rel_in * slot.dim + rel_out, W0 + g);
+                }
+                n = 4;
+                // Kernel bias written by the f == 0 edge only, handled via a
+                // second target below (see `route_bias`).
+            }
+            SlotKind::LstmRecurrent => {
+                for g in 0..4 {
+                    writes[g] = (base + g, rel_in * slot.dim + rel_out, U0 + g);
+                }
+                n = 4;
+            }
+        }
+        Some(EdgeTarget { writes, write_count: n })
+    }
+
+    /// Additional bias writes for LSTM kernel edges with `rel_in == 0`.
+    fn route_lstm_bias(&self, endpoints: &[i64]) -> Option<EdgeTarget> {
+        let (slot_idx, rel_in, rel_out) = match self.layout {
+            Layout::LayerNode => {
+                let (_, node_in, layer, node) =
+                    (endpoints[0], endpoints[1], endpoints[2], endpoints[3]);
+                if layer <= 0 {
+                    return None;
+                }
+                (layer as usize, node_in as usize, node as usize)
+            }
+            Layout::NodeId => {
+                let (node_in, node) = (endpoints[0], endpoints[1]);
+                let slot_idx = self.meta.slots.iter().position(|s| {
+                    node >= s.node_base && node < s.node_base + s.dim as i64
+                })?;
+                if slot_idx == 0 {
+                    return None;
+                }
+                let src = self.meta.slots.iter().find(|s| {
+                    node_in >= s.node_base && node_in < s.node_base + s.dim as i64
+                })?;
+                (
+                    slot_idx,
+                    (node_in - src.node_base) as usize,
+                    (node - self.meta.slots[slot_idx].node_base) as usize,
+                )
+            }
+        };
+        let slot = &self.meta.slots[slot_idx];
+        if slot.kind != SlotKind::LstmKernel || rel_in != 0 {
+            return None;
+        }
+        let base = self.slot_buffers[slot_idx];
+        let mut writes = [(0usize, 0usize, 0usize); 4];
+        for g in 0..4 {
+            writes[g] = (base + 4 + g, rel_out, B0 + g);
+        }
+        Some(EdgeTarget { writes, write_count: 4 })
+    }
+}
+
+/// A raw shared view of the slab buffers for the lock-free parallel fill.
+///
+/// SAFETY ARGUMENT (the paper's own, Sec. 5.2): "As partitioning is
+/// arbitrary but distinct, it is guaranteed that there is no concurrent
+/// access to memory during this phase, making synchronization obsolete and
+/// providing true parallelism." Each edge row maps to a unique set of
+/// element offsets (the one exception — the replicated bias — is resolved
+/// by letting only the `rel_in == 0` edge write it), and each edge row
+/// lives in exactly one partition, so two threads never write the same
+/// element.
+struct SlabPtrs {
+    ptrs: Vec<*mut f32>,
+    lens: Vec<usize>,
+}
+
+unsafe impl Send for SlabPtrs {}
+unsafe impl Sync for SlabPtrs {}
+
+impl SlabPtrs {
+    /// Write `value` at `offset` of buffer `buf`.
+    ///
+    /// # Safety
+    /// Caller must guarantee offset is in range and no concurrent write to
+    /// the same element occurs (see the struct-level safety argument).
+    unsafe fn write(&self, buf: usize, offset: usize, value: f32) {
+        debug_assert!(offset < self.lens[buf]);
+        unsafe { *self.ptrs[buf].add(offset) = value };
+    }
+}
+
+fn fill_from_batch(batch: &Batch, router: &Router, slabs: &SlabPtrs) -> Result<()> {
+    let nend = router.layout.column_count() - 12;
+    let mut endpoints = vec![0i64; nend];
+    let weight_cols: Result<Vec<&[f64]>> =
+        (nend..nend + 12).map(|i| batch.column(i).as_float()).collect();
+    let weight_cols = weight_cols?;
+    let end_cols: Result<Vec<&[i64]>> =
+        (0..nend).map(|i| batch.column(i).as_int()).collect();
+    let end_cols = end_cols?;
+    for row in 0..batch.num_rows() {
+        for (e, col) in endpoints.iter_mut().zip(&end_cols) {
+            *e = col[row];
+        }
+        if let Some(target) = router.route(&endpoints) {
+            for w in &target.writes[..target.write_count] {
+                let (buf, offset, wcol) = *w;
+                // SAFETY: see SlabPtrs — disjoint offsets across rows,
+                // disjoint rows across threads.
+                unsafe { slabs.write(buf, offset, weight_cols[wcol][row] as f32) };
+            }
+        }
+        if let Some(target) = router.route_lstm_bias(&endpoints) {
+            for w in &target.writes[..target.write_count] {
+                let (buf, offset, wcol) = *w;
+                // SAFETY: as above.
+                unsafe { slabs.write(buf, offset, weight_cols[wcol][row] as f32) };
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the parallel build phase: allocate shared storage single-threaded,
+/// fill it from the model-table partitions in parallel, then assemble the
+/// [`BuiltModel`] (bias replication + one-shot GPU upload).
+pub fn build_parallel(
+    table: &Table,
+    meta: &ModelMeta,
+    layout: Layout,
+    device: &Device,
+    vector_size: usize,
+    threads: usize,
+) -> Result<BuiltModel> {
+    if table.schema().len() != layout.column_count() {
+        return Err(EngineError::Catalog(format!(
+            "model table has {} columns but layout {} needs {}",
+            table.schema().len(),
+            layout.name(),
+            layout.column_count()
+        )));
+    }
+    let router = Router::new(meta, layout);
+    // Phase 1: single-threaded allocation (paper: "memory allocation ...
+    // is performed single-threaded to a shared memory location").
+    let mut bufs: Vec<Vec<f32>> = router.specs.iter().map(|s| vec![0.0; s.len]).collect();
+    let slabs = SlabPtrs {
+        ptrs: bufs.iter_mut().map(|b| b.as_mut_ptr()).collect(),
+        lens: bufs.iter().map(Vec::len).collect(),
+    };
+
+    // Phase 2: parallel fill over the partitions.
+    let partitions = table.partition_count();
+    let workers = threads.clamp(1, partitions.max(1));
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let slabs = &slabs;
+            let router = &router;
+            handles.push(scope.spawn(move || -> Result<()> {
+                let mut p = w;
+                while p < partitions {
+                    for batch in table.partition_batches(p) {
+                        fill_from_batch(&batch, router, slabs)?;
+                    }
+                    p += workers;
+                }
+                Ok(())
+            }));
+        }
+        // The join is the single synchronization barrier of Sec. 5.2.
+        for h in handles {
+            h.join().map_err(|_| EngineError::Execution("build worker panicked".into()))??;
+        }
+        Ok(())
+    })?;
+
+    // Phase 3: assemble layers — bias replication to vectorsize x m
+    // (Sec. 5.4) and, for the GPU variant, one bulk transfer of the whole
+    // model (Sec. 5.2: "always perform the parallel model build phase on
+    // the host memory and move the model to GPU memory once building is
+    // finished").
+    let mut layers = Vec::new();
+    let mut prev_dim = meta.input_dim;
+    let mut buf_iter = bufs.into_iter();
+    let mut total_bytes = 0usize;
+    for slot in &meta.slots {
+        match slot.kind {
+            SlotKind::Input => {}
+            SlotKind::Dense(activation) => {
+                let w = buf_iter.next().expect("allocated");
+                let b = buf_iter.next().expect("allocated");
+                total_bytes += (w.len() + b.len() * vector_size) * 4;
+                layers.push(BuiltLayer::Dense {
+                    weights: Matrix::from_vec(prev_dim, slot.dim, w),
+                    bias_matrix: Matrix::from_fn(vector_size, slot.dim, |_, c| b[c]),
+                    activation,
+                });
+                prev_dim = slot.dim;
+            }
+            SlotKind::LstmKernel => {
+                let mut kernel = Vec::with_capacity(4);
+                for _ in 0..4 {
+                    let k = buf_iter.next().expect("allocated");
+                    total_bytes += k.len() * 4;
+                    kernel.push(Matrix::from_vec(slot.features, slot.dim, k));
+                }
+                let mut bias_matrix = Vec::with_capacity(4);
+                for _ in 0..4 {
+                    let b = buf_iter.next().expect("allocated");
+                    total_bytes += b.len() * vector_size * 4;
+                    bias_matrix.push(Matrix::from_fn(vector_size, slot.dim, |_, c| b[c]));
+                }
+                // The recurrent slot follows immediately; consume it here.
+                layers.push(BuiltLayer::Lstm {
+                    features: slot.features,
+                    timesteps: slot.timesteps,
+                    units: slot.dim,
+                    kernel: kernel.try_into().map_err(|_| {
+                        EngineError::Execution("gate count mismatch".into())
+                    })?,
+                    recurrent: [
+                        Matrix::zeros(0, 0),
+                        Matrix::zeros(0, 0),
+                        Matrix::zeros(0, 0),
+                        Matrix::zeros(0, 0),
+                    ],
+                    bias_matrix: bias_matrix.try_into().map_err(|_| {
+                        EngineError::Execution("gate count mismatch".into())
+                    })?,
+                });
+            }
+            SlotKind::LstmRecurrent => {
+                let mut recurrent = Vec::with_capacity(4);
+                for _ in 0..4 {
+                    let u = buf_iter.next().expect("allocated");
+                    total_bytes += u.len() * 4;
+                    recurrent.push(Matrix::from_vec(slot.dim, slot.dim, u));
+                }
+                let Some(BuiltLayer::Lstm { recurrent: rec_slot, .. }) = layers.last_mut()
+                else {
+                    return Err(EngineError::Execution(
+                        "recurrent slot without kernel slot".into(),
+                    ));
+                };
+                *rec_slot = recurrent.try_into().map_err(|_| {
+                    EngineError::Execution("gate count mismatch".into())
+                })?;
+                prev_dim = slot.dim;
+            }
+        }
+    }
+    device.transfer_h2d(total_bytes);
+    Ok(BuiltModel {
+        layers,
+        input_dim: meta.input_dim,
+        output_dim: meta.output_dim(),
+        vector_size,
+    })
+}
+
+/// The shared model handle of the parallel ModelJoin: all per-partition
+/// operator instances hold the same `SharedModel`; the first `next()` call
+/// performs the build, later callers reuse it (paper Sec. 5.2: "all
+/// threads build a shared model").
+pub struct SharedModel {
+    table: Arc<Table>,
+    meta: ModelMeta,
+    layout: Layout,
+    device: Device,
+    vector_size: usize,
+    build_threads: usize,
+    built: OnceLock<std::result::Result<Arc<BuiltModel>, EngineError>>,
+}
+
+impl SharedModel {
+    pub fn new(
+        table: Arc<Table>,
+        meta: ModelMeta,
+        layout: Layout,
+        device: Device,
+        vector_size: usize,
+        build_threads: usize,
+    ) -> Arc<SharedModel> {
+        Arc::new(SharedModel {
+            table,
+            meta,
+            layout,
+            device,
+            vector_size,
+            build_threads,
+            built: OnceLock::new(),
+        })
+    }
+
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Get (building on first use) the shared built model.
+    pub fn get(&self) -> Result<Arc<BuiltModel>> {
+        self.built
+            .get_or_init(|| {
+                build_parallel(
+                    &self.table,
+                    &self.meta,
+                    self.layout,
+                    &self.device,
+                    self.vector_size,
+                    self.build_threads,
+                )
+                .map(Arc::new)
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model_repr::load_into_engine;
+    use nn::paper;
+    use vector_engine::{Engine, EngineConfig};
+
+    fn build_for(
+        model: &nn::Model,
+        layout: Layout,
+        threads: usize,
+    ) -> (BuiltModel, nn::Model) {
+        let engine = Engine::new(EngineConfig {
+            vector_size: 8,
+            partitions: 4,
+            parallelism: threads,
+            ..Default::default()
+        });
+        let (table, meta) = load_into_engine(&engine, "m", model, layout).unwrap();
+        let built =
+            build_parallel(&table, &meta, layout, &Device::cpu(), 16, threads).unwrap();
+        (built, model.clone())
+    }
+
+    fn assert_infer_matches(model: &nn::Model, built: &BuiltModel, rows: usize) {
+        let x = Matrix::from_fn(rows, model.input_dim(), |r, c| {
+            ((r * 7 + c) as f32 * 0.21).sin()
+        });
+        let got = built.infer(&x, &Device::cpu());
+        let expected = model.predict(&x);
+        let diff = got.max_abs_diff(&expected);
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+
+    #[test]
+    fn dense_build_and_infer_both_layouts() {
+        let model = paper::dense_model(8, 3, 21);
+        for layout in [Layout::LayerNode, Layout::NodeId] {
+            let (built, model) = build_for(&model, layout, 3);
+            assert_infer_matches(&model, &built, 16);
+        }
+    }
+
+    #[test]
+    fn lstm_build_and_infer_both_layouts() {
+        let model = paper::lstm_model(6, 13);
+        for layout in [Layout::LayerNode, Layout::NodeId] {
+            let (built, model) = build_for(&model, layout, 4);
+            assert_infer_matches(&model, &built, 10);
+        }
+    }
+
+    #[test]
+    fn single_and_multi_threaded_builds_agree() {
+        let model = paper::dense_model(16, 4, 5);
+        let (a, _) = build_for(&model, Layout::NodeId, 1);
+        let (b, _) = build_for(&model, Layout::NodeId, 4);
+        let x = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.1);
+        assert_eq!(a.infer(&x, &Device::cpu()), b.infer(&x, &Device::cpu()));
+    }
+
+    #[test]
+    fn gpu_build_charges_one_bulk_upload() {
+        let model = paper::dense_model(8, 2, 3);
+        let engine = Engine::new(EngineConfig::test_small());
+        let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
+        let gpu = Device::gpu();
+        let vector_size = 16;
+        let built = build_parallel(&table, &meta, Layout::NodeId, &gpu, vector_size, 2).unwrap();
+        let report = gpu.report();
+        assert!(report.h2d_bytes > 0);
+        // Weight bytes + replicated bias bytes.
+        let weights = (4 * 8 + 8 * 8 + 8) * 4;
+        let biases = (8 + 8 + 1) * vector_size * 4;
+        assert_eq!(report.h2d_bytes as usize, weights + biases);
+        let _ = built;
+    }
+
+    #[test]
+    fn shared_model_builds_once() {
+        let model = paper::dense_model(4, 2, 2);
+        let engine = Engine::new(EngineConfig::test_small());
+        let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
+        let shared =
+            SharedModel::new(table, meta, Layout::NodeId, Device::cpu(), 8, 2);
+        let a = shared.get().unwrap();
+        let b = shared.get().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn wrong_layout_is_rejected() {
+        let model = paper::dense_model(4, 2, 2);
+        let engine = Engine::new(EngineConfig::test_small());
+        let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
+        assert!(build_parallel(&table, &meta, Layout::LayerNode, &Device::cpu(), 8, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn infer_rejects_oversized_batch() {
+        let model = paper::dense_model(4, 2, 2);
+        let (built, _) = build_for(&model, Layout::NodeId, 1);
+        let x = Matrix::zeros(17, 4); // vector size is 16 in build_for
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            built.infer(&x, &Device::cpu())
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! The native ModelJoin query operator (paper Sec. 5) and the Raven-like
+//! C-API operator it is compared against.
+//!
+//! The ModelJoin is a two-phase operator in the Volcano model (Fig. 5):
+//!
+//! * **Build phase** (Sec. 5.2, [`build`]): on the first `next()` call the
+//!   partitioned model table is consumed and all execution threads fill a
+//!   *shared* in-memory model — weight matrices and bias vectors — without
+//!   synchronization (partitions are disjoint, so writes never collide),
+//!   followed by a single barrier. Bias vectors are then replicated to
+//!   `vectorsize x m` matrices so bias addition becomes one large
+//!   pre-copied `C` in the `sgemm` call (Sec. 5.4), and on the GPU variant
+//!   the finished model is moved to device memory in one transfer.
+//!
+//! * **Inference phase** (Sec. 5.3/5.4, [`operator`]): every `next()` pulls
+//!   one vector of input columns, packs them into a `vectorsize x n` input
+//!   matrix (Fig. 7), runs the dense / LSTM layer-forward functions through
+//!   the BLAS kernels of the `tensor` crate, and unpacks the result matrix
+//!   back into prediction column vectors appended to the pass-through
+//!   payload columns. The operator pipelines: it never materializes the
+//!   full input, so it is not a pipeline breaker.
+//!
+//! [`capi_op`] implements the competing approach: the same operator shape,
+//! but delegating inference to the external `mlruntime` through its C-API,
+//! paying the columnar → row-major → columnar conversion at the boundary.
+
+pub mod build;
+pub mod capi_op;
+pub mod operator;
+
+pub use build::{build_parallel, BuiltModel, SharedModel};
+pub use capi_op::CapiInferenceOp;
+pub use operator::ModelJoinOp;

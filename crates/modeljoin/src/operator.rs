@@ -1,0 +1,364 @@
+//! The ModelJoin operator and its partition-parallel driver.
+
+use crate::build::{BuiltModel, SharedModel};
+use std::sync::Arc;
+use tensor::Matrix;
+use vector_engine::exec::physical::{drain, Operator};
+use vector_engine::{Batch, ColumnVector, Engine, EngineError, Result};
+
+/// The native ModelJoin operator (paper Sec. 5). One instance runs per
+/// execution thread over that thread's partition of the input flow; all
+/// instances share one [`SharedModel`] whose build phase runs on the first
+/// `next()` call.
+pub struct ModelJoinOp {
+    input: Box<dyn Operator>,
+    shared: Arc<SharedModel>,
+    /// Ordinals of the model input columns within the input batch.
+    input_cols: Vec<usize>,
+    /// Ordinals of pass-through payload columns. Unlike ML-To-SQL, the
+    /// native operator can "leave columns untouched ... introducing no
+    /// overhead" (Sec. 5.3) — no late-projection join needed.
+    payload_cols: Vec<usize>,
+    built: Option<Arc<BuiltModel>>,
+    /// Reused input matrix buffer.
+    packed: Option<Matrix>,
+}
+
+impl ModelJoinOp {
+    pub fn new(
+        input: Box<dyn Operator>,
+        shared: Arc<SharedModel>,
+        input_cols: Vec<usize>,
+        payload_cols: Vec<usize>,
+    ) -> ModelJoinOp {
+        ModelJoinOp { input, shared, input_cols, payload_cols, built: None, packed: None }
+    }
+
+    /// Pack the batch's input columns into the `rows x n` input matrix
+    /// (paper Fig. 7, step 1): each column vector is touched exactly once.
+    fn pack(&mut self, batch: &Batch) -> Result<Matrix> {
+        let rows = batch.num_rows();
+        let n = self.input_cols.len();
+        let mut m = match self.packed.take() {
+            Some(m) if m.rows() == rows => m,
+            _ => Matrix::zeros(rows, n),
+        };
+        for (k, &ci) in self.input_cols.iter().enumerate() {
+            let col = batch.column(ci);
+            match col {
+                ColumnVector::Float(vals) => {
+                    for (r, &v) in vals.iter().enumerate() {
+                        m.row_mut(r)[k] = v as f32;
+                    }
+                }
+                ColumnVector::Int(vals) => {
+                    for (r, &v) in vals.iter().enumerate() {
+                        m.row_mut(r)[k] = v as f32;
+                    }
+                }
+                other => {
+                    return Err(EngineError::Type(format!(
+                        "ModelJoin input column must be numeric, found {}",
+                        other.data_type().name()
+                    )))
+                }
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl Operator for ModelJoinOp {
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        // Build phase on the first call (Fig. 5).
+        if self.built.is_none() {
+            self.built = Some(self.shared.get()?);
+        }
+        let built = self.built.as_ref().expect("built above").clone();
+        let Some(batch) = self.input.next()? else {
+            return Ok(None);
+        };
+        if batch.num_rows() == 0 {
+            return Ok(Some(Batch::of_rows(0)));
+        }
+        let packed = self.pack(&batch)?;
+        let result = built.infer(&packed, self.shared.device());
+        self.packed = Some(packed);
+
+        // Unpack the result matrix back into column vectors (Fig. 7,
+        // last step), appended to the untouched payload columns.
+        let mut columns: Vec<ColumnVector> = self
+            .payload_cols
+            .iter()
+            .map(|&ci| batch.column(ci).clone())
+            .collect();
+        let rows = result.rows();
+        for j in 0..result.cols() {
+            let mut out = Vec::with_capacity(rows);
+            for r in 0..rows {
+                out.push(result.get(r, j) as f64);
+            }
+            columns.push(ColumnVector::Float(out));
+        }
+        Ok(Some(Batch::new(columns)))
+    }
+
+    fn close(&mut self) {
+        self.built = None;
+        self.packed = None;
+        self.input.close();
+    }
+}
+
+/// Resolve column names to ordinals for a table.
+pub fn resolve_columns(
+    engine: &Engine,
+    table: &str,
+    names: &[&str],
+) -> Result<Vec<usize>> {
+    let t = engine.table(table)?;
+    names
+        .iter()
+        .map(|n| {
+            t.schema().index_of(n).ok_or_else(|| {
+                EngineError::Plan(format!("table {table} has no column {n:?}"))
+            })
+        })
+        .collect()
+}
+
+/// Output column names produced by [`execute_model_join`]: payload names
+/// followed by `prediction` (or `prediction_{j}` for multi-output models).
+pub fn output_names(payload: &[&str], output_dim: usize) -> Vec<String> {
+    let mut names: Vec<String> = payload.iter().map(|s| s.to_string()).collect();
+    if output_dim == 1 {
+        names.push("prediction".into());
+    } else {
+        for j in 0..output_dim {
+            names.push(format!("prediction_{j}"));
+        }
+    }
+    names
+}
+
+/// Partition-parallel ModelJoin execution (paper Sec. 5.2/5.4): one
+/// operator instance per partition of the fact table, all sharing the
+/// model; batches are gathered in partition order.
+pub fn execute_model_join(
+    engine: &Engine,
+    fact_table: &str,
+    input_cols: &[&str],
+    payload_cols: &[&str],
+    shared: &Arc<SharedModel>,
+    parallelism: usize,
+) -> Result<Vec<Batch>> {
+    let input_idx = resolve_columns(engine, fact_table, input_cols)?;
+    let payload_idx = resolve_columns(engine, fact_table, payload_cols)?;
+    if input_idx.len() != shared.meta().input_dim {
+        return Err(EngineError::Plan(format!(
+            "model expects {} input columns, got {}",
+            shared.meta().input_dim,
+            input_idx.len()
+        )));
+    }
+    let fact = engine.table(fact_table)?;
+    let partitions = fact.partition_count();
+    let workers = parallelism.clamp(1, partitions);
+    let mut slots: Vec<Result<Vec<Batch>>> = (0..partitions).map(|_| Ok(Vec::new())).collect();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let input_idx = input_idx.clone();
+            let payload_idx = payload_idx.clone();
+            let shared = Arc::clone(shared);
+            handles.push(scope.spawn(move || -> Vec<(usize, Result<Vec<Batch>>)> {
+                let mut out = Vec::new();
+                let mut p = w;
+                while p < partitions {
+                    let result = engine.scan_partition(fact_table, p).and_then(|scan| {
+                        let op = ModelJoinOp::new(
+                            scan,
+                            Arc::clone(&shared),
+                            input_idx.clone(),
+                            payload_idx.clone(),
+                        );
+                        drain(Box::new(op))
+                    });
+                    out.push((p, result));
+                    p += workers;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            let results = h
+                .join()
+                .map_err(|_| EngineError::Execution("ModelJoin worker panicked".into()))?;
+            for (p, r) in results {
+                slots[p] = r;
+            }
+        }
+        Ok(())
+    })?;
+    let mut out = Vec::new();
+    for s in slots {
+        out.extend(s?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model_repr::{load_into_engine, Layout};
+    use nn::paper;
+    use tensor::Device;
+    use vector_engine::{DataType, EngineConfig};
+
+    fn setup(
+        model: &nn::Model,
+        n: usize,
+        device: Device,
+    ) -> (Engine, Arc<SharedModel>, Vec<Vec<f32>>) {
+        let config = EngineConfig {
+            vector_size: 16,
+            partitions: 4,
+            parallelism: 4,
+            ..Default::default()
+        };
+        let engine = Engine::new(config.clone());
+        let dim = model.input_dim();
+        let mut ddl = vec!["id INT".to_string(), "payload FLOAT".to_string()];
+        for i in 0..dim {
+            ddl.push(format!("c{i} FLOAT"));
+        }
+        engine.execute(&format!("CREATE TABLE facts ({})", ddl.join(", "))).unwrap();
+        let mut cols = vec![
+            ColumnVector::Int((0..n as i64).collect()),
+            ColumnVector::Float((0..n).map(|i| i as f64 * 100.0).collect()),
+        ];
+        let mut data = Vec::new();
+        let mut feat: Vec<Vec<f64>> = vec![Vec::new(); dim];
+        for r in 0..n {
+            let row: Vec<f32> = (0..dim).map(|c| ((r * dim + c) as f32 * 0.13).cos()).collect();
+            for (c, v) in row.iter().enumerate() {
+                feat[c].push(*v as f64);
+            }
+            data.push(row);
+        }
+        cols.extend(feat.into_iter().map(ColumnVector::Float));
+        engine.insert_columns("facts", cols).unwrap();
+        let (table, meta) =
+            load_into_engine(&engine, "model_table", model, Layout::NodeId).unwrap();
+        let shared = SharedModel::new(
+            table,
+            meta,
+            Layout::NodeId,
+            device,
+            config.vector_size,
+            config.parallelism,
+        );
+        (engine, shared, data)
+    }
+
+    fn run_and_check(model: &nn::Model, n: usize, device: Device) {
+        let (engine, shared, data) = setup(model, n, device);
+        let dim = model.input_dim();
+        let input_cols: Vec<String> = (0..dim).map(|i| format!("c{i}")).collect();
+        let input_refs: Vec<&str> = input_cols.iter().map(|s| s.as_str()).collect();
+        let batches = execute_model_join(
+            &engine,
+            "facts",
+            &input_refs,
+            &["id", "payload"],
+            &shared,
+            4,
+        )
+        .unwrap();
+        // Gather predictions by id (partitioned output is ordered within,
+        // not across, partitions).
+        let mut by_id: Vec<(i64, f64, f64)> = Vec::new();
+        for b in &batches {
+            let ids = b.column(0).as_int().unwrap();
+            let payloads = b.column(1).as_float().unwrap();
+            let preds = b.column(2).as_float().unwrap();
+            for i in 0..b.num_rows() {
+                by_id.push((ids[i], payloads[i], preds[i]));
+            }
+        }
+        by_id.sort_by_key(|r| r.0);
+        assert_eq!(by_id.len(), n);
+        for (id, payload, pred) in by_id {
+            let expected = model.predict_row(&data[id as usize])[0] as f64;
+            assert!(
+                (pred - expected).abs() < 1e-4,
+                "id {id}: {pred} vs {expected}"
+            );
+            assert_eq!(payload, id as f64 * 100.0, "payload carried through");
+        }
+    }
+
+    #[test]
+    fn dense_model_join_cpu_matches_oracle() {
+        run_and_check(&paper::dense_model(8, 3, 31), 50, Device::cpu());
+    }
+
+    #[test]
+    fn dense_model_join_gpu_matches_oracle() {
+        run_and_check(&paper::dense_model(8, 3, 31), 50, Device::gpu());
+    }
+
+    #[test]
+    fn lstm_model_join_matches_oracle() {
+        run_and_check(&paper::lstm_model(5, 77), 30, Device::cpu());
+        run_and_check(&paper::lstm_model(5, 77), 30, Device::gpu());
+    }
+
+    #[test]
+    fn input_arity_is_validated() {
+        let model = paper::dense_model(4, 2, 1);
+        let (engine, shared, _) = setup(&model, 5, Device::cpu());
+        let err = execute_model_join(&engine, "facts", &["c0"], &[], &shared, 2).unwrap_err();
+        assert!(err.to_string().contains("input columns"));
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let model = paper::dense_model(4, 2, 1);
+        let (engine, shared, _) = setup(&model, 5, Device::cpu());
+        let err = execute_model_join(
+            &engine,
+            "facts",
+            &["c0", "c1", "c2", "nosuch"],
+            &[],
+            &shared,
+            2,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nosuch"));
+    }
+
+    #[test]
+    fn output_names_shape() {
+        assert_eq!(output_names(&["id"], 1), vec!["id", "prediction"]);
+        assert_eq!(
+            output_names(&[], 2),
+            vec!["prediction_0", "prediction_1"]
+        );
+    }
+
+    #[test]
+    fn zero_payload_emits_only_predictions() {
+        let model = paper::dense_model(4, 2, 9);
+        let (engine, shared, _) = setup(&model, 10, Device::cpu());
+        let batches =
+            execute_model_join(&engine, "facts", &["c0", "c1", "c2", "c3"], &[], &shared, 2)
+                .unwrap();
+        assert!(batches.iter().all(|b| b.num_columns() == 1));
+        assert!(batches.iter().all(|b| b.column(0).data_type() == DataType::Float));
+    }
+}

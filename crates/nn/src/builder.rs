@@ -1,0 +1,148 @@
+//! Keras-like sequential model builder with random (Glorot) initialization.
+
+use crate::layer::{DenseLayer, Layer, LstmLayer};
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::{Activation, Matrix};
+
+/// Builds a [`Model`] layer by layer, mirroring how the paper's users would
+/// assemble a Keras `Sequential` model before handing it to ML-To-SQL or the
+/// ModelJoin. Weights are Glorot-uniform initialized from a caller-provided
+/// seed so every experiment is reproducible.
+pub struct ModelBuilder {
+    input_dim: usize,
+    layers: Vec<Layer>,
+    rng: StdRng,
+}
+
+impl ModelBuilder {
+    /// Start a model whose first layer consumes `input_dim` fact-table
+    /// columns.
+    pub fn new(input_dim: usize, seed: u64) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        ModelBuilder { input_dim, layers: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn current_width(&self) -> usize {
+        self.layers.last().map_or(self.input_dim, Layer::output_dim)
+    }
+
+    fn glorot(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..=limit))
+    }
+
+    /// Append a dense layer of `units` neurons.
+    pub fn dense(mut self, units: usize, activation: Activation) -> Self {
+        assert!(units > 0, "dense layer must have at least one unit");
+        let input = self.current_width();
+        let weights = Self::glorot(&mut self.rng, input, units);
+        self.layers.push(Layer::Dense(DenseLayer { weights, bias: vec![0.0; units], activation }));
+        self
+    }
+
+    /// Append a dense layer with non-zero random biases (exercises the bias
+    /// paths of every approach; plain Keras init has zero biases).
+    pub fn dense_biased(mut self, units: usize, activation: Activation) -> Self {
+        assert!(units > 0, "dense layer must have at least one unit");
+        let input = self.current_width();
+        let weights = Self::glorot(&mut self.rng, input, units);
+        let bias = (0..units).map(|_| self.rng.gen_range(-0.5..=0.5)).collect();
+        self.layers.push(Layer::Dense(DenseLayer { weights, bias, activation }));
+        self
+    }
+
+    /// Append an LSTM layer as the first layer. The builder's `input_dim`
+    /// must equal `timesteps * input_features` (paper Sec. 4: one input
+    /// column per time step).
+    pub fn lstm(mut self, units: usize, timesteps: usize, input_features: usize) -> Self {
+        assert!(self.layers.is_empty(), "LSTM is only supported as the first layer");
+        assert_eq!(
+            self.input_dim,
+            timesteps * input_features,
+            "input_dim must equal timesteps * input_features"
+        );
+        assert!(units > 0 && timesteps > 0 && input_features > 0);
+        let mut kernel = Vec::with_capacity(4);
+        let mut recurrent = Vec::with_capacity(4);
+        let mut bias = Vec::with_capacity(4);
+        for _ in 0..4 {
+            kernel.push(Self::glorot(&mut self.rng, input_features, units));
+            recurrent.push(Self::glorot(&mut self.rng, units, units));
+            bias.push(vec![0.0; units]);
+        }
+        // Keras initializes the forget-gate bias to 1 (unit_forget_bias).
+        bias[1].fill(1.0);
+        self.layers.push(Layer::Lstm(LstmLayer {
+            input_features,
+            timesteps,
+            kernel: kernel.try_into().expect("exactly four gates"),
+            recurrent: recurrent.try_into().expect("exactly four gates"),
+            bias: bias.try_into().expect("exactly four gates"),
+        }));
+        self
+    }
+
+    /// Finish the model.
+    pub fn build(self) -> Model {
+        Model::new(self.layers).expect("builder maintains layer invariants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_dimensions() {
+        let model = ModelBuilder::new(4, 7)
+            .dense(8, Activation::Relu)
+            .dense(3, Activation::Tanh)
+            .dense(1, Activation::Sigmoid)
+            .build();
+        assert_eq!(model.input_dim(), 4);
+        assert_eq!(model.output_dim(), 1);
+        assert_eq!(model.layers().len(), 3);
+    }
+
+    #[test]
+    fn same_seed_same_model_different_seed_different_model() {
+        let a = ModelBuilder::new(4, 42).dense(5, Activation::Relu).build();
+        let b = ModelBuilder::new(4, 42).dense(5, Activation::Relu).build();
+        let c = ModelBuilder::new(4, 43).dense(5, Activation::Relu).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn glorot_weights_are_bounded() {
+        let model = ModelBuilder::new(10, 1).dense(10, Activation::Linear).build();
+        let limit = (6.0f32 / 20.0).sqrt();
+        if let crate::layer::Layer::Dense(d) = &model.layers()[0] {
+            assert!(d.weights.as_slice().iter().all(|w| w.abs() <= limit));
+            assert!(d.bias.iter().all(|&b| b == 0.0));
+        } else {
+            panic!("expected dense layer");
+        }
+    }
+
+    #[test]
+    fn lstm_builder_sets_forget_bias() {
+        let model = ModelBuilder::new(3, 5).lstm(4, 3, 1).dense(1, Activation::Linear).build();
+        assert!(model.is_recurrent());
+        if let crate::layer::Layer::Lstm(l) = &model.layers()[0] {
+            assert!(l.bias[1].iter().all(|&b| b == 1.0), "forget gate bias must be 1");
+            assert!(l.bias[0].iter().all(|&b| b == 0.0));
+            assert_eq!(l.units(), 4);
+        } else {
+            panic!("expected lstm layer");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "timesteps * input_features")]
+    fn lstm_rejects_inconsistent_input_dim() {
+        let _ = ModelBuilder::new(4, 0).lstm(2, 3, 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Layer definitions: dense (fully connected) and LSTM.
+
+use tensor::{Activation, Matrix};
+
+/// The four LSTM gates, in Keras storage order.
+///
+/// `i` = input gate, `f` = forget gate, `c` = cell candidate, `o` = output
+/// gate — exactly the `x ∈ {i, f, c, o}` of the paper's Listing 5 and the
+/// `W_x/U_x/b_x` columns of the relational model representation (Sec. 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    I = 0,
+    F = 1,
+    C = 2,
+    O = 3,
+}
+
+impl Gate {
+    pub const ALL: [Gate; 4] = [Gate::I, Gate::F, Gate::C, Gate::O];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::I => "i",
+            Gate::F => "f",
+            Gate::C => "c",
+            Gate::O => "o",
+        }
+    }
+}
+
+/// A fully connected layer: `out = act(x · W + b)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseLayer {
+    /// Weight matrix of shape `input_dim x units` (paper's kernel matrix).
+    pub weights: Matrix,
+    /// Bias vector of length `units`.
+    pub bias: Vec<f32>,
+    /// Activation applied to every unit output.
+    pub activation: Activation,
+}
+
+impl DenseLayer {
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    pub fn units(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Reference (oracle) forward pass for a single input row.
+    pub fn forward_row(&self, input: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(input.len(), self.input_dim(), "dense layer input size mismatch");
+        out.clear();
+        for j in 0..self.units() {
+            let mut z = self.bias[j];
+            for (i, &x) in input.iter().enumerate() {
+                z += x * self.weights.get(i, j);
+            }
+            out.push(self.activation.apply_scalar(z));
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+/// An LSTM layer consuming a sequence of `timesteps` inputs of
+/// `input_features` values each and emitting the final hidden state
+/// (`return_sequences=False` in Keras terms, which is what the paper's
+/// time-series forecasting setup uses).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LstmLayer {
+    /// Number of values per time step (1 for the paper's scalar sine series).
+    pub input_features: usize,
+    /// How many time steps the layer looks into the past (3 in the paper).
+    pub timesteps: usize,
+    /// Kernel matrices `W_i, W_f, W_c, W_o`, each `input_features x units`.
+    pub kernel: [Matrix; 4],
+    /// Recurrent kernels `U_i, U_f, U_c, U_o`, each `units x units`.
+    pub recurrent: [Matrix; 4],
+    /// Bias vectors `b_i, b_f, b_c, b_o`, each of length `units`.
+    pub bias: [Vec<f32>; 4],
+}
+
+impl LstmLayer {
+    pub fn units(&self) -> usize {
+        self.kernel[0].cols()
+    }
+
+    /// Flattened input width: the fact table provides `timesteps *
+    /// input_features` columns per tuple (paper Sec. 4: "the number of input
+    /// columns is equal to the number of time steps").
+    pub fn input_dim(&self) -> usize {
+        self.timesteps * self.input_features
+    }
+
+    /// Reference (oracle) forward pass for a single flattened input row.
+    ///
+    /// Implements the Keras LSTM cell the paper bases both ML-To-SQL and the
+    /// native operator on:
+    ///
+    /// ```text
+    /// i_t = sigmoid(x_t·W_i + h·U_i + b_i)
+    /// f_t = sigmoid(x_t·W_f + h·U_f + b_f)
+    /// c~  = tanh   (x_t·W_c + h·U_c + b_c)
+    /// o_t = sigmoid(x_t·W_o + h·U_o + b_o)
+    /// c_t = f_t * c_{t-1} + i_t * c~
+    /// h_t = o_t * tanh(c_t)
+    /// ```
+    ///
+    /// (Listing 5 of the paper prints `SIGMOID(z_c)` where the Keras source
+    /// it cites has the sigmoid on `z_o`; we follow Keras.)
+    pub fn forward_row(&self, input: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(input.len(), self.input_dim(), "lstm layer input size mismatch");
+        let n = self.units();
+        let mut h = vec![0.0f32; n];
+        let mut c = vec![0.0f32; n];
+        let mut z = [vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]];
+
+        for t in 0..self.timesteps {
+            let x_t = &input[t * self.input_features..(t + 1) * self.input_features];
+            for g in Gate::ALL {
+                let gi = g.index();
+                let w = &self.kernel[gi];
+                let u = &self.recurrent[gi];
+                let b = &self.bias[gi];
+                for j in 0..n {
+                    let mut acc = b[j];
+                    for (fi, &x) in x_t.iter().enumerate() {
+                        acc += x * w.get(fi, j);
+                    }
+                    for (hi, &hv) in h.iter().enumerate() {
+                        acc += hv * u.get(hi, j);
+                    }
+                    z[gi][j] = acc;
+                }
+            }
+            for j in 0..n {
+                let i_g = Activation::Sigmoid.apply_scalar(z[Gate::I.index()][j]);
+                let f_g = Activation::Sigmoid.apply_scalar(z[Gate::F.index()][j]);
+                let c_cand = Activation::Tanh.apply_scalar(z[Gate::C.index()][j]);
+                let o_g = Activation::Sigmoid.apply_scalar(z[Gate::O.index()][j]);
+                c[j] = f_g * c[j] + i_g * c_cand;
+                h[j] = o_g * Activation::Tanh.apply_scalar(c[j]);
+            }
+        }
+        out.clear();
+        out.extend_from_slice(&h);
+    }
+
+    pub fn param_count(&self) -> usize {
+        let k: usize = self.kernel.iter().map(Matrix::len).sum();
+        let r: usize = self.recurrent.iter().map(Matrix::len).sum();
+        let b: usize = self.bias.iter().map(Vec::len).sum();
+        k + r + b
+    }
+}
+
+/// A model layer: the two architectures the paper identifies as relevant for
+/// relational data (Sec. 2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Layer {
+    Dense(DenseLayer),
+    Lstm(LstmLayer),
+}
+
+impl Layer {
+    /// Flattened input width this layer consumes.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.input_dim(),
+            Layer::Lstm(l) => l.input_dim(),
+        }
+    }
+
+    /// Width of the layer output.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.units(),
+            Layer::Lstm(l) => l.units(),
+        }
+    }
+
+    pub fn forward_row(&self, input: &[f32], out: &mut Vec<f32>) {
+        match self {
+            Layer::Dense(d) => d.forward_row(input, out),
+            Layer::Lstm(l) => l.forward_row(input, out),
+        }
+    }
+
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.param_count(),
+            Layer::Lstm(l) => l.param_count(),
+        }
+    }
+
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Dense(_) => "dense",
+            Layer::Lstm(_) => "lstm",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dense() -> DenseLayer {
+        DenseLayer {
+            weights: Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+            bias: vec![0.5, -0.5],
+            activation: Activation::Linear,
+        }
+    }
+
+    #[test]
+    fn dense_forward_matches_hand_computation() {
+        let layer = tiny_dense();
+        let mut out = Vec::new();
+        layer.forward_row(&[1.0, 1.0], &mut out);
+        // unit0: 1*1 + 1*3 + 0.5 = 4.5 ; unit1: 1*2 + 1*4 - 0.5 = 5.5
+        assert_eq!(out, vec![4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_relu_clamps() {
+        let mut layer = tiny_dense();
+        layer.activation = Activation::Relu;
+        layer.bias = vec![-10.0, 0.0];
+        let mut out = Vec::new();
+        layer.forward_row(&[1.0, 1.0], &mut out);
+        assert_eq!(out[0], 0.0);
+        assert!(out[1] > 0.0);
+    }
+
+    #[test]
+    fn gate_order_is_keras_order() {
+        assert_eq!(Gate::I.index(), 0);
+        assert_eq!(Gate::F.index(), 1);
+        assert_eq!(Gate::C.index(), 2);
+        assert_eq!(Gate::O.index(), 3);
+        assert_eq!(Gate::ALL.map(Gate::name), ["i", "f", "c", "o"]);
+    }
+
+    fn tiny_lstm() -> LstmLayer {
+        // 1 feature, 2 timesteps, 1 unit — small enough to verify by hand.
+        let m = |v: f32| Matrix::from_vec(1, 1, vec![v]);
+        LstmLayer {
+            input_features: 1,
+            timesteps: 2,
+            kernel: [m(0.5), m(0.4), m(0.3), m(0.2)],
+            recurrent: [m(0.1), m(0.2), m(0.3), m(0.4)],
+            bias: [vec![0.0], vec![0.0], vec![0.0], vec![0.0]],
+        }
+    }
+
+    fn sigmoid(x: f32) -> f32 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    #[test]
+    fn lstm_forward_matches_hand_unrolled_cell() {
+        let layer = tiny_lstm();
+        let x = [1.0f32, -0.5];
+        let mut out = Vec::new();
+        layer.forward_row(&x, &mut out);
+
+        // step 1 (h = c = 0)
+        let (mut h, mut c) = (0.0f32, 0.0f32);
+        for &xt in &x {
+            let zi = xt * 0.5 + h * 0.1;
+            let zf = xt * 0.4 + h * 0.2;
+            let zc = xt * 0.3 + h * 0.3;
+            let zo = xt * 0.2 + h * 0.4;
+            c = sigmoid(zf) * c + sigmoid(zi) * zc.tanh();
+            h = sigmoid(zo) * c.tanh();
+        }
+        assert!((out[0] - h).abs() < 1e-6, "got {} expected {}", out[0], h);
+    }
+
+    #[test]
+    fn lstm_zero_weights_give_zero_output() {
+        let z = Matrix::zeros(1, 1);
+        let layer = LstmLayer {
+            input_features: 1,
+            timesteps: 3,
+            kernel: [z.clone(), z.clone(), z.clone(), z.clone()],
+            recurrent: [z.clone(), z.clone(), z.clone(), z.clone()],
+            bias: [vec![0.0], vec![0.0], vec![0.0], vec![0.0]],
+        };
+        let mut out = Vec::new();
+        layer.forward_row(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn layer_dims() {
+        let d = Layer::Dense(tiny_dense());
+        assert_eq!(d.input_dim(), 2);
+        assert_eq!(d.output_dim(), 2);
+        assert_eq!(d.param_count(), 6);
+        let l = Layer::Lstm(tiny_lstm());
+        assert_eq!(l.input_dim(), 2);
+        assert_eq!(l.output_dim(), 1);
+        assert_eq!(l.param_count(), 12);
+        assert_eq!(l.kind_name(), "lstm");
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn dense_rejects_wrong_input_width() {
+        let mut out = Vec::new();
+        tiny_dense().forward_row(&[1.0], &mut out);
+    }
+}

@@ -1,0 +1,21 @@
+//! Neural network models for the in-database ML reproduction.
+//!
+//! The paper (Sec. 2) concludes that *dense (feed-forward) layers* and *LSTM
+//! layers* are the two architectures relevant to relational workloads, and
+//! every approach it evaluates operates on exactly those. This crate defines
+//! the model structure (a Keras-like sequential model of dense and LSTM
+//! layers), random initialization, a straightforward **reference inference
+//! implementation** that serves as the correctness oracle for all five
+//! approaches, and a self-contained text serialization (the stand-in for a
+//! saved Keras model file).
+
+pub mod builder;
+pub mod layer;
+pub mod model;
+pub mod paper;
+pub mod serial;
+
+pub use builder::ModelBuilder;
+pub use layer::{DenseLayer, Layer, LstmLayer};
+pub use model::Model;
+pub use tensor::Activation;

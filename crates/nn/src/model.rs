@@ -1,0 +1,183 @@
+//! Sequential models and the reference inference oracle.
+
+use crate::layer::Layer;
+use tensor::Matrix;
+
+/// A sequential neural network: the subclass of ML models the paper pushes
+/// into the DBMS (dense feed-forward networks and LSTM networks, Sec. 2).
+///
+/// The first layer consumes the flattened fact-table input columns; every
+/// later layer consumes the previous layer's output. Inference never mutates
+/// the model, so it can be shared freely across execution threads — the
+/// property the native operator's shared build phase relies on (Sec. 5.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Model {
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Build from layers, validating that consecutive dimensions match and
+    /// that an LSTM layer only appears first (the paper's time-series setup:
+    /// "typically a single LSTM layer is used", Sec. 6.1).
+    pub fn new(layers: Vec<Layer>) -> Result<Self, String> {
+        if layers.is_empty() {
+            return Err("model must have at least one layer".into());
+        }
+        for (idx, pair) in layers.windows(2).enumerate() {
+            if pair[0].output_dim() != pair[1].input_dim() {
+                return Err(format!(
+                    "layer {} outputs {} values but layer {} expects {}",
+                    idx,
+                    pair[0].output_dim(),
+                    idx + 1,
+                    pair[1].input_dim()
+                ));
+            }
+        }
+        for (idx, layer) in layers.iter().enumerate() {
+            if idx > 0 && matches!(layer, Layer::Lstm(_)) {
+                return Err(format!(
+                    "LSTM layer at position {idx}: recurrent layers are only \
+                     supported as the first layer"
+                ));
+            }
+        }
+        Ok(Model { layers })
+    }
+
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of input columns the fact table must provide.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Number of prediction columns produced per tuple.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("validated non-empty").output_dim()
+    }
+
+    /// Total number of trainable parameters (paper Sec. 6.2.1 discusses the
+    /// quadratic growth of this count with model width).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// True if the model starts with an LSTM layer.
+    pub fn is_recurrent(&self) -> bool {
+        matches!(self.layers[0], Layer::Lstm(_))
+    }
+
+    /// Reference inference for a single input row. This scalar path is the
+    /// correctness oracle every approach in the repository is tested against.
+    pub fn predict_row(&self, input: &[f32]) -> Vec<f32> {
+        let mut cur = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward_row(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Reference inference for a batch: `inputs` is `n x input_dim`
+    /// row-major, the result is `n x output_dim`.
+    pub fn predict(&self, inputs: &Matrix) -> Matrix {
+        assert_eq!(
+            inputs.cols(),
+            self.input_dim(),
+            "input matrix width does not match model input dimension"
+        );
+        let mut out = Matrix::zeros(inputs.rows(), self.output_dim());
+        for r in 0..inputs.rows() {
+            let pred = self.predict_row(inputs.row(r));
+            out.row_mut(r).copy_from_slice(&pred);
+        }
+        out
+    }
+
+    /// One-line architecture summary, e.g. `dense(4->32) dense(32->1)`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| format!("{}({}->{})", l.kind_name(), l.input_dim(), l.output_dim()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{DenseLayer, LstmLayer};
+    use tensor::Activation;
+
+    fn dense(input: usize, units: usize, act: Activation) -> Layer {
+        Layer::Dense(DenseLayer {
+            weights: Matrix::from_fn(input, units, |r, c| ((r + c) as f32 * 0.1).sin()),
+            bias: vec![0.01; units],
+            activation: act,
+        })
+    }
+
+    #[test]
+    fn new_rejects_dimension_mismatch() {
+        let err = Model::new(vec![
+            dense(2, 3, Activation::Relu),
+            dense(4, 1, Activation::Linear),
+        ])
+        .unwrap_err();
+        assert!(err.contains("outputs 3"), "{err}");
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(Model::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_inner_lstm() {
+        let z = Matrix::zeros(3, 3);
+        let lstm = Layer::Lstm(LstmLayer {
+            input_features: 1,
+            timesteps: 3,
+            kernel: [
+                Matrix::zeros(1, 3),
+                Matrix::zeros(1, 3),
+                Matrix::zeros(1, 3),
+                Matrix::zeros(1, 3),
+            ],
+            recurrent: [z.clone(), z.clone(), z.clone(), z.clone()],
+            bias: [vec![0.0; 3], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]],
+        });
+        let err = Model::new(vec![dense(4, 3, Activation::Relu), lstm]).unwrap_err();
+        assert!(err.contains("first layer"), "{err}");
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row() {
+        let model =
+            Model::new(vec![dense(3, 4, Activation::Tanh), dense(4, 2, Activation::Sigmoid)])
+                .unwrap();
+        assert_eq!(model.input_dim(), 3);
+        assert_eq!(model.output_dim(), 2);
+        let inputs = Matrix::from_fn(5, 3, |r, c| (r as f32) - (c as f32) * 0.5);
+        let batch = model.predict(&inputs);
+        for r in 0..5 {
+            let row = model.predict_row(inputs.row(r));
+            assert_eq!(batch.row(r), &row[..]);
+        }
+    }
+
+    #[test]
+    fn param_count_and_summary() {
+        let model =
+            Model::new(vec![dense(4, 8, Activation::Relu), dense(8, 1, Activation::Linear)])
+                .unwrap();
+        assert_eq!(model.param_count(), 4 * 8 + 8 + 8 + 1);
+        assert_eq!(model.summary(), "dense(4->8) dense(8->1)");
+        assert!(!model.is_recurrent());
+    }
+}

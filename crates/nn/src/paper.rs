@@ -1,0 +1,99 @@
+//! The exact model families of the paper's evaluation (Sec. 6.1).
+
+use crate::builder::ModelBuilder;
+use crate::model::Model;
+use tensor::Activation;
+
+/// Model widths swept by both experiments.
+pub const PAPER_WIDTHS: [usize; 3] = [32, 128, 512];
+/// Model depths swept by the dense experiment.
+pub const PAPER_DEPTHS: [usize; 3] = [2, 4, 8];
+/// Iris has four feature columns.
+pub const IRIS_FEATURES: usize = 4;
+/// The LSTM experiment uses 3 time steps per forecast.
+pub const LSTM_TIMESTEPS: usize = 3;
+
+/// The dense evaluation model: `depth` hidden dense layers of `width`
+/// neurons on 4 Iris features, followed by a single-neuron output layer —
+/// "a model of width 128 and depth 4 has 4 dense layers ... and an output
+/// layer of size 1" (Sec. 6.1).
+pub fn dense_model(width: usize, depth: usize, seed: u64) -> Model {
+    assert!(depth >= 1);
+    let mut b = ModelBuilder::new(IRIS_FEATURES, seed);
+    for _ in 0..depth {
+        b = b.dense_biased(width, Activation::Relu);
+    }
+    b.dense_biased(1, Activation::Sigmoid).build()
+}
+
+/// The LSTM evaluation model: one LSTM layer of `width` units over 3 scalar
+/// time steps, followed by a single-neuron output layer (Sec. 6.1).
+pub fn lstm_model(width: usize, seed: u64) -> Model {
+    ModelBuilder::new(LSTM_TIMESTEPS, seed)
+        .lstm(width, LSTM_TIMESTEPS, 1)
+        .dense_biased(1, Activation::Linear)
+        .build()
+}
+
+/// Parameter count the paper states for dense models:
+/// `4*w + (d-1)*w^2 + w` (Sec. 6.2.1 computes `4*512 + 7*512^2 + 512` for
+/// width 512, depth 8) — plus the biases our models carry.
+pub fn dense_weight_count(width: usize, depth: usize) -> usize {
+    IRIS_FEATURES * width + (depth - 1) * width * width + width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_model_shape() {
+        let m = dense_model(128, 4, 1);
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.output_dim(), 1);
+        assert_eq!(m.layers().len(), 5); // 4 hidden + output
+    }
+
+    #[test]
+    fn paper_parameter_arithmetic_matches_sec_621() {
+        // "the model with width 512 and depth 8 having
+        //  4*512 + 7*512^2 + 512 ≈ 1.8e6 parameters"
+        let weights = dense_weight_count(512, 8);
+        assert_eq!(weights, 4 * 512 + 7 * 512 * 512 + 512);
+        assert!((weights as f64 - 1.8e6).abs() / 1.8e6 < 0.03);
+
+        // "a model of same depth but 128 neurons per layer only has around
+        //  115.000 parameters"
+        let weights_128 = dense_weight_count(128, 8);
+        assert!((weights_128 as f64 - 115_000.0).abs() / 115_000.0 < 0.02);
+
+        // Our models additionally carry one bias per neuron; the paper's
+        // final +512 term is the output layer's weights.
+        let m = dense_model(512, 8, 1);
+        let biases = 8 * 512 + 1;
+        assert_eq!(m.param_count(), dense_weight_count(512, 8) + biases);
+    }
+
+    #[test]
+    fn lstm_model_shape() {
+        let m = lstm_model(32, 2);
+        assert!(m.is_recurrent());
+        assert_eq!(m.input_dim(), 3);
+        assert_eq!(m.output_dim(), 1);
+        // LSTM params: 4 * (1*32 kernel + 32*32 recurrent + 32 bias)
+        let lstm_params = 4 * (32 + 32 * 32 + 32);
+        assert_eq!(m.layers()[0].param_count(), lstm_params);
+    }
+
+    #[test]
+    fn all_paper_models_construct() {
+        for w in PAPER_WIDTHS {
+            for d in PAPER_DEPTHS {
+                let m = dense_model(w, d, 0);
+                assert_eq!(m.layers().len(), d + 1);
+            }
+            let l = lstm_model(w, 0);
+            assert_eq!(l.layers().len(), 2);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Self-contained text serialization of models.
+//!
+//! Plays the role of the "saved model" file that the paper's Python UDF
+//! variant loads (Sec. 6.1) and that ML-To-SQL imports. The format is a
+//! line-oriented text file; floats use Rust's shortest round-trip formatting,
+//! so save → load reproduces the model bit-exactly.
+
+use crate::layer::{DenseLayer, Gate, Layer, LstmLayer};
+use crate::model::Model;
+use std::fmt::Write as _;
+use tensor::{Activation, Matrix};
+
+const MAGIC: &str = "nnmodel v1";
+
+/// Serialize a model to the text format.
+pub fn to_string(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "layers {}", model.layers().len());
+    for layer in model.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                let _ = writeln!(
+                    out,
+                    "dense {} {} {}",
+                    d.input_dim(),
+                    d.units(),
+                    d.activation.name()
+                );
+                write_floats(&mut out, "weights", d.weights.as_slice());
+                write_floats(&mut out, "bias", &d.bias);
+            }
+            Layer::Lstm(l) => {
+                let _ = writeln!(
+                    out,
+                    "lstm {} {} {}",
+                    l.input_features,
+                    l.timesteps,
+                    l.units()
+                );
+                for g in Gate::ALL {
+                    write_floats(
+                        &mut out,
+                        &format!("kernel_{}", g.name()),
+                        l.kernel[g.index()].as_slice(),
+                    );
+                }
+                for g in Gate::ALL {
+                    write_floats(
+                        &mut out,
+                        &format!("recurrent_{}", g.name()),
+                        l.recurrent[g.index()].as_slice(),
+                    );
+                }
+                for g in Gate::ALL {
+                    write_floats(&mut out, &format!("bias_{}", g.name()), &l.bias[g.index()]);
+                }
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn write_floats(out: &mut String, tag: &str, values: &[f32]) {
+    out.push_str(tag);
+    for v in values {
+        let _ = write!(out, " {v}");
+    }
+    out.push('\n');
+}
+
+/// Parse a model from the text format.
+pub fn from_str(text: &str) -> Result<Model, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty model file")?;
+    if header.trim() != MAGIC {
+        return Err(format!("bad header: expected {MAGIC:?}, found {header:?}"));
+    }
+    let count_line = lines.next().ok_or("missing layer count")?;
+    let n: usize = count_line
+        .strip_prefix("layers ")
+        .ok_or("malformed layer count line")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad layer count: {e}"))?;
+
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let decl = lines.next().ok_or("unexpected end of file in layer list")?;
+        let mut parts = decl.split_whitespace();
+        match parts.next() {
+            Some("dense") => {
+                let input: usize = parse_field(parts.next(), "dense input dim")?;
+                let units: usize = parse_field(parts.next(), "dense units")?;
+                let act: Activation = parts
+                    .next()
+                    .ok_or("missing dense activation")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                let weights = read_floats(lines.next(), "weights", input * units)?;
+                let bias = read_floats(lines.next(), "bias", units)?;
+                layers.push(Layer::Dense(DenseLayer {
+                    weights: Matrix::from_vec(input, units, weights),
+                    bias,
+                    activation: act,
+                }));
+            }
+            Some("lstm") => {
+                let features: usize = parse_field(parts.next(), "lstm input features")?;
+                let timesteps: usize = parse_field(parts.next(), "lstm timesteps")?;
+                let units: usize = parse_field(parts.next(), "lstm units")?;
+                let mut kernel = Vec::with_capacity(4);
+                for g in Gate::ALL {
+                    let vals = read_floats(
+                        lines.next(),
+                        &format!("kernel_{}", g.name()),
+                        features * units,
+                    )?;
+                    kernel.push(Matrix::from_vec(features, units, vals));
+                }
+                let mut recurrent = Vec::with_capacity(4);
+                for g in Gate::ALL {
+                    let vals = read_floats(
+                        lines.next(),
+                        &format!("recurrent_{}", g.name()),
+                        units * units,
+                    )?;
+                    recurrent.push(Matrix::from_vec(units, units, vals));
+                }
+                let mut bias = Vec::with_capacity(4);
+                for g in Gate::ALL {
+                    bias.push(read_floats(lines.next(), &format!("bias_{}", g.name()), units)?);
+                }
+                layers.push(Layer::Lstm(LstmLayer {
+                    input_features: features,
+                    timesteps,
+                    kernel: kernel.try_into().expect("four gates"),
+                    recurrent: recurrent.try_into().expect("four gates"),
+                    bias: bias.try_into().expect("four gates"),
+                }));
+            }
+            other => return Err(format!("unknown layer kind: {other:?}")),
+        }
+    }
+    match lines.next() {
+        Some("end") => Model::new(layers),
+        other => Err(format!("expected trailing 'end', found {other:?}")),
+    }
+}
+
+fn parse_field(field: Option<&str>, what: &str) -> Result<usize, String> {
+    field
+        .ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|e| format!("bad {what}: {e}"))
+}
+
+fn read_floats(line: Option<&str>, tag: &str, expected: usize) -> Result<Vec<f32>, String> {
+    let line = line.ok_or_else(|| format!("unexpected end of file before {tag}"))?;
+    let rest = line
+        .strip_prefix(tag)
+        .ok_or_else(|| format!("expected line starting with {tag:?}, found {line:?}"))?;
+    let values: Result<Vec<f32>, _> = rest.split_whitespace().map(str::parse).collect();
+    let values = values.map_err(|e| format!("bad float in {tag}: {e}"))?;
+    if values.len() != expected {
+        return Err(format!("{tag}: expected {expected} floats, found {}", values.len()));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::paper;
+
+    #[test]
+    fn dense_round_trip_is_bit_exact() {
+        let model = ModelBuilder::new(4, 99)
+            .dense_biased(8, Activation::Relu)
+            .dense_biased(1, Activation::Sigmoid)
+            .build();
+        let text = to_string(&model);
+        let back = from_str(&text).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn lstm_round_trip_is_bit_exact() {
+        let model = paper::lstm_model(16, 7);
+        let back = from_str(&to_string(&model)).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_str("garbage\n").is_err());
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let model = paper::dense_model(8, 2, 1);
+        let text = to_string(&model);
+        let truncated: String =
+            text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(from_str(&truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_float_count() {
+        let text = "nnmodel v1\nlayers 1\ndense 2 2 linear\nweights 1 2 3\nbias 0 0\nend\n";
+        let err = from_str(text).unwrap_err();
+        assert!(err.contains("expected 4 floats"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_layer_kind() {
+        let text = "nnmodel v1\nlayers 1\nconv 2 2 relu\nend\n";
+        assert!(from_str(text).unwrap_err().contains("unknown layer kind"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Boxed dynamically-typed values — the Python object representation.
+//!
+//! Everything crossing into "Python" becomes a heap-boxed, tag-dispatched
+//! value, and a row becomes a list of such objects. Converting a fetched
+//! result set to the runtime's ndarray therefore costs one dynamic dispatch
+//! and one unbox per cell — the representational overhead (and the memory
+//! blow-up of Table 3's TF(Python) column) that the paper's client
+//! baseline pays.
+
+/// A Python-style object. Numeric leaves are individually heap-allocated,
+/// as CPython allocates a `PyFloatObject` per value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PyObject {
+    Float(Box<f64>),
+    Int(Box<i64>),
+    Str(String),
+    List(Vec<PyObject>),
+    None,
+}
+
+impl PyObject {
+    /// `float(x)`.
+    pub fn float(v: f64) -> PyObject {
+        PyObject::Float(Box::new(v))
+    }
+
+    /// Dynamic conversion to float, as `numpy.asarray(..., dtype=float32)`
+    /// performs per element.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            PyObject::Float(v) => Ok(**v),
+            PyObject::Int(v) => Ok(**v as f64),
+            PyObject::Str(s) => {
+                s.parse().map_err(|e| format!("cannot convert {s:?} to float: {e}"))
+            }
+            other => Err(format!("cannot convert {other:?} to float")),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiment):
+    /// CPython's `PyFloatObject` is 24 bytes plus pointer storage.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            PyObject::Float(_) | PyObject::Int(_) => 24 + 8,
+            PyObject::Str(s) => 49 + s.len(),
+            PyObject::List(items) => {
+                56 + items.iter().map(PyObject::approx_bytes).sum::<usize>()
+                    + items.len() * 8
+            }
+            PyObject::None => 8,
+        }
+    }
+}
+
+/// Box a fetched row into a Python list of floats.
+pub fn box_row(values: &[f64]) -> PyObject {
+    PyObject::List(values.iter().map(|&v| PyObject::float(v)).collect())
+}
+
+/// Convert a list of boxed rows to a contiguous row-major `f32` buffer —
+/// the `numpy.asarray` step before calling the runtime.
+pub fn rows_to_ndarray(rows: &[PyObject], columns: usize) -> Result<Vec<f32>, String> {
+    let mut out = Vec::with_capacity(rows.len() * columns);
+    for (i, row) in rows.iter().enumerate() {
+        let PyObject::List(cells) = row else {
+            return Err(format!("row {i} is not a list"));
+        };
+        if cells.len() != columns {
+            return Err(format!("row {i} has {} cells, expected {columns}", cells.len()));
+        }
+        for cell in cells {
+            out.push(cell.as_f64()? as f32);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxing_and_unboxing_round_trips() {
+        let row = box_row(&[1.0, -2.5, 3.75]);
+        let arr = rows_to_ndarray(&[row], 3).unwrap();
+        assert_eq!(arr, vec![1.0f32, -2.5, 3.75]);
+    }
+
+    #[test]
+    fn dynamic_conversions() {
+        assert_eq!(PyObject::Int(Box::new(3)).as_f64().unwrap(), 3.0);
+        assert_eq!(PyObject::Str("2.5".into()).as_f64().unwrap(), 2.5);
+        assert!(PyObject::None.as_f64().is_err());
+        assert!(PyObject::List(vec![]).as_f64().is_err());
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let rows = vec![box_row(&[1.0, 2.0]), box_row(&[3.0])];
+        assert!(rows_to_ndarray(&rows, 2).is_err());
+    }
+
+    #[test]
+    fn footprint_reflects_boxing_overhead() {
+        // 100 floats as Python objects cost far more than 800 raw bytes.
+        let row = box_row(&vec![0.0; 100]);
+        assert!(row.approx_bytes() > 100 * 32);
+    }
+}

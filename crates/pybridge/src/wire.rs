@@ -1,0 +1,276 @@
+//! An ODBC-like text wire protocol.
+//!
+//! Mirrors the cost structure of fetching rows from a database over ODBC:
+//! every row becomes a framed text message (type tag, length prefix, ASCII
+//! field encoding with delimiters, additive checksum) that the receiving
+//! side must parse field by field. This is deliberately row-oriented —
+//! the transport the paper's client baseline pays for.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Message types on the wire.
+const MSG_HEADER: u8 = b'H';
+const MSG_ROW: u8 = b'R';
+const MSG_END: u8 = b'E';
+
+/// Serializes result rows into framed messages.
+pub struct WireWriter {
+    buf: BytesMut,
+    columns: usize,
+    scratch: String,
+}
+
+impl WireWriter {
+    /// Start a stream of rows of `columns` numeric fields.
+    pub fn new(columns: usize) -> WireWriter {
+        let mut w = WireWriter { buf: BytesMut::with_capacity(4096), columns, scratch: String::new() };
+        // Header frame: column count.
+        w.frame(MSG_HEADER, &columns.to_string().into_bytes());
+        w
+    }
+
+    fn frame(&mut self, tag: u8, payload: &[u8]) {
+        self.buf.put_u8(tag);
+        self.buf.put_u32(payload.len() as u32);
+        self.buf.put_slice(payload);
+        let checksum: u8 = payload.iter().fold(0u8, |a, b| a.wrapping_add(*b));
+        self.buf.put_u8(checksum);
+    }
+
+    /// Append one row.
+    pub fn write_row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.columns, "row arity mismatch");
+        self.scratch.clear();
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.scratch.push('|');
+            }
+            // ASCII float encoding, the way text-protocol ODBC drivers ship
+            // doubles.
+            self.scratch.push_str(&format!("{v:.17e}"));
+        }
+        let payload = std::mem::take(&mut self.scratch);
+        self.frame(MSG_ROW, payload.as_bytes());
+        self.scratch = payload;
+    }
+
+    /// Finish the stream and take the encoded bytes.
+    pub fn finish(mut self) -> BytesMut {
+        self.frame(MSG_END, &[]);
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Split off everything encoded so far (streaming fetch chunks) without
+    /// ending the stream.
+    pub fn take_chunk(&mut self) -> BytesMut {
+        self.buf.split()
+    }
+}
+
+/// End the stream explicitly (when using chunked sends).
+pub fn end_frame() -> BytesMut {
+    let mut buf = BytesMut::with_capacity(8);
+    buf.put_u8(MSG_END);
+    buf.put_u32(0);
+    buf.put_u8(0);
+    buf
+}
+
+/// Incremental parser of the wire stream.
+pub struct WireReader {
+    buf: BytesMut,
+    columns: Option<usize>,
+    finished: bool,
+}
+
+/// One parsed event.
+#[derive(Debug, PartialEq)]
+pub enum WireEvent {
+    Header { columns: usize },
+    Row(Vec<f64>),
+    End,
+}
+
+impl Default for WireReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireReader {
+    pub fn new() -> WireReader {
+        WireReader { buf: BytesMut::new(), columns: None, finished: false }
+    }
+
+    /// Feed received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Parse the next complete frame, if any.
+    pub fn next_event(&mut self) -> Result<Option<WireEvent>, String> {
+        if self.buf.len() < 5 {
+            return Ok(None);
+        }
+        let tag = self.buf[0];
+        let len = u32::from_be_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]])
+            as usize;
+        if self.buf.len() < 5 + len + 1 {
+            return Ok(None);
+        }
+        self.buf.advance(5);
+        let payload = self.buf.split_to(len);
+        let checksum = self.buf[0];
+        self.buf.advance(1);
+        let computed: u8 = payload.iter().fold(0u8, |a, b| a.wrapping_add(*b));
+        if computed != checksum {
+            return Err(format!("checksum mismatch in frame {:?}", tag as char));
+        }
+        match tag {
+            MSG_HEADER => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|e| format!("bad header: {e}"))?;
+                let columns: usize =
+                    text.parse().map_err(|e| format!("bad column count: {e}"))?;
+                self.columns = Some(columns);
+                Ok(Some(WireEvent::Header { columns }))
+            }
+            MSG_ROW => {
+                let columns = self.columns.ok_or("row before header")?;
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|e| format!("bad row encoding: {e}"))?;
+                let mut values = Vec::with_capacity(columns);
+                for field in text.split('|') {
+                    values.push(
+                        field.parse::<f64>().map_err(|e| format!("bad field {field:?}: {e}"))?,
+                    );
+                }
+                if values.len() != columns {
+                    return Err(format!(
+                        "row has {} fields, expected {columns}",
+                        values.len()
+                    ));
+                }
+                Ok(Some(WireEvent::Row(values)))
+            }
+            MSG_END => {
+                self.finished = true;
+                Ok(Some(WireEvent::End))
+            }
+            other => Err(format!("unknown frame tag {other:#x}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_values_exactly() {
+        let rows = vec![
+            vec![1.0, -2.5, 3.25e10],
+            vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0],
+        ];
+        let mut w = WireWriter::new(3);
+        for r in &rows {
+            w.write_row(r);
+        }
+        let bytes = w.finish();
+        let mut reader = WireReader::new();
+        reader.feed(&bytes);
+        assert_eq!(reader.next_event().unwrap(), Some(WireEvent::Header { columns: 3 }));
+        for r in &rows {
+            let WireEvent::Row(values) = reader.next_event().unwrap().unwrap() else {
+                panic!("expected row")
+            };
+            assert_eq!(&values, r);
+        }
+        assert_eq!(reader.next_event().unwrap(), Some(WireEvent::End));
+        assert!(reader.finished());
+    }
+
+    #[test]
+    fn incremental_feeding_works_byte_by_byte() {
+        let mut w = WireWriter::new(1);
+        w.write_row(&[42.0]);
+        let bytes = w.finish();
+        let mut reader = WireReader::new();
+        let mut events = Vec::new();
+        for b in bytes.iter() {
+            reader.feed(&[*b]);
+            while let Some(e) = reader.next_event().unwrap() {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1], WireEvent::Row(vec![42.0]));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut w = WireWriter::new(1);
+        w.write_row(&[1.0]);
+        let mut bytes = w.finish().to_vec();
+        // Flip a payload byte of the row frame (past the header frame).
+        let idx = bytes.len() - 10;
+        bytes[idx] ^= 0xff;
+        let mut reader = WireReader::new();
+        reader.feed(&bytes);
+        let mut saw_error = false;
+        loop {
+            match reader.next_event() {
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+        assert!(saw_error);
+    }
+
+    #[test]
+    fn chunked_streaming() {
+        let mut w = WireWriter::new(2);
+        w.write_row(&[1.0, 2.0]);
+        let chunk1 = w.take_chunk();
+        w.write_row(&[3.0, 4.0]);
+        let chunk2 = w.take_chunk();
+        let mut reader = WireReader::new();
+        reader.feed(&chunk1);
+        reader.feed(&chunk2);
+        reader.feed(&end_frame());
+        let mut rows = 0;
+        while let Some(e) = reader.next_event().unwrap() {
+            if matches!(e, WireEvent::Row(_)) {
+                rows += 1;
+            }
+            if matches!(e, WireEvent::End) {
+                break;
+            }
+        }
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked_on_write() {
+        let mut w = WireWriter::new(2);
+        w.write_row(&[1.0]);
+    }
+}

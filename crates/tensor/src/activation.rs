@@ -1,0 +1,128 @@
+//! Activation functions shared by every inference approach.
+//!
+//! The paper's ML-To-SQL framework supports linear, ReLU, sigmoid and tanh
+//! (Sec. 4.3.5); the native operator ships CPU and GPU kernels for the same
+//! set (Sec. 5.4). All approaches in this repository route through the
+//! definitions below so that results stay bit-comparable.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An activation function applied element-wise to a layer output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Identity: `f(x) = x`.
+    Linear,
+    /// Rectified linear unit: `f(x) = max(0, x)`.
+    Relu,
+    /// Logistic sigmoid: `f(x) = 1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply to a single value.
+    #[inline]
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Apply in place to a buffer (the operator's vectorized kernel).
+    pub fn apply(self, xs: &mut [f32]) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for x in xs {
+                    *x = x.max(0.0);
+                }
+            }
+            Activation::Sigmoid => {
+                for x in xs {
+                    *x = 1.0 / (1.0 + (-*x).exp());
+                }
+            }
+            Activation::Tanh => {
+                for x in xs {
+                    *x = x.tanh();
+                }
+            }
+        }
+    }
+
+    /// Stable lowercase name, used in SQL generation and model serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+        }
+    }
+
+    /// All supported activations.
+    pub fn all() -> [Activation; 4] {
+        [Activation::Linear, Activation::Relu, Activation::Sigmoid, Activation::Tanh]
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Activation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(Activation::Linear),
+            "relu" => Ok(Activation::Relu),
+            "sigmoid" => Ok(Activation::Sigmoid),
+            "tanh" => Ok(Activation::Tanh),
+            other => Err(format!("unknown activation function: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_values() {
+        assert_eq!(Activation::Linear.apply_scalar(-2.5), -2.5);
+        assert_eq!(Activation::Relu.apply_scalar(-2.5), 0.0);
+        assert_eq!(Activation::Relu.apply_scalar(2.5), 2.5);
+        assert!((Activation::Sigmoid.apply_scalar(0.0) - 0.5).abs() < 1e-7);
+        assert!((Activation::Tanh.apply_scalar(0.0)).abs() < 1e-7);
+        assert!(Activation::Sigmoid.apply_scalar(100.0) <= 1.0);
+        assert!(Activation::Sigmoid.apply_scalar(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn vectorized_matches_scalar() {
+        let input: Vec<f32> = (-20..20).map(|i| i as f32 * 0.31).collect();
+        for act in Activation::all() {
+            let mut buf = input.clone();
+            act.apply(&mut buf);
+            for (&out, &x) in buf.iter().zip(&input) {
+                assert_eq!(out, act.apply_scalar(x), "{act} mismatch at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for act in Activation::all() {
+            assert_eq!(act.name().parse::<Activation>().unwrap(), act);
+        }
+        assert!("softmax".parse::<Activation>().is_err());
+    }
+}

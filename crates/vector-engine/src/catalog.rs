@@ -1,0 +1,89 @@
+//! Table catalog.
+
+use crate::config::EngineConfig;
+use crate::error::{EngineError, Result};
+use crate::storage::{Schema, Table};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of tables. Table names are case-insensitive.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        config: &EngineConfig,
+    ) -> Result<Arc<Table>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(EngineError::Catalog(format!("table {key:?} already exists")));
+        }
+        let table = Arc::new(Table::new(&key, schema, config));
+        tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| EngineError::Catalog(format!("unknown table {key:?}")))
+    }
+
+    /// Drop a table; errors if missing unless `if_exists`.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let removed = self.tables.write().remove(&key).is_some();
+        if !removed && !if_exists {
+            return Err(EngineError::Catalog(format!("unknown table {key:?}")));
+        }
+        Ok(())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::ColumnDef;
+    use crate::types::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("x", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig::test_small();
+        cat.create_table("Facts", schema(), &cfg).unwrap();
+        assert!(cat.table("FACTS").is_ok());
+        assert!(cat.create_table("facts", schema(), &cfg).is_err());
+        assert_eq!(cat.table_names(), vec!["facts"]);
+        cat.drop_table("facts", false).unwrap();
+        assert!(cat.table("facts").is_err());
+        assert!(cat.drop_table("facts", false).is_err());
+        cat.drop_table("facts", true).unwrap();
+    }
+}

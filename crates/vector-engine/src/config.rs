@@ -1,0 +1,62 @@
+//! Engine configuration.
+
+/// Engine tuning knobs. Defaults reproduce the paper's evaluation setup
+/// (Sec. 6.1): "the batch size is equal to the database engine's vector size
+/// of 1024. Tables are partitioned into 12 partitions and the engine runs
+/// with a parallelism level of 12."
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Rows per column vector / storage block.
+    pub vector_size: usize,
+    /// Number of table partitions.
+    pub partitions: usize,
+    /// Number of worker threads for partition-parallel queries.
+    pub parallelism: usize,
+    /// Enable min/max (SMA) block pruning in scans — the optimization
+    /// ML-To-SQL's layer filters rely on (paper Sec. 4.4).
+    pub sma_pruning: bool,
+    /// Enable extraction of hash joins from cross join + equality filters.
+    pub hash_join: bool,
+    /// Enable predicate pushdown through projections and joins.
+    pub predicate_pushdown: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            vector_size: 1024,
+            partitions: 12,
+            parallelism: 12,
+            sma_pruning: true,
+            hash_join: true,
+            predicate_pushdown: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration for unit tests: tiny vectors force multi-batch paths.
+    pub fn test_small() -> Self {
+        EngineConfig { vector_size: 4, partitions: 3, parallelism: 2, ..Default::default() }
+    }
+
+    /// Serial execution (one partition, one thread) — the baseline for the
+    /// parallelism ablation.
+    pub fn serial() -> Self {
+        EngineConfig { partitions: 1, parallelism: 1, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = EngineConfig::default();
+        assert_eq!(c.vector_size, 1024);
+        assert_eq!(c.partitions, 12);
+        assert_eq!(c.parallelism, 12);
+        assert!(c.sma_pruning && c.hash_join && c.predicate_pushdown);
+    }
+}

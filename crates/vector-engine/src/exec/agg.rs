@@ -1,0 +1,372 @@
+//! Hash aggregation.
+
+use crate::column::{Batch, ColumnVector};
+use crate::error::{EngineError, Result};
+use crate::exec::join::{row_key, KeyPart};
+use crate::exec::physical::Operator;
+use crate::expr::Expr;
+use crate::plan::logical::{AggFunc, AggSpec};
+use crate::types::{DataType, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Per-group accumulator.
+#[derive(Clone, Debug)]
+enum AggState {
+    SumInt(i64),
+    SumFloat(f64),
+    Count(i64),
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(spec: &AggSpec, result_type: DataType) -> AggState {
+        match spec.func {
+            AggFunc::Sum => {
+                if result_type == DataType::Int {
+                    AggState::SumInt(0)
+                } else {
+                    AggState::SumFloat(0.0)
+                }
+            }
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::SumInt(acc) => {
+                *acc += value.expect("SUM has an argument").as_i64()?;
+            }
+            AggState::SumFloat(acc) => {
+                *acc += value.expect("SUM has an argument").as_f64()?;
+            }
+            AggState::Avg { sum, count } => {
+                *sum += value.expect("AVG has an argument").as_f64()?;
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                let v = value.expect("MIN has an argument");
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Less) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                let v = value.expect("MAX has an argument");
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Greater) {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Result<Value> {
+        Ok(match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumInt(v) => Value::Int(v),
+            AggState::SumFloat(v) => Value::Float(v),
+            // SQL's AVG over an empty group is NULL; in the NULL-free engine
+            // the global empty case surfaces as 0.0 (documented).
+            AggState::Avg { sum, count } => {
+                Value::Float(if count == 0 { 0.0 } else { sum / count as f64 })
+            }
+            AggState::Min(v) => v.ok_or_else(|| {
+                EngineError::Execution(
+                    "MIN over empty input requires NULL support".into(),
+                )
+            })?,
+            AggState::Max(v) => v.ok_or_else(|| {
+                EngineError::Execution(
+                    "MAX over empty input requires NULL support".into(),
+                )
+            })?,
+        })
+    }
+}
+
+/// Hash-based grouping aggregation. Consumes its whole input (the pipeline
+/// breaker the paper calls out in Sec. 4.4), then emits `vector_size`
+/// batches of group rows in first-seen order (deterministic results).
+pub struct HashAggExec {
+    input: Box<dyn Operator>,
+    group: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    /// Output column types: group columns then aggregate columns.
+    output_types: Vec<DataType>,
+    vector_size: usize,
+    /// Result after the build phase.
+    result: Option<Batch>,
+    offset: usize,
+}
+
+impl HashAggExec {
+    pub fn new(
+        input: Box<dyn Operator>,
+        group: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        output_types: Vec<DataType>,
+        vector_size: usize,
+    ) -> HashAggExec {
+        HashAggExec {
+            input,
+            group,
+            aggs,
+            output_types,
+            vector_size: vector_size.max(1),
+            result: None,
+            offset: 0,
+        }
+    }
+
+    fn compute(&mut self) -> Result<()> {
+        let ngroup = self.group.len();
+        let agg_types: Vec<DataType> = self.output_types[ngroup..].to_vec();
+
+        // group key -> index into `groups`
+        let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+        // first-seen group values + accumulator states
+        let mut group_rows: Vec<Vec<Value>> = Vec::new();
+        let mut states: Vec<Vec<AggState>> = Vec::new();
+
+        while let Some(batch) = self.input.next()? {
+            if batch.num_rows() == 0 {
+                continue;
+            }
+            let key_cols: Result<Vec<ColumnVector>> =
+                self.group.iter().map(|e| e.eval(&batch)).collect();
+            let key_cols = key_cols?;
+            let arg_cols: Result<Vec<Option<ColumnVector>>> = self
+                .aggs
+                .iter()
+                .map(|s| s.arg.as_ref().map(|a| a.eval(&batch)).transpose())
+                .collect();
+            let arg_cols = arg_cols?;
+            for row in 0..batch.num_rows() {
+                let key = row_key(&key_cols, row);
+                let gi = match index.get(&key) {
+                    Some(&gi) => gi,
+                    None => {
+                        let gi = group_rows.len();
+                        index.insert(key, gi);
+                        group_rows
+                            .push(key_cols.iter().map(|c| c.value(row)).collect());
+                        states.push(
+                            self.aggs
+                                .iter()
+                                .zip(&agg_types)
+                                .map(|(s, t)| AggState::new(s, *t))
+                                .collect(),
+                        );
+                        gi
+                    }
+                };
+                for (ai, state) in states[gi].iter_mut().enumerate() {
+                    let arg = arg_cols[ai].as_ref().map(|c| c.value(row));
+                    state.update(arg.as_ref())?;
+                }
+            }
+        }
+
+        // A global aggregate (no GROUP BY) emits exactly one row even for
+        // empty input.
+        if ngroup == 0 && group_rows.is_empty() {
+            group_rows.push(Vec::new());
+            states.push(
+                self.aggs
+                    .iter()
+                    .zip(&agg_types)
+                    .map(|(s, t)| AggState::new(s, *t))
+                    .collect(),
+            );
+        }
+
+        let mut cols: Vec<ColumnVector> =
+            self.output_types.iter().map(|t| ColumnVector::empty(*t)).collect();
+        for (gvals, gstates) in group_rows.into_iter().zip(states) {
+            for (c, v) in cols.iter_mut().zip(gvals.iter()) {
+                // Group values can be INT where the schema says FLOAT
+                // (promotion); push handles the widening.
+                c.push(v.clone().cast(c.data_type())?)?;
+            }
+            for (ai, state) in gstates.into_iter().enumerate() {
+                let v = state.finalize()?;
+                let col = &mut cols[ngroup + ai];
+                col.push(v.cast(col.data_type())?)?;
+            }
+        }
+        self.result = Some(Batch::new(cols));
+        Ok(())
+    }
+}
+
+impl Operator for HashAggExec {
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.result.is_none() {
+            self.compute()?;
+        }
+        let result = self.result.as_ref().expect("computed");
+        if self.offset >= result.num_rows() {
+            return Ok(None);
+        }
+        let end = (self.offset + self.vector_size).min(result.num_rows());
+        let out = result.slice(self.offset, end);
+        self.offset = end;
+        Ok(Some(out))
+    }
+
+    fn close(&mut self) {
+        self.result = None;
+        self.input.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::physical::drain;
+    use crate::exec::simple::ValuesExec;
+    use crate::expr::BinaryOp;
+
+    fn source(rows: Vec<(i64, f64)>) -> Box<dyn Operator> {
+        let rows = rows
+            .into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::Float(b)])
+            .collect();
+        Box::new(ValuesExec::new(rows, vec![DataType::Int, DataType::Float]))
+    }
+
+    fn collect_rows(batches: Vec<Batch>) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        for b in batches {
+            for r in 0..b.num_rows() {
+                out.push(b.row(r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn grouped_sum_and_count() {
+        let agg = HashAggExec::new(
+            source(vec![(1, 1.0), (2, 2.0), (1, 3.0), (2, 4.0), (1, 5.0)]),
+            vec![Expr::col(0)],
+            vec![
+                AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(1)) },
+                AggSpec { func: AggFunc::Count, arg: None },
+            ],
+            vec![DataType::Int, DataType::Float, DataType::Int],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(agg)).unwrap());
+        assert_eq!(rows.len(), 2);
+        // First-seen order: group 1 then group 2.
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Float(9.0), Value::Int(3)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Float(6.0), Value::Int(2)]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let agg = HashAggExec::new(
+            source(vec![(1, 4.0), (1, 2.0), (1, 6.0)]),
+            vec![Expr::col(0)],
+            vec![
+                AggSpec { func: AggFunc::Min, arg: Some(Expr::col(1)) },
+                AggSpec { func: AggFunc::Max, arg: Some(Expr::col(1)) },
+                AggSpec { func: AggFunc::Avg, arg: Some(Expr::col(1)) },
+            ],
+            vec![DataType::Int, DataType::Float, DataType::Float, DataType::Float],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(agg)).unwrap());
+        assert_eq!(rows[0], vec![
+            Value::Int(1),
+            Value::Float(2.0),
+            Value::Float(6.0),
+            Value::Float(4.0)
+        ]);
+    }
+
+    #[test]
+    fn integer_sum_stays_integer() {
+        let agg = HashAggExec::new(
+            source(vec![(1, 0.0), (1, 0.0)]),
+            vec![],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(Expr::col(0)),
+            }],
+            vec![DataType::Int],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(agg)).unwrap());
+        assert_eq!(rows[0], vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_emits_one_row() {
+        let agg = HashAggExec::new(
+            source(vec![]),
+            vec![],
+            vec![
+                AggSpec { func: AggFunc::Count, arg: None },
+                AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(1)) },
+            ],
+            vec![DataType::Int, DataType::Float],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(agg)).unwrap());
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Float(0.0)]]);
+    }
+
+    #[test]
+    fn min_over_empty_input_errors() {
+        let agg = HashAggExec::new(
+            source(vec![]),
+            vec![],
+            vec![AggSpec { func: AggFunc::Min, arg: Some(Expr::col(1)) }],
+            vec![DataType::Float],
+            1024,
+        );
+        assert!(drain(Box::new(agg)).is_err());
+    }
+
+    #[test]
+    fn grouped_on_empty_input_emits_nothing() {
+        let agg = HashAggExec::new(
+            source(vec![]),
+            vec![Expr::col(0)],
+            vec![AggSpec { func: AggFunc::Count, arg: None }],
+            vec![DataType::Int, DataType::Int],
+            1024,
+        );
+        assert!(drain(Box::new(agg)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn computed_group_keys_and_batched_output() {
+        // Group by id % 2 with tiny vector size to force multi-batch output.
+        let agg = HashAggExec::new(
+            source((0..10).map(|i| (i, i as f64)).collect()),
+            vec![Expr::binary(BinaryOp::Mod, Expr::col(0), Expr::lit(Value::Int(2)))],
+            vec![AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(1)) }],
+            vec![DataType::Int, DataType::Float],
+            1,
+        );
+        let batches = drain(Box::new(agg)).unwrap();
+        assert_eq!(batches.len(), 2);
+        let rows = collect_rows(batches);
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Float(20.0)]);
+        assert_eq!(rows[1], vec![Value::Int(1), Value::Float(25.0)]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Join operators: nested-loop cross join and hash equi-join.
+
+use crate::column::{Batch, ColumnVector};
+use crate::error::Result;
+use crate::exec::physical::Operator;
+use crate::exec::simple::concat_batches;
+use crate::expr::Expr;
+use crate::types::Value;
+use std::collections::HashMap;
+
+/// A hashable, type-normalized join/group key component. Numeric values
+/// that represent the same number (e.g. `INT 3` and `FLOAT 3.0`) map to the
+/// same key, matching SQL equality.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub enum KeyPart {
+    Int(i64),
+    /// Non-integral float, by bit pattern (`-0.0` normalized to `0.0`).
+    FloatBits(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Normalize a value into a [`KeyPart`].
+pub fn key_part(v: &Value) -> KeyPart {
+    match v {
+        Value::Int(i) => KeyPart::Int(*i),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                KeyPart::Int(*f as i64)
+            } else {
+                KeyPart::FloatBits(f.to_bits())
+            }
+        }
+        Value::Bool(b) => KeyPart::Bool(*b),
+        Value::Str(s) => KeyPart::Str(s.clone()),
+    }
+}
+
+/// Extract the composite key of row `row` from evaluated key columns.
+pub fn row_key(cols: &[ColumnVector], row: usize) -> Vec<KeyPart> {
+    cols.iter().map(|c| key_part(&c.value(row))).collect()
+}
+
+fn glue(left: Batch, right: Batch) -> Batch {
+    let mut cols = left.into_columns();
+    cols.extend(right.into_columns());
+    Batch::new(cols)
+}
+
+/// Cartesian product. The right side is materialized (the build side);
+/// the left side streams. Used when no equality conjunct is available —
+/// notably the ML-To-SQL input function, which cross-joins the fact table
+/// with the model's input-layer edges (Sec. 4.3.1).
+pub struct CrossJoinExec {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    vector_size: usize,
+    right_batch: Option<std::sync::Arc<Batch>>,
+    current_left: Option<Batch>,
+    left_row: usize,
+    right_pos: usize,
+}
+
+impl CrossJoinExec {
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        vector_size: usize,
+    ) -> CrossJoinExec {
+        CrossJoinExec {
+            left,
+            right,
+            vector_size: vector_size.max(1),
+            right_batch: None,
+            current_left: None,
+            left_row: 0,
+            right_pos: 0,
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut batches = Vec::new();
+        while let Some(b) = self.right.next()? {
+            batches.push(b);
+        }
+        self.right_batch = Some(std::sync::Arc::new(concat_batches(&batches)));
+        Ok(())
+    }
+}
+
+impl Operator for CrossJoinExec {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.right_batch.is_none() {
+            self.build()?;
+        }
+        let right = std::sync::Arc::clone(self.right_batch.as_ref().expect("built"));
+        let r_rows = right.num_rows();
+        if r_rows == 0 {
+            return Ok(None);
+        }
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next()? {
+                    None => return Ok(None),
+                    Some(b) => {
+                        if b.num_rows() == 0 {
+                            continue;
+                        }
+                        self.current_left = Some(b);
+                        self.left_row = 0;
+                        self.right_pos = 0;
+                    }
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            let l_rows = left.num_rows();
+            let mut li = Vec::with_capacity(self.vector_size);
+            let mut ri = Vec::with_capacity(self.vector_size);
+            while li.len() < self.vector_size && self.left_row < l_rows {
+                let take = (self.vector_size - li.len()).min(r_rows - self.right_pos);
+                for k in 0..take {
+                    li.push(self.left_row);
+                    ri.push(self.right_pos + k);
+                }
+                self.right_pos += take;
+                if self.right_pos == r_rows {
+                    self.right_pos = 0;
+                    self.left_row += 1;
+                }
+            }
+            if li.is_empty() {
+                self.current_left = None;
+                continue;
+            }
+            let out = glue(left.take(&li), right.take(&ri));
+            if self.left_row >= l_rows {
+                self.current_left = None;
+            }
+            return Ok(Some(out));
+        }
+    }
+
+    fn close(&mut self) {
+        self.right_batch = None;
+        self.current_left = None;
+        self.left.close();
+        self.right.close();
+    }
+}
+
+/// Inner hash equi-join following the classic two-phase pattern the paper's
+/// ModelJoin mirrors (Sec. 5.1): the right side is consumed into a hash
+/// table (build), the left side streams (probe). Key expressions may be
+/// computed (`node - offset`).
+pub struct HashJoinExec {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    vector_size: usize,
+    built: Option<BuildSide>,
+    /// Carry-over matches of the current probe batch.
+    pending: Option<Pending>,
+}
+
+struct BuildSide {
+    batch: Batch,
+    table: HashMap<Vec<KeyPart>, Vec<usize>>,
+}
+
+struct Pending {
+    left_batch: Batch,
+    pairs: Vec<(usize, usize)>,
+    offset: usize,
+}
+
+impl HashJoinExec {
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        vector_size: usize,
+    ) -> HashJoinExec {
+        assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+        HashJoinExec {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            vector_size: vector_size.max(1),
+            built: None,
+            pending: None,
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut batches = Vec::new();
+        while let Some(b) = self.right.next()? {
+            batches.push(b);
+        }
+        let batch = concat_batches(&batches);
+        let mut table: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+        if batch.num_rows() > 0 {
+            let key_cols: Result<Vec<ColumnVector>> =
+                self.right_keys.iter().map(|e| e.eval(&batch)).collect();
+            let key_cols = key_cols?;
+            for row in 0..batch.num_rows() {
+                table.entry(row_key(&key_cols, row)).or_default().push(row);
+            }
+        }
+        self.built = Some(BuildSide { batch, table });
+        Ok(())
+    }
+
+    fn emit(&mut self) -> Option<Batch> {
+        let build = self.built.as_ref().expect("built");
+        let pending = self.pending.as_mut()?;
+        if pending.offset >= pending.pairs.len() {
+            self.pending = None;
+            return None;
+        }
+        let end = (pending.offset + self.vector_size).min(pending.pairs.len());
+        let chunk = &pending.pairs[pending.offset..end];
+        let li: Vec<usize> = chunk.iter().map(|p| p.0).collect();
+        let ri: Vec<usize> = chunk.iter().map(|p| p.1).collect();
+        let out = glue(pending.left_batch.take(&li), build.batch.take(&ri));
+        pending.offset = end;
+        if pending.offset >= pending.pairs.len() {
+            self.pending = None;
+        }
+        Some(out)
+    }
+}
+
+impl Operator for HashJoinExec {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.built.is_none() {
+            self.build()?;
+        }
+        loop {
+            if let Some(batch) = self.emit() {
+                return Ok(Some(batch));
+            }
+            let build_empty = self.built.as_ref().expect("built").table.is_empty();
+            let Some(left_batch) = self.left.next()? else {
+                return Ok(None);
+            };
+            if build_empty || left_batch.num_rows() == 0 {
+                continue;
+            }
+            let key_cols: Result<Vec<ColumnVector>> =
+                self.left_keys.iter().map(|e| e.eval(&left_batch)).collect();
+            let key_cols = key_cols?;
+            let build = self.built.as_ref().expect("built");
+            let mut pairs = Vec::new();
+            for row in 0..left_batch.num_rows() {
+                if let Some(matches) = build.table.get(&row_key(&key_cols, row)) {
+                    for &r in matches {
+                        pairs.push((row, r));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                continue;
+            }
+            self.pending = Some(Pending { left_batch, pairs, offset: 0 });
+        }
+    }
+
+    fn close(&mut self) {
+        self.built = None;
+        self.pending = None;
+        self.left.close();
+        self.right.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::physical::drain;
+    use crate::exec::simple::ValuesExec;
+    use crate::expr::BinaryOp;
+    use crate::types::DataType;
+
+    fn ints(name_rows: Vec<i64>) -> Box<dyn Operator> {
+        let rows = name_rows.into_iter().map(|n| vec![Value::Int(n)]).collect();
+        Box::new(ValuesExec::new(rows, vec![DataType::Int]))
+    }
+
+    fn pairs(rows: Vec<(i64, f64)>) -> Box<dyn Operator> {
+        let rows = rows
+            .into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::Float(b)])
+            .collect();
+        Box::new(ValuesExec::new(rows, vec![DataType::Int, DataType::Float]))
+    }
+
+    fn collect_rows(batches: Vec<Batch>) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        for b in batches {
+            for r in 0..b.num_rows() {
+                out.push(b.row(r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cross_join_produces_full_product() {
+        let j = CrossJoinExec::new(ints(vec![1, 2, 3]), ints(vec![10, 20]), 4);
+        let rows = collect_rows(drain(Box::new(j)).unwrap());
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(10)]);
+        assert_eq!(rows[1], vec![Value::Int(1), Value::Int(20)]);
+        assert_eq!(rows[5], vec![Value::Int(3), Value::Int(20)]);
+    }
+
+    #[test]
+    fn cross_join_respects_vector_size() {
+        let j = CrossJoinExec::new(ints((0..10).collect()), ints(vec![1, 2, 3]), 4);
+        let batches = drain(Box::new(j)).unwrap();
+        assert!(batches.iter().all(|b| b.num_rows() <= 4));
+        let total: usize = batches.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn cross_join_with_empty_side() {
+        let j = CrossJoinExec::new(ints(vec![1, 2]), ints(vec![]), 4);
+        assert!(drain(Box::new(j)).unwrap().is_empty());
+        let j = CrossJoinExec::new(ints(vec![]), ints(vec![1, 2]), 4);
+        assert!(drain(Box::new(j)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hash_join_matches_duplicates_on_build_side() {
+        // left ids 1..4, right has two rows with id 2.
+        let left = ints(vec![1, 2, 3, 4]);
+        let right = pairs(vec![(2, 0.1), (2, 0.2), (4, 0.4), (9, 0.9)]);
+        let j = HashJoinExec::new(
+            left,
+            right,
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(j)).unwrap());
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r[0] == r[1]));
+    }
+
+    #[test]
+    fn hash_join_with_computed_key() {
+        // right key = node - 10
+        let left = ints(vec![0, 1, 2]);
+        let right = ints(vec![10, 11, 15]);
+        let j = HashJoinExec::new(
+            left,
+            right,
+            vec![Expr::col(0)],
+            vec![Expr::binary(BinaryOp::Sub, Expr::col(0), Expr::lit(Value::Int(10)))],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(j)).unwrap());
+        assert_eq!(rows.len(), 2); // 0<->10, 1<->11
+    }
+
+    #[test]
+    fn hash_join_mixed_numeric_key_types() {
+        let left = ints(vec![1, 2, 3]);
+        let right = Box::new(ValuesExec::new(
+            vec![vec![Value::Float(2.0)], vec![Value::Float(2.5)]],
+            vec![DataType::Float],
+        ));
+        let j = HashJoinExec::new(left, right, vec![Expr::col(0)], vec![Expr::col(0)], 1024);
+        let rows = collect_rows(drain(Box::new(j)).unwrap());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn hash_join_empty_build_is_empty() {
+        let j = HashJoinExec::new(
+            ints(vec![1, 2]),
+            ints(vec![]),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            1024,
+        );
+        assert!(drain(Box::new(j)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_part_normalization() {
+        assert_eq!(key_part(&Value::Int(3)), key_part(&Value::Float(3.0)));
+        assert_ne!(key_part(&Value::Float(3.5)), key_part(&Value::Int(3)));
+        assert_eq!(key_part(&Value::Float(0.0)), key_part(&Value::Float(-0.0)));
+        assert_eq!(key_part(&Value::Str("a".into())), KeyPart::Str("a".into()));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let left = pairs(vec![(1, 1.0), (1, 2.0)]);
+        let right = pairs(vec![(1, 2.0), (1, 3.0)]);
+        let j = HashJoinExec::new(
+            left,
+            right,
+            vec![Expr::col(0), Expr::col(1)],
+            vec![Expr::col(0), Expr::col(1)],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(j)).unwrap());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::Float(2.0));
+    }
+}

@@ -1,0 +1,12 @@
+//! Vectorized physical operators (Volcano `open`/`next`/`close` model, one
+//! [`crate::column::Batch`] per `next` call) and plan execution, including
+//! the partition-parallel driver.
+
+pub mod agg;
+pub mod join;
+pub mod parallel;
+pub mod physical;
+pub mod scan;
+pub mod simple;
+
+pub use physical::{build_operator, Operator};

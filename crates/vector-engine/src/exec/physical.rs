@@ -1,0 +1,122 @@
+//! The Volcano operator interface and the logical→physical translation.
+
+use crate::column::Batch;
+use crate::error::Result;
+use crate::exec::agg::HashAggExec;
+use crate::exec::join::{CrossJoinExec, HashJoinExec};
+use crate::exec::scan::ScanExec;
+use crate::exec::simple::{
+    BatchesExec, FilterExec, LimitExec, ProjectExec, SortExec, ValuesExec,
+};
+use crate::plan::logical::LogicalPlan;
+use crate::storage::Table;
+use std::sync::Arc;
+
+/// A vectorized physical operator following the Volcano iterator model the
+/// paper's ModelJoin plugs into (Sec. 5.1): `open()` allocates, `next()`
+/// produces one [`Batch`] of at most `vector_size` rows (or `None` when
+/// exhausted), `close()` releases resources.
+pub trait Operator: Send {
+    /// Prepare for execution. Default: nothing to do.
+    fn open(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Produce the next batch, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Batch>>;
+
+    /// Release resources. Default: nothing to do.
+    fn close(&mut self) {}
+}
+
+/// Drain an operator into a vector of batches (open → next* → close).
+pub fn drain(mut op: Box<dyn Operator>) -> Result<Vec<Batch>> {
+    op.open()?;
+    let mut out = Vec::new();
+    while let Some(batch) = op.next()? {
+        if batch.num_rows() > 0 {
+            out.push(batch);
+        }
+    }
+    op.close();
+    Ok(out)
+}
+
+/// Per-execution parameters for operator construction.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// Maximum rows per produced batch.
+    pub vector_size: usize,
+    /// When set, scans of exactly this table read only the given partition —
+    /// the mechanism of the partition-parallel driver. All other tables are
+    /// read fully by every worker (the paper's "model table is shared
+    /// between the execution threads", Sec. 4.4).
+    pub scan_restrict: Option<(Arc<Table>, usize)>,
+}
+
+impl ExecContext {
+    pub fn new(vector_size: usize) -> ExecContext {
+        ExecContext { vector_size, scan_restrict: None }
+    }
+
+    pub fn for_partition(vector_size: usize, table: Arc<Table>, partition: usize) -> ExecContext {
+        ExecContext { vector_size, scan_restrict: Some((table, partition)) }
+    }
+}
+
+/// Translate a logical plan into an operator tree.
+pub fn build_operator(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, pruning, .. } => {
+            let partition = match &ctx.scan_restrict {
+                Some((t, p)) if Arc::ptr_eq(t, table) => Some(*p),
+                _ => None,
+            };
+            Box::new(ScanExec::new(Arc::clone(table), pruning.clone(), partition))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            Box::new(FilterExec::new(build_operator(input, ctx)?, predicate.clone()))
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            Box::new(ProjectExec::new(build_operator(input, ctx)?, exprs.clone()))
+        }
+        LogicalPlan::CrossJoin { left, right, .. } => Box::new(CrossJoinExec::new(
+            build_operator(left, ctx)?,
+            build_operator(right, ctx)?,
+            ctx.vector_size,
+        )),
+        LogicalPlan::HashJoin { left, right, left_keys, right_keys, .. } => {
+            Box::new(HashJoinExec::new(
+                build_operator(left, ctx)?,
+                build_operator(right, ctx)?,
+                left_keys.clone(),
+                right_keys.clone(),
+                ctx.vector_size,
+            ))
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => Box::new(HashAggExec::new(
+            build_operator(input, ctx)?,
+            group.clone(),
+            aggs.clone(),
+            schema.types(),
+            ctx.vector_size,
+        )),
+        LogicalPlan::Sort { input, keys } => Box::new(SortExec::new(
+            build_operator(input, ctx)?,
+            keys.clone(),
+            ctx.vector_size,
+        )),
+        LogicalPlan::Limit { input, n } => {
+            Box::new(LimitExec::new(build_operator(input, ctx)?, *n))
+        }
+        LogicalPlan::Values { rows, schema } => {
+            Box::new(ValuesExec::new(rows.clone(), schema.types()))
+        }
+    })
+}
+
+/// Wrap pre-computed batches as an operator (used by the parallel driver to
+/// apply the serial tail of a plan over gathered partition results).
+pub fn batches_operator(batches: Vec<Batch>) -> Box<dyn Operator> {
+    Box::new(BatchesExec::new(batches))
+}

@@ -1,0 +1,195 @@
+//! Table scan with SMA block pruning.
+
+use crate::column::Batch;
+use crate::error::Result;
+use crate::exec::physical::Operator;
+use crate::expr::BinaryOp;
+use crate::plan::logical::PrunePredicate;
+use crate::storage::Table;
+use crate::types::Value;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Scans a table block by block. Blocks whose min/max SMA proves the
+/// pruning predicates can never match are skipped without being read — the
+/// paper's Sec. 4.4 optimization ("applying the filter before joining ...
+/// enabling block pruning of the model table").
+pub struct ScanExec {
+    table: Arc<Table>,
+    pruning: Vec<PrunePredicate>,
+    /// Restrict to one partition (parallel workers) or scan all.
+    partition: Option<usize>,
+    /// (partition, block) cursor.
+    cursor: (usize, usize),
+    /// Statistics: blocks skipped by SMA pruning.
+    pub blocks_pruned: usize,
+    /// Statistics: blocks actually read.
+    pub blocks_read: usize,
+}
+
+impl ScanExec {
+    pub fn new(
+        table: Arc<Table>,
+        pruning: Vec<PrunePredicate>,
+        partition: Option<usize>,
+    ) -> ScanExec {
+        let start = partition.unwrap_or(0);
+        ScanExec {
+            table,
+            pruning,
+            partition,
+            cursor: (start, 0),
+            blocks_pruned: 0,
+            blocks_read: 0,
+        }
+    }
+
+    fn block_survives(&self, min: &Value, max: &Value, pred: &PrunePredicate) -> bool {
+        let v = &pred.value;
+        match pred.op {
+            // Some value in [min, max] can equal v.
+            BinaryOp::Eq => {
+                min.total_cmp(v) != Ordering::Greater && max.total_cmp(v) != Ordering::Less
+            }
+            BinaryOp::Lt => min.total_cmp(v) == Ordering::Less,
+            BinaryOp::LtEq => min.total_cmp(v) != Ordering::Greater,
+            BinaryOp::Gt => max.total_cmp(v) == Ordering::Greater,
+            BinaryOp::GtEq => max.total_cmp(v) != Ordering::Less,
+            // Non-range operators never prune.
+            _ => true,
+        }
+    }
+}
+
+impl Operator for ScanExec {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let (p, b) = self.cursor;
+            let end_partition = match self.partition {
+                Some(part) => part + 1,
+                None => self.table.partition_count(),
+            };
+            if p >= end_partition {
+                return Ok(None);
+            }
+            enum Step {
+                EndOfPartition,
+                Pruned,
+                Read(Batch),
+            }
+            let step = self.table.with_partitions(|parts| {
+                let part = &parts[p];
+                if b >= part.block_count() {
+                    return Step::EndOfPartition;
+                }
+                for pred in &self.pruning {
+                    let (min, max) = part.sma(pred.column, b);
+                    if !self.block_survives(min, max, pred) {
+                        return Step::Pruned;
+                    }
+                }
+                Step::Read(part.block_batch(b))
+            });
+            match step {
+                Step::EndOfPartition => {
+                    self.cursor = (p + 1, 0);
+                }
+                Step::Pruned => {
+                    self.blocks_pruned += 1;
+                    self.cursor = (p, b + 1);
+                }
+                Step::Read(batch) => {
+                    self.blocks_read += 1;
+                    self.cursor = (p, b + 1);
+                    return Ok(Some(batch));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnVector;
+    use crate::config::EngineConfig;
+    use crate::exec::physical::drain;
+    use crate::storage::{ColumnDef, Schema};
+    use crate::types::DataType;
+
+    fn table() -> Arc<Table> {
+        let cfg = EngineConfig { vector_size: 4, partitions: 2, ..Default::default() };
+        let t = Arc::new(Table::new(
+            "t",
+            Schema::new(vec![ColumnDef::new("id", DataType::Int)]).unwrap(),
+            &cfg,
+        ));
+        t.append(vec![ColumnVector::Int((0..16).collect())]).unwrap();
+        t
+    }
+
+    #[test]
+    fn full_scan_reads_everything() {
+        let t = table();
+        let batches = drain(Box::new(ScanExec::new(t, vec![], None))).unwrap();
+        let total: usize = batches.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn partition_restricted_scan() {
+        let t = table();
+        let b0 = drain(Box::new(ScanExec::new(Arc::clone(&t), vec![], Some(0)))).unwrap();
+        let b1 = drain(Box::new(ScanExec::new(t, vec![], Some(1)))).unwrap();
+        let n0: usize = b0.iter().map(Batch::num_rows).sum();
+        let n1: usize = b1.iter().map(Batch::num_rows).sum();
+        assert_eq!(n0 + n1, 16);
+        assert_eq!(n0, 8);
+    }
+
+    #[test]
+    fn sma_pruning_skips_blocks_without_changing_results() {
+        let t = table();
+        // Blocks hold [0..4), [4..8), [8..12), [12..16): id >= 12 keeps 1.
+        let pred = PrunePredicate { column: 0, op: BinaryOp::GtEq, value: Value::Int(12) };
+        let mut scan = ScanExec::new(Arc::clone(&t), vec![pred], None);
+        scan.open().unwrap();
+        let mut rows = Vec::new();
+        while let Some(b) = scan.next().unwrap() {
+            rows.extend(b.column(0).as_int().unwrap().to_vec());
+        }
+        assert_eq!(scan.blocks_pruned, 3);
+        assert_eq!(scan.blocks_read, 1);
+        // The surviving block contains exactly the matching rows (here the
+        // block boundary aligns; in general the Filter above re-checks).
+        assert_eq!(rows, vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn eq_pruning_keeps_only_candidate_blocks() {
+        let t = table();
+        let pred = PrunePredicate { column: 0, op: BinaryOp::Eq, value: Value::Int(5) };
+        let mut scan = ScanExec::new(t, vec![pred], None);
+        scan.open().unwrap();
+        let mut rows = Vec::new();
+        while let Some(b) = scan.next().unwrap() {
+            rows.extend(b.column(0).as_int().unwrap().to_vec());
+        }
+        assert_eq!(rows, vec![4, 5, 6, 7]);
+        assert_eq!(scan.blocks_pruned, 3);
+    }
+
+    #[test]
+    fn noteq_never_prunes() {
+        let t = table();
+        let pred = PrunePredicate { column: 0, op: BinaryOp::NotEq, value: Value::Int(5) };
+        let mut scan = ScanExec::new(t, vec![pred], None);
+        scan.open().unwrap();
+        let mut n = 0;
+        while let Some(b) = scan.next().unwrap() {
+            n += b.num_rows();
+        }
+        assert_eq!(n, 16);
+        assert_eq!(scan.blocks_pruned, 0);
+    }
+}

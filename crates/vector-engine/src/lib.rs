@@ -1,0 +1,40 @@
+//! A columnar, vectorized, partition-parallel SQL engine — the substrate of
+//! the reproduction, standing in for the paper's Actian Vector / x100 engine.
+//!
+//! Execution follows the x100 recipe the paper assumes (Sec. 5):
+//! vector-at-a-time processing over typed column vectors of
+//! [`config::EngineConfig::vector_size`] values (default 1024, the paper's
+//! batch size), columnar block storage with small materialized aggregates
+//! (min/max SMAs) enabling the block pruning that ML-To-SQL's filter
+//! optimization relies on (Sec. 4.4), Volcano-style `open/next/close`
+//! operators, and partition-based parallelism (default 12 partitions /
+//! threads, the paper's configuration).
+//!
+//! The SQL surface covers everything the ML-To-SQL generator emits:
+//! `SELECT` with nested subqueries in `FROM`, comma cross joins, `WHERE`,
+//! `GROUP BY`, `ORDER BY`, `LIMIT`, `CASE WHEN`, arithmetic and the scalar
+//! functions of the paper's activation set, plus `CREATE TABLE`, `INSERT`
+//! and `DROP TABLE` for loading model and fact tables.
+//!
+//! Deliberate restrictions (documented, not accidental): no NULLs, inner
+//! joins only, one statement per `execute` call.
+
+pub mod catalog;
+pub mod column;
+pub mod config;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod session;
+pub mod sql;
+pub mod storage;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use column::{Batch, ColumnVector};
+pub use config::EngineConfig;
+pub use error::{EngineError, Result};
+pub use session::{Engine, QueryResult};
+pub use storage::{ColumnDef, Schema, Table};
+pub use types::{DataType, Value};

@@ -1,0 +1,429 @@
+//! Rule-based logical optimizer.
+//!
+//! Implements the rewrites the paper's generated queries depend on
+//! (Sec. 4.4): predicate pushdown through projections and cross joins,
+//! extraction of hash equi-joins from cross join + equality conjuncts
+//! (including computed keys like `node = model.node - offset`), SMA
+//! block-pruning predicates on scans, and constant folding.
+
+use crate::column::Batch;
+use crate::config::EngineConfig;
+use crate::expr::{BinaryOp, Expr};
+use crate::plan::logical::{LogicalPlan, PrunePredicate};
+use crate::types::Value;
+
+/// The optimizer; behaviour is controlled by [`EngineConfig`] flags so the
+/// ablation benchmarks can switch individual rules off.
+pub struct Optimizer {
+    config: EngineConfig,
+}
+
+impl Optimizer {
+    pub fn new(config: EngineConfig) -> Optimizer {
+        Optimizer { config }
+    }
+
+    /// Optimize a bound plan.
+    pub fn optimize(&self, plan: LogicalPlan) -> LogicalPlan {
+        let plan = self.rewrite(plan);
+        fold_plan_constants(plan)
+    }
+
+    fn rewrite(&self, plan: LogicalPlan) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                let input = self.rewrite(*input);
+                if self.config.predicate_pushdown {
+                    self.push_filter(input, predicate.split_conjuncts())
+                } else {
+                    LogicalPlan::Filter { input: Box::new(input), predicate }
+                }
+            }
+            LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+                input: Box::new(self.rewrite(*input)),
+                exprs,
+                schema,
+            },
+            LogicalPlan::CrossJoin { left, right, schema } => LogicalPlan::CrossJoin {
+                left: Box::new(self.rewrite(*left)),
+                right: Box::new(self.rewrite(*right)),
+                schema,
+            },
+            LogicalPlan::HashJoin { left, right, left_keys, right_keys, schema } => {
+                LogicalPlan::HashJoin {
+                    left: Box::new(self.rewrite(*left)),
+                    right: Box::new(self.rewrite(*right)),
+                    left_keys,
+                    right_keys,
+                    schema,
+                }
+            }
+            LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+                input: Box::new(self.rewrite(*input)),
+                group,
+                aggs,
+                schema,
+            },
+            LogicalPlan::Sort { input, keys } => {
+                LogicalPlan::Sort { input: Box::new(self.rewrite(*input)), keys }
+            }
+            LogicalPlan::Limit { input, n } => {
+                LogicalPlan::Limit { input: Box::new(self.rewrite(*input)), n }
+            }
+            leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+        }
+    }
+
+    /// Push `conjuncts` as deep as possible into `input` (which is already
+    /// rewritten).
+    fn push_filter(&self, input: LogicalPlan, mut conjuncts: Vec<Expr>) -> LogicalPlan {
+        conjuncts.retain(|c| *c != Expr::Literal(Value::Bool(true)));
+        if conjuncts.is_empty() {
+            return input;
+        }
+        match input {
+            LogicalPlan::Filter { input: inner, predicate } => {
+                let mut all = predicate.split_conjuncts();
+                all.extend(conjuncts);
+                self.push_filter(*inner, all)
+            }
+            LogicalPlan::Project { input: inner, exprs, schema } => {
+                // Inline the projection expressions into the predicate and
+                // push below the projection.
+                let substituted: Vec<Expr> =
+                    conjuncts.iter().map(|c| c.substitute(&exprs)).collect();
+                LogicalPlan::Project {
+                    input: Box::new(self.push_filter(*inner, substituted)),
+                    exprs,
+                    schema,
+                }
+            }
+            LogicalPlan::CrossJoin { left, right, schema } => {
+                let nleft = left.schema().len();
+                let mut left_only = Vec::new();
+                let mut right_only = Vec::new();
+                let mut equi: Vec<(Expr, Expr)> = Vec::new();
+                let mut residual = Vec::new();
+                for c in conjuncts {
+                    let cols = c.columns();
+                    let all_left = cols.iter().all(|&i| i < nleft);
+                    let all_right = cols.iter().all(|&i| i >= nleft);
+                    if all_left && !cols.is_empty() {
+                        left_only.push(c);
+                    } else if all_right && !cols.is_empty() {
+                        right_only.push(c.map_columns(&|i| i - nleft));
+                    } else if let Some((l, r)) = split_equi(&c, nleft) {
+                        if self.config.hash_join {
+                            equi.push((l, r.map_columns(&|i| i - nleft)));
+                        } else {
+                            residual.push(c);
+                        }
+                    } else {
+                        residual.push(c);
+                    }
+                }
+                let left = Box::new(self.push_filter(*left, left_only));
+                let right = Box::new(self.push_filter(*right, right_only));
+                let joined = if equi.is_empty() {
+                    LogicalPlan::CrossJoin { left, right, schema }
+                } else {
+                    let (left_keys, right_keys) = equi.into_iter().unzip();
+                    LogicalPlan::HashJoin { left, right, left_keys, right_keys, schema }
+                };
+                wrap_filter(joined, residual)
+            }
+            LogicalPlan::HashJoin { left, right, left_keys, right_keys, schema } => {
+                let nleft = left.schema().len();
+                let mut left_only = Vec::new();
+                let mut right_only = Vec::new();
+                let mut residual = Vec::new();
+                for c in conjuncts {
+                    let cols = c.columns();
+                    if !cols.is_empty() && cols.iter().all(|&i| i < nleft) {
+                        left_only.push(c);
+                    } else if !cols.is_empty() && cols.iter().all(|&i| i >= nleft) {
+                        right_only.push(c.map_columns(&|i| i - nleft));
+                    } else {
+                        residual.push(c);
+                    }
+                }
+                let join = LogicalPlan::HashJoin {
+                    left: Box::new(self.push_filter(*left, left_only)),
+                    right: Box::new(self.push_filter(*right, right_only)),
+                    left_keys,
+                    right_keys,
+                    schema,
+                };
+                wrap_filter(join, residual)
+            }
+            LogicalPlan::Scan { table, schema, mut pruning } => {
+                if self.config.sma_pruning {
+                    for c in &conjuncts {
+                        if let Some(p) = extract_prune_predicate(c) {
+                            pruning.push(p);
+                        }
+                    }
+                }
+                // SMA pruning is block-granular: the filter must still run.
+                wrap_filter(LogicalPlan::Scan { table, schema, pruning }, conjuncts)
+            }
+            other => wrap_filter(other, conjuncts),
+        }
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    if conjuncts.is_empty() {
+        plan
+    } else {
+        LogicalPlan::Filter { input: Box::new(plan), predicate: Expr::conjoin(conjuncts) }
+    }
+}
+
+/// If `c` is `lhs = rhs` with one side touching only left columns
+/// (`< nleft`) and the other only right columns (`>= nleft`), return the
+/// pair as `(left key, right key)`.
+fn split_equi(c: &Expr, nleft: usize) -> Option<(Expr, Expr)> {
+    let Expr::Binary { op: BinaryOp::Eq, left, right } = c else {
+        return None;
+    };
+    let lc = left.columns();
+    let rc = right.columns();
+    if lc.is_empty() || rc.is_empty() {
+        return None;
+    }
+    let l_all_left = lc.iter().all(|&i| i < nleft);
+    let l_all_right = lc.iter().all(|&i| i >= nleft);
+    let r_all_left = rc.iter().all(|&i| i < nleft);
+    let r_all_right = rc.iter().all(|&i| i >= nleft);
+    if l_all_left && r_all_right {
+        Some((left.as_ref().clone(), right.as_ref().clone()))
+    } else if l_all_right && r_all_left {
+        Some((right.as_ref().clone(), left.as_ref().clone()))
+    } else {
+        None
+    }
+}
+
+/// `column op literal` (or flipped) with a comparison operator becomes an
+/// SMA pruning predicate.
+fn extract_prune_predicate(c: &Expr) -> Option<PrunePredicate> {
+    let Expr::Binary { op, left, right } = c else {
+        return None;
+    };
+    if !op.is_comparison() || *op == BinaryOp::NotEq {
+        return None;
+    }
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::Column(i), Expr::Literal(v)) => {
+            Some(PrunePredicate { column: *i, op: *op, value: v.clone() })
+        }
+        (Expr::Literal(v), Expr::Column(i)) => {
+            let flipped = match op {
+                BinaryOp::Lt => BinaryOp::Gt,
+                BinaryOp::LtEq => BinaryOp::GtEq,
+                BinaryOp::Gt => BinaryOp::Lt,
+                BinaryOp::GtEq => BinaryOp::LtEq,
+                other => *other,
+            };
+            Some(PrunePredicate { column: *i, op: flipped, value: v.clone() })
+        }
+        _ => None,
+    }
+}
+
+/// Fold constant subexpressions in every expression of the plan.
+fn fold_plan_constants(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_plan_constants(*input)),
+            predicate: fold_expr(predicate),
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(fold_plan_constants(*input)),
+            exprs: exprs.into_iter().map(fold_expr).collect(),
+            schema,
+        },
+        LogicalPlan::CrossJoin { left, right, schema } => LogicalPlan::CrossJoin {
+            left: Box::new(fold_plan_constants(*left)),
+            right: Box::new(fold_plan_constants(*right)),
+            schema,
+        },
+        LogicalPlan::HashJoin { left, right, left_keys, right_keys, schema } => {
+            LogicalPlan::HashJoin {
+                left: Box::new(fold_plan_constants(*left)),
+                right: Box::new(fold_plan_constants(*right)),
+                left_keys: left_keys.into_iter().map(fold_expr).collect(),
+                right_keys: right_keys.into_iter().map(fold_expr).collect(),
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(fold_plan_constants(*input)),
+            group: group.into_iter().map(fold_expr).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(fold_expr);
+                    a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_plan_constants(*input)),
+            keys: keys.into_iter().map(|(e, asc)| (fold_expr(e), asc)).collect(),
+        },
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(fold_plan_constants(*input)), n }
+        }
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+    }
+}
+
+/// Evaluate constant subtrees (no column references) to literals.
+pub fn fold_expr(expr: Expr) -> Expr {
+    expr.transform(&|e| {
+        if matches!(e, Expr::Literal(_)) || !e.columns().is_empty() {
+            return None;
+        }
+        let batch = Batch::of_rows(1);
+        match e.eval(&batch) {
+            Ok(col) if col.len() == 1 => Some(Expr::Literal(col.value(0))),
+            // Leave erroring constants (e.g. 1/0) in place: they surface at
+            // execution time, matching SQL semantics.
+            _ => None,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::plan::binder::Binder;
+    use crate::sql::{parse_statement, Statement};
+    use crate::storage::{ColumnDef, Schema};
+    use crate::types::DataType;
+
+    fn optimize(sql: &str, config: EngineConfig) -> LogicalPlan {
+        let cat = Catalog::new();
+        cat.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Float),
+            ])
+            .unwrap(),
+            &config,
+        )
+        .unwrap();
+        cat.create_table(
+            "m",
+            Schema::new(vec![
+                ColumnDef::new("node", DataType::Int),
+                ColumnDef::new("w", DataType::Float),
+            ])
+            .unwrap(),
+            &config,
+        )
+        .unwrap();
+        let binder = Binder::new(&cat);
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        Optimizer::new(config).optimize(binder.bind_select(&s).unwrap())
+    }
+
+    #[test]
+    fn extracts_hash_join_from_comma_join() {
+        let plan = optimize(
+            "SELECT t.id FROM t, m WHERE t.id = m.node AND t.v > 0.5",
+            EngineConfig::default(),
+        );
+        let s = plan.display_indent();
+        assert!(s.contains("HashJoin"), "{s}");
+        assert!(!s.contains("CrossJoin"), "{s}");
+        // The v > 0.5 predicate went to the left scan side.
+        assert!(s.contains("Filter (#1 > 0.5)"), "{s}");
+    }
+
+    #[test]
+    fn computed_key_join_is_extracted() {
+        // The node-ID-offset join of ML-To-SQL's optimized queries.
+        let plan = optimize(
+            "SELECT t.id FROM t, m WHERE t.id = m.node - 3",
+            EngineConfig::default(),
+        );
+        let s = plan.display_indent();
+        assert!(s.contains("HashJoin [#0] = [(#0 - 3)]"), "{s}");
+    }
+
+    #[test]
+    fn hash_join_disabled_keeps_cross_join() {
+        let cfg = EngineConfig { hash_join: false, ..Default::default() };
+        let plan = optimize("SELECT t.id FROM t, m WHERE t.id = m.node", cfg);
+        let s = plan.display_indent();
+        assert!(s.contains("CrossJoin"), "{s}");
+        assert!(!s.contains("HashJoin"), "{s}");
+    }
+
+    #[test]
+    fn pruning_predicates_reach_the_scan() {
+        let plan =
+            optimize("SELECT id FROM t WHERE id >= 10 AND id <= 20", EngineConfig::default());
+        let s = plan.display_indent();
+        assert!(s.contains("[2 pruning predicate(s)]"), "{s}");
+        // Filter is still applied above the scan.
+        assert!(s.contains("Filter"), "{s}");
+    }
+
+    #[test]
+    fn pruning_disabled_by_flag() {
+        let cfg = EngineConfig { sma_pruning: false, ..Default::default() };
+        let plan = optimize("SELECT id FROM t WHERE id >= 10", cfg);
+        assert!(!plan.display_indent().contains("pruning"), "{plan}");
+    }
+
+    #[test]
+    fn filter_pushes_through_projection() {
+        let plan = optimize(
+            "SELECT s FROM (SELECT id, v * 2 AS s FROM t) AS q WHERE q.s > 1",
+            EngineConfig::default(),
+        );
+        let s = plan.display_indent();
+        // The filter must sit below both projections, directly over the scan,
+        // with the projection expression inlined: (v*2) > 1.
+        let filter_line = s.lines().find(|l| l.contains("Filter")).unwrap();
+        assert!(filter_line.contains("((#1 * 2) > 1)"), "{s}");
+        let filter_pos = s.find("Filter").unwrap();
+        let project_pos = s.find("Project").unwrap();
+        assert!(filter_pos > project_pos, "filter should be below projects: {s}");
+    }
+
+    #[test]
+    fn constant_folding() {
+        let plan = optimize("SELECT id + (1 + 2) FROM t", EngineConfig::default());
+        let s = plan.display_indent();
+        assert!(s.contains("(#0 + 3)"), "{s}");
+    }
+
+    #[test]
+    fn flipped_literal_comparison_becomes_prune() {
+        let p = extract_prune_predicate(&Expr::binary(
+            BinaryOp::Lt,
+            Expr::Literal(Value::Int(5)),
+            Expr::Column(0),
+        ))
+        .unwrap();
+        assert_eq!(p.op, BinaryOp::Gt);
+        assert_eq!(p.value, Value::Int(5));
+    }
+
+    #[test]
+    fn pushdown_disabled_keeps_filter_on_top() {
+        let cfg = EngineConfig { predicate_pushdown: false, ..Default::default() };
+        let plan = optimize("SELECT t.id FROM t, m WHERE t.id = m.node", cfg);
+        let s = plan.display_indent();
+        assert!(s.starts_with("Project"), "{s}");
+        assert!(s.contains("CrossJoin"), "{s}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The engine facade: SQL execution and programmatic table access.
+
+use crate::catalog::Catalog;
+use crate::column::ColumnVector;
+use crate::config::EngineConfig;
+use crate::error::{EngineError, Result};
+use crate::exec::parallel;
+use crate::exec::physical::{build_operator, ExecContext, Operator};
+use crate::exec::scan::ScanExec;
+use crate::exec::simple::concat_batches;
+use crate::plan::binder::Binder;
+use crate::plan::logical::LogicalPlan;
+use crate::plan::optimizer::Optimizer;
+use crate::sql::{parse_statement, Statement};
+use crate::storage::{ColumnDef, Schema, Table};
+use crate::types::{DataType, Value};
+use std::sync::Arc;
+
+/// A materialized query result.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Output column names.
+    pub names: Vec<String>,
+    /// Output columns (equal length).
+    pub columns: Vec<ColumnVector>,
+    /// Rows affected by DML/DDL (0 for queries).
+    pub affected: usize,
+}
+
+impl QueryResult {
+    fn empty(affected: usize) -> QueryResult {
+        QueryResult { names: Vec::new(), columns: Vec::new(), affected }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, ColumnVector::len)
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by output name (case-insensitive); errors if absent.
+    pub fn column(&self, name: &str) -> Result<&ColumnVector> {
+        let lower = name.to_ascii_lowercase();
+        self.names
+            .iter()
+            .position(|n| *n == lower)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| EngineError::Plan(format!("no result column {name:?}")))
+    }
+
+    /// Row `i` as values (tests / display).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// All rows (tests).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        (0..self.num_rows()).map(|i| self.row(i)).collect()
+    }
+}
+
+/// The database engine: a catalog plus a configuration. This is the
+/// "Actian Vector" stand-in every approach in the repository runs against.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { catalog: Arc::new(Catalog::new()), config }
+    }
+
+    /// Engine with the paper's evaluation configuration.
+    pub fn with_defaults() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => {
+                let binder = Binder::new(&self.catalog);
+                let plan = binder.bind_select(&stmt)?;
+                let plan = Optimizer::new(self.config.clone()).optimize(plan);
+                self.execute_plan(&plan)
+            }
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                if if_not_exists && self.catalog.table(&name).is_ok() {
+                    return Ok(QueryResult::empty(0));
+                }
+                let defs: Result<Vec<ColumnDef>> = columns
+                    .iter()
+                    .map(|(n, t)| Ok(ColumnDef::new(n.as_str(), DataType::parse_sql(t)?)))
+                    .collect();
+                self.catalog.create_table(&name, Schema::new(defs?)?, &self.config)?;
+                Ok(QueryResult::empty(0))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let t = self.catalog.table(&table)?;
+                let binder = Binder::new(&self.catalog);
+                let mut value_rows = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    let values: Result<Vec<Value>> =
+                        row.iter().map(|e| binder.eval_const(e)).collect();
+                    value_rows.push(values?);
+                }
+                let value_rows = match &columns {
+                    None => value_rows,
+                    Some(cols) => reorder_insert(&t, cols, value_rows)?,
+                };
+                let n = value_rows.len();
+                t.append_rows(&value_rows)?;
+                Ok(QueryResult::empty(n))
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(&name, if_exists)?;
+                Ok(QueryResult::empty(0))
+            }
+        }
+    }
+
+    /// Plan a SELECT without executing it (inspection / tests).
+    pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => {
+                let binder = Binder::new(&self.catalog);
+                let plan = binder.bind_select(&stmt)?;
+                Ok(Optimizer::new(self.config.clone()).optimize(plan))
+            }
+            other => {
+                Err(EngineError::Plan(format!("cannot plan non-SELECT statement {other:?}")))
+            }
+        }
+    }
+
+    /// Execute an already-optimized logical plan.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<QueryResult> {
+        let batches = parallel::execute(plan, &self.config)?;
+        let all = concat_batches(&batches);
+        let names = plan.schema().fields.iter().map(|f| f.name.clone()).collect();
+        Ok(QueryResult { names, columns: all.into_columns(), affected: 0 })
+    }
+
+    /// Create a table programmatically.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>> {
+        self.catalog.create_table(name, schema, &self.config)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.catalog.table(name)
+    }
+
+    /// Bulk columnar load (the fast path the experiment loaders use).
+    pub fn insert_columns(&self, table: &str, columns: Vec<ColumnVector>) -> Result<usize> {
+        let t = self.catalog.table(table)?;
+        let n = columns.first().map_or(0, ColumnVector::len);
+        t.append(columns)?;
+        Ok(n)
+    }
+
+    /// A raw scan operator over one partition of a table — the integration
+    /// point for native operators like the ModelJoin, which sit on top of a
+    /// partition's input flow (paper Fig. 5).
+    pub fn scan_partition(&self, table: &str, partition: usize) -> Result<Box<dyn Operator>> {
+        let t = self.catalog.table(table)?;
+        if partition >= t.partition_count() {
+            return Err(EngineError::Execution(format!(
+                "partition {partition} out of range for table {table}"
+            )));
+        }
+        Ok(Box::new(ScanExec::new(t, Vec::new(), Some(partition))))
+    }
+
+    /// A raw scan operator over a whole table.
+    pub fn scan_table(&self, table: &str) -> Result<Box<dyn Operator>> {
+        let t = self.catalog.table(table)?;
+        Ok(Box::new(ScanExec::new(t, Vec::new(), None)))
+    }
+
+    /// Build a physical operator tree for a SELECT, leaving the driver to
+    /// the caller (used by approaches that embed the engine).
+    pub fn compile(&self, sql: &str) -> Result<Box<dyn Operator>> {
+        let plan = self.plan(sql)?;
+        build_operator(&plan, &ExecContext::new(self.config.vector_size))
+    }
+}
+
+fn reorder_insert(
+    table: &Table,
+    cols: &[String],
+    rows: Vec<Vec<Value>>,
+) -> Result<Vec<Vec<Value>>> {
+    let schema = table.schema();
+    if cols.len() != schema.len() {
+        return Err(EngineError::Catalog(format!(
+            "INSERT column list must cover all {} columns (no NULL/default support)",
+            schema.len()
+        )));
+    }
+    let mut positions = Vec::with_capacity(cols.len());
+    for c in cols {
+        positions.push(schema.index_of(c).ok_or_else(|| {
+            EngineError::Catalog(format!("unknown column {c:?} in INSERT"))
+        })?);
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != positions.len() {
+            return Err(EngineError::Catalog("INSERT row arity mismatch".into()));
+        }
+        let mut reordered = vec![Value::Int(0); row.len()];
+        for (value, &pos) in row.into_iter().zip(&positions) {
+            reordered[pos] = value;
+        }
+        out.push(reordered);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig { vector_size: 4, partitions: 3, parallelism: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn ddl_dml_query_round_trip() {
+        let e = engine();
+        e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+        let r = e.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5), (3, 2.5)").unwrap();
+        assert_eq!(r.affected, 3);
+        let q = e.execute("SELECT id, v * 2 AS dbl FROM t WHERE id >= 2 ORDER BY id").unwrap();
+        assert_eq!(q.names, vec!["id", "dbl"]);
+        assert_eq!(q.rows(), vec![
+            vec![Value::Int(2), Value::Float(3.0)],
+            vec![Value::Int(3), Value::Float(5.0)],
+        ]);
+    }
+
+    #[test]
+    fn insert_with_column_list_reorders() {
+        let e = engine();
+        e.execute("CREATE TABLE t (a INT, b FLOAT)").unwrap();
+        e.execute("INSERT INTO t (b, a) VALUES (0.5, 7)").unwrap();
+        let q = e.execute("SELECT a, b FROM t").unwrap();
+        assert_eq!(q.rows(), vec![vec![Value::Int(7), Value::Float(0.5)]]);
+    }
+
+    #[test]
+    fn insert_partial_columns_rejected() {
+        let e = engine();
+        e.execute("CREATE TABLE t (a INT, b FLOAT)").unwrap();
+        assert!(e.execute("INSERT INTO t (a) VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn create_if_not_exists_and_drop() {
+        let e = engine();
+        e.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(e.execute("CREATE TABLE t (a INT)").is_err());
+        e.execute("CREATE TABLE IF NOT EXISTS t (a INT)").unwrap();
+        e.execute("DROP TABLE t").unwrap();
+        assert!(e.execute("DROP TABLE t").is_err());
+        e.execute("DROP TABLE IF EXISTS t").unwrap();
+    }
+
+    #[test]
+    fn aggregate_query_end_to_end() {
+        let e = engine();
+        e.execute("CREATE TABLE t (g INT, v FLOAT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (1, 3.0)").unwrap();
+        let q = e
+            .execute("SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        assert_eq!(q.rows(), vec![
+            vec![Value::Int(1), Value::Float(4.0), Value::Int(2)],
+            vec![Value::Int(2), Value::Float(2.0), Value::Int(1)],
+        ]);
+    }
+
+    #[test]
+    fn join_via_comma_and_where() {
+        let e = engine();
+        e.execute("CREATE TABLE a (id INT)").unwrap();
+        e.execute("CREATE TABLE b (id INT, w FLOAT)").unwrap();
+        e.execute("INSERT INTO a VALUES (1), (2)").unwrap();
+        e.execute("INSERT INTO b VALUES (2, 0.5), (3, 0.7)").unwrap();
+        let q = e
+            .execute("SELECT a.id, b.w FROM a, b WHERE a.id = b.id")
+            .unwrap();
+        assert_eq!(q.rows(), vec![vec![Value::Int(2), Value::Float(0.5)]]);
+    }
+
+    #[test]
+    fn case_and_scalar_functions() {
+        let e = engine();
+        e.execute("CREATE TABLE t (x FLOAT)").unwrap();
+        e.execute("INSERT INTO t VALUES (-1.0), (0.0), (1.0)").unwrap();
+        let q = e
+            .execute(
+                "SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END AS s, \
+                 SIGMOID(x) AS sg, RELU(x) AS r FROM t ORDER BY x",
+            )
+            .unwrap();
+        assert_eq!(q.column("s").unwrap().value(0), Value::Str("neg".into()));
+        assert_eq!(q.column("s").unwrap().value(1), Value::Str("zero".into()));
+        assert_eq!(q.column("r").unwrap().value(2), Value::Float(1.0));
+        let sg = q.column("sg").unwrap().as_float().unwrap();
+        assert!((sg[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let e = engine();
+        let q = e.execute("SELECT 1 + 1 AS two, 'x' AS s").unwrap();
+        assert_eq!(q.rows(), vec![vec![Value::Int(2), Value::Str("x".into())]]);
+    }
+
+    #[test]
+    fn nested_subqueries_execute() {
+        let e = engine();
+        e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)").unwrap();
+        let q = e
+            .execute(
+                "SELECT big.id FROM \
+                 (SELECT id, v FROM (SELECT id, v * 10 AS v FROM t) AS x WHERE x.v > 15) AS big \
+                 ORDER BY big.id",
+            )
+            .unwrap();
+        assert_eq!(q.rows(), vec![vec![Value::Int(2)], vec![Value::Int(3)], vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn result_column_lookup_errors() {
+        let e = engine();
+        let q = e.execute("SELECT 1 AS one").unwrap();
+        assert!(q.column("one").is_ok());
+        assert!(q.column("two").is_err());
+    }
+
+    #[test]
+    fn scan_partition_bounds_checked() {
+        let e = engine();
+        e.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(e.scan_partition("t", 99).is_err());
+        assert!(e.scan_partition("t", 0).is_ok());
+    }
+}

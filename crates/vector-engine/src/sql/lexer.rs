@@ -1,0 +1,405 @@
+//! SQL lexer.
+
+use crate::error::{EngineError, Result};
+use std::fmt;
+
+/// SQL keywords (case-insensitive in the input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    As,
+    And,
+    Or,
+    Not,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Create,
+    Table,
+    Insert,
+    Into,
+    Values,
+    Drop,
+    If,
+    Exists,
+    True,
+    False,
+    Cast,
+    Distinct,
+    Join,
+    Inner,
+    Cross,
+    On,
+    Between,
+}
+
+impl Keyword {
+    fn parse(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "ORDER" => Keyword::Order,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "CASE" => Keyword::Case,
+            "WHEN" => Keyword::When,
+            "THEN" => Keyword::Then,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "CREATE" => Keyword::Create,
+            "TABLE" => Keyword::Table,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "DROP" => Keyword::Drop,
+            "IF" => Keyword::If,
+            "EXISTS" => Keyword::Exists,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "CAST" => Keyword::Cast,
+            "DISTINCT" => Keyword::Distinct,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "CROSS" => Keyword::Cross,
+            "ON" => Keyword::On,
+            "BETWEEN" => Keyword::Between,
+            _ => return None,
+        })
+    }
+}
+
+/// Lexical tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    Keyword(Keyword),
+    /// Bare or quoted identifier, already lowercased for bare ones.
+    Ident(String),
+    /// Numeric literal, kept as text until binding decides int vs float.
+    Number(String),
+    /// Single-quoted string literal, unescaped.
+    StringLit(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "identifier {s:?}"),
+            Token::Number(s) => write!(f, "number {s}"),
+            Token::StringLit(s) => write!(f, "string {s:?}"),
+            Token::Eof => write!(f, "end of input"),
+            other => write!(f, "{:?}", other),
+        }
+    }
+}
+
+/// Tokenize SQL text. Comments (`-- ...` to end of line) and whitespace are
+/// skipped. Errors carry the character offset.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                }
+                Some('>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            },
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(EngineError::Parse(format!(
+                                "unterminated string literal at offset {i}"
+                            )))
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            '"' => {
+                // Quoted identifier: preserved case.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(EngineError::Parse(format!(
+                                "unterminated quoted identifier at offset {i}"
+                            )))
+                        }
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'.') {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if matches!(chars.get(i), Some('e') | Some('E')) {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+') | Some('-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Number(chars[start..i].iter().collect()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match Keyword::parse(&word) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(word.to_ascii_lowercase())),
+                }
+            }
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "unexpected character {other:?} at offset {i}"
+                )))
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let toks = tokenize("SELECT Foo FROM bar_2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("foo".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("bar_2".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 .5 3e4 1.5E-2").unwrap();
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Number(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1", "2.5", ".5", "3e4", "1.5E-2"]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a <= b <> c != d >= e < f > g = h").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::LtEq,
+                &Token::NotEq,
+                &Token::NotEq,
+                &Token::GtEq,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_quoted_idents() {
+        let toks = tokenize("'it''s' \"MiXeD\"").unwrap();
+        assert_eq!(toks[0], Token::StringLit("it's".into()));
+        assert_eq!(toks[1], Token::Ident("MiXeD".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- the projection\n 1").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Number("1".into()));
+    }
+
+    #[test]
+    fn dotted_qualified_name() {
+        let toks = tokenize("t.col").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("t".into()), Token::Dot, Token::Ident("col".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_unterminated() {
+        assert!(tokenize("SELECT @").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn negative_number_is_minus_then_number() {
+        let toks = tokenize("-1").unwrap();
+        assert_eq!(toks, vec![Token::Minus, Token::Number("1".into()), Token::Eof]);
+    }
+}

@@ -1,0 +1,8 @@
+//! SQL frontend: lexer, AST and recursive-descent parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, SelectItem, SelectStmt, Statement, TableRef};
+pub use parser::parse_statement;

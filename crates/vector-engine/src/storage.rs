@@ -1,0 +1,446 @@
+//! Columnar block storage with small materialized aggregates.
+//!
+//! Each table is split into [`EngineConfig::partitions`] horizontal
+//! partitions; each partition stores every column as a sequence of blocks of
+//! at most `vector_size` values. Every block carries min/max small
+//! materialized aggregates (SMAs, a.k.a. MinMax indexes / zone maps —
+//! paper Sec. 4.4 and [Moerkotte, VLDB'98]) that scans use to skip whole
+//! blocks under range predicates.
+
+use crate::column::{Batch, ColumnVector};
+use crate::config::EngineConfig;
+use crate::error::{EngineError, Result};
+use crate::types::{DataType, Value};
+use parking_lot::RwLock;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+/// A column definition: name and type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> ColumnDef {
+        ColumnDef { name: name.into().to_ascii_lowercase(), dtype }
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name == b.name {
+                    return Err(EngineError::Catalog(format!(
+                        "duplicate column name {:?}",
+                        a.name
+                    )));
+                }
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    pub fn column(&self, i: usize) -> &ColumnDef {
+        &self.columns[i]
+    }
+}
+
+/// One storage block: up to `vector_size` values of one column plus its
+/// min/max SMA.
+#[derive(Clone, Debug)]
+pub struct Block {
+    data: ColumnVector,
+    min: Value,
+    max: Value,
+}
+
+impl Block {
+    fn new(data: ColumnVector) -> Block {
+        assert!(!data.is_empty(), "blocks are never empty");
+        let mut min = data.value(0);
+        let mut max = data.value(0);
+        for i in 1..data.len() {
+            let v = data.value(i);
+            if v.total_cmp(&min) == Ordering::Less {
+                min = v.clone();
+            }
+            if v.total_cmp(&max) == Ordering::Greater {
+                max = v;
+            }
+        }
+        Block { data, min, max }
+    }
+
+    pub fn data(&self) -> &ColumnVector {
+        &self.data
+    }
+
+    pub fn min(&self) -> &Value {
+        &self.min
+    }
+
+    pub fn max(&self) -> &Value {
+        &self.max
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One horizontal partition: per column, the list of blocks. Row `i` of the
+/// partition spans block `i / vector_size` across all columns.
+#[derive(Debug, Default)]
+pub struct Partition {
+    /// `columns[c]` holds the blocks of column `c`.
+    columns: Vec<Vec<Block>>,
+    rows: usize,
+}
+
+impl Partition {
+    fn new(width: usize) -> Partition {
+        Partition { columns: vec![Vec::new(); width], rows: 0 }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// The `b`-th block of every column as a batch.
+    pub fn block_batch(&self, b: usize) -> Batch {
+        Batch::new(self.columns.iter().map(|col| col[b].data.clone()).collect())
+    }
+
+    /// SMA of column `c` in block `b`.
+    pub fn sma(&self, c: usize, b: usize) -> (&Value, &Value) {
+        let blk = &self.columns[c][b];
+        (&blk.min, &blk.max)
+    }
+
+    fn append_chunk(&mut self, chunk: &[ColumnVector]) {
+        debug_assert_eq!(chunk.len(), self.columns.len());
+        for (col, vec) in self.columns.iter_mut().zip(chunk) {
+            col.push(Block::new(vec.clone()));
+        }
+        self.rows += chunk.first().map_or(0, ColumnVector::len);
+    }
+}
+
+/// A partitioned, block-organized table.
+pub struct Table {
+    name: String,
+    schema: Schema,
+    partitions: RwLock<Vec<Partition>>,
+    vector_size: usize,
+    /// Round-robin cursor so successive bulk loads stay balanced.
+    next_partition: AtomicUsize,
+    /// Ordinals of columns declared unique by the loader. The
+    /// partition-parallel driver relies on this to prove that a GROUP BY
+    /// containing such a column never spans partitions (paper Sec. 4.4:
+    /// "the grouping key (ID, Node) ... can be derived from a partitioning
+    /// based on ID, no repartitioning is necessary").
+    unique_columns: RwLock<Vec<usize>>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema, config: &EngineConfig) -> Table {
+        let width = schema.len();
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            schema,
+            partitions: RwLock::new(
+                (0..config.partitions.max(1)).map(|_| Partition::new(width)).collect(),
+            ),
+            vector_size: config.vector_size.max(1),
+            next_partition: AtomicUsize::new(0),
+            unique_columns: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Declare a column as unique (a key). This is a loader-supplied hint;
+    /// it is not enforced on insert.
+    pub fn declare_unique(&self, column: &str) -> Result<()> {
+        let idx = self.schema.index_of(column).ok_or_else(|| {
+            EngineError::Catalog(format!(
+                "table {}: no column {column:?} to declare unique",
+                self.name
+            ))
+        })?;
+        let mut cols = self.unique_columns.write();
+        if !cols.contains(&idx) {
+            cols.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Is column `idx` declared unique?
+    pub fn is_unique_column(&self, idx: usize) -> bool {
+        self.unique_columns.read().contains(&idx)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.partitions.read().len()
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.partitions.read().iter().map(Partition::rows).sum()
+    }
+
+    /// Bulk-append columnar data. Rows are cut into `vector_size` chunks and
+    /// distributed round-robin over the partitions, which for a table with a
+    /// unique key column yields the balanced, key-disjoint partitioning the
+    /// paper's parallel ModelJoin assumes (Sec. 4.4).
+    pub fn append(&self, columns: Vec<ColumnVector>) -> Result<()> {
+        if columns.len() != self.schema.len() {
+            return Err(EngineError::Catalog(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, ColumnVector::len);
+        for (i, (col, def)) in columns.iter().zip(self.schema.columns()).enumerate() {
+            if col.len() != rows {
+                return Err(EngineError::Catalog(format!(
+                    "table {}: ragged input at column {i}",
+                    self.name
+                )));
+            }
+            if col.data_type() != def.dtype {
+                return Err(EngineError::Type(format!(
+                    "table {}: column {:?} expects {}, got {}",
+                    self.name,
+                    def.name,
+                    def.dtype.name(),
+                    col.data_type().name()
+                )));
+            }
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+        let mut parts = self.partitions.write();
+        let pcount = parts.len();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + self.vector_size).min(rows);
+            let chunk: Vec<ColumnVector> =
+                columns.iter().map(|c| c.slice(start, end)).collect();
+            let p = self.next_partition.fetch_add(1, AtomicOrdering::Relaxed) % pcount;
+            parts[p].append_chunk(&chunk);
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Append row-oriented values (used by SQL `INSERT ... VALUES`).
+    pub fn append_rows(&self, rows: &[Vec<Value>]) -> Result<()> {
+        let mut columns: Vec<ColumnVector> =
+            self.schema.columns().iter().map(|c| ColumnVector::empty(c.dtype)).collect();
+        for row in rows {
+            if row.len() != self.schema.len() {
+                return Err(EngineError::Catalog(format!(
+                    "table {}: expected {} values per row, got {}",
+                    self.name,
+                    self.schema.len(),
+                    row.len()
+                )));
+            }
+            for (col, value) in columns.iter_mut().zip(row) {
+                col.push(value.clone())?;
+            }
+        }
+        self.append(columns)
+    }
+
+    /// Run `f` over every (partition index, partition) pair.
+    pub fn with_partitions<R>(&self, f: impl FnOnce(&[Partition]) -> R) -> R {
+        f(&self.partitions.read())
+    }
+
+    /// Materialize one partition as a list of batches (one per block row
+    /// group).
+    pub fn partition_batches(&self, p: usize) -> Vec<Batch> {
+        let parts = self.partitions.read();
+        let part = &parts[p];
+        (0..part.block_count()).map(|b| part.block_batch(b)).collect()
+    }
+
+    /// Materialize the whole table as one batch per block.
+    pub fn all_batches(&self) -> Vec<Batch> {
+        (0..self.partition_count()).flat_map(|p| self.partition_batches(p)).collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        let parts = self.partitions.read();
+        parts
+            .iter()
+            .map(|p| {
+                p.columns
+                    .iter()
+                    .map(|blocks| blocks.iter().map(|b| b.data.byte_size()).sum::<usize>())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Table({}, {} cols, {} rows, {} partitions)",
+            self.name,
+            self.schema.len(),
+            self.row_count(),
+            self.partition_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Float)])
+            .unwrap()
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig { vector_size: 4, partitions: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_is_case_insensitive() {
+        let err = Schema::new(vec![
+            ColumnDef::new("A", DataType::Int),
+            ColumnDef::new("a", DataType::Int),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Catalog(_)));
+        let s = int_schema();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn append_distributes_blocks_round_robin() {
+        let t = Table::new("t", int_schema(), &config());
+        let n = 10; // 3 blocks of 4,4,2 over 3 partitions
+        t.append(vec![
+            ColumnVector::Int((0..n).collect()),
+            ColumnVector::Float((0..n).map(|i| i as f64).collect()),
+        ])
+        .unwrap();
+        assert_eq!(t.row_count(), 10);
+        t.with_partitions(|parts| {
+            assert_eq!(parts.len(), 3);
+            assert_eq!(parts[0].rows(), 4);
+            assert_eq!(parts[1].rows(), 4);
+            assert_eq!(parts[2].rows(), 2);
+        });
+        // A second load continues the round-robin at partition 0.
+        t.append(vec![ColumnVector::Int(vec![100]), ColumnVector::Float(vec![1.0])]).unwrap();
+        t.with_partitions(|parts| assert_eq!(parts[0].rows(), 5));
+    }
+
+    #[test]
+    fn sma_tracks_min_max() {
+        let t = Table::new("t", int_schema(), &config());
+        t.append(vec![
+            ColumnVector::Int(vec![5, 1, 9, 3]),
+            ColumnVector::Float(vec![0.5, 0.1, 0.9, 0.3]),
+        ])
+        .unwrap();
+        t.with_partitions(|parts| {
+            let (min, max) = parts[0].sma(0, 0);
+            assert_eq!(min, &Value::Int(1));
+            assert_eq!(max, &Value::Int(9));
+            let (min, max) = parts[0].sma(1, 0);
+            assert_eq!(min, &Value::Float(0.1));
+            assert_eq!(max, &Value::Float(0.9));
+        });
+    }
+
+    #[test]
+    fn append_validates_schema() {
+        let t = Table::new("t", int_schema(), &config());
+        // Wrong arity.
+        assert!(t.append(vec![ColumnVector::Int(vec![1])]).is_err());
+        // Wrong type.
+        assert!(t
+            .append(vec![ColumnVector::Float(vec![1.0]), ColumnVector::Float(vec![1.0])])
+            .is_err());
+        // Ragged.
+        assert!(t
+            .append(vec![ColumnVector::Int(vec![1, 2]), ColumnVector::Float(vec![1.0])])
+            .is_err());
+    }
+
+    #[test]
+    fn append_rows_round_trips() {
+        let t = Table::new("t", int_schema(), &config());
+        t.append_rows(&[
+            vec![Value::Int(1), Value::Float(0.1)],
+            vec![Value::Int(2), Value::Float(0.2)],
+        ])
+        .unwrap();
+        let batches = t.all_batches();
+        let total: usize = batches.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn empty_append_is_noop() {
+        let t = Table::new("t", int_schema(), &config());
+        t.append(vec![ColumnVector::Int(vec![]), ColumnVector::Float(vec![])]).unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert!(t.all_batches().is_empty());
+    }
+}

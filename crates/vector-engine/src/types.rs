@@ -1,0 +1,233 @@
+//! Scalar types and values.
+
+use crate::error::{EngineError, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types. The engine is NULL-free by design (see crate docs);
+/// every value of a column is present.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`INT`, `INTEGER`, `BIGINT`).
+    Int,
+    /// 64-bit float (`FLOAT`, `REAL`, `DOUBLE`). The paper's model table
+    /// stores 4-byte floats; we widen to f64 for SQL arithmetic, which only
+    /// tightens numeric agreement between approaches.
+    Float,
+    /// Boolean (`BOOLEAN`).
+    Bool,
+    /// UTF-8 string (`VARCHAR`, `TEXT`).
+    Str,
+}
+
+impl DataType {
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Bool => "BOOLEAN",
+            DataType::Str => "VARCHAR",
+        }
+    }
+
+    /// True for INT and FLOAT.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Result type of an arithmetic operation between two numeric types.
+    pub fn promote(self, other: DataType) -> Result<DataType> {
+        match (self, other) {
+            (DataType::Int, DataType::Int) => Ok(DataType::Int),
+            (a, b) if a.is_numeric() && b.is_numeric() => Ok(DataType::Float),
+            (a, b) => Err(EngineError::Type(format!(
+                "cannot apply arithmetic to {} and {}",
+                a.name(),
+                b.name()
+            ))),
+        }
+    }
+
+    /// Parse a SQL type name.
+    pub fn parse_sql(name: &str) -> Result<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Ok(DataType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" | "FLOAT4" | "FLOAT8" => Ok(DataType::Float),
+            "BOOLEAN" | "BOOL" => Ok(DataType::Bool),
+            "VARCHAR" | "TEXT" | "STRING" | "CHAR" => Ok(DataType::Str),
+            other => Err(EngineError::Parse(format!("unknown type name {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Bool(_) => DataType::Bool,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Numeric view as f64; errors for non-numeric values.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(v) => Ok(*v as f64),
+            Value::Float(v) => Ok(*v),
+            other => {
+                Err(EngineError::Type(format!("expected a number, found {other}")))
+            }
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Float(v) => Ok(*v as i64),
+            other => {
+                Err(EngineError::Type(format!("expected an integer, found {other}")))
+            }
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => {
+                Err(EngineError::Type(format!("expected a boolean, found {other}")))
+            }
+        }
+    }
+
+    /// Cast to a target type following SQL conversion rules.
+    pub fn cast(&self, to: DataType) -> Result<Value> {
+        match (self, to) {
+            (v, t) if v.data_type() == t => Ok(v.clone()),
+            (Value::Int(v), DataType::Float) => Ok(Value::Float(*v as f64)),
+            (Value::Float(v), DataType::Int) => Ok(Value::Int(*v as i64)),
+            (Value::Int(v), DataType::Str) => Ok(Value::Str(v.to_string())),
+            (Value::Float(v), DataType::Str) => Ok(Value::Str(v.to_string())),
+            (Value::Bool(v), DataType::Str) => Ok(Value::Str(v.to_string())),
+            (Value::Str(s), DataType::Int) => s
+                .trim()
+                .parse()
+                .map(Value::Int)
+                .map_err(|_| EngineError::Type(format!("cannot cast {s:?} to INT"))),
+            (Value::Str(s), DataType::Float) => s
+                .trim()
+                .parse()
+                .map(Value::Float)
+                .map_err(|_| EngineError::Type(format!("cannot cast {s:?} to FLOAT"))),
+            (v, t) => Err(EngineError::Type(format!(
+                "cannot cast {} to {}",
+                v.data_type().name(),
+                t.name()
+            ))),
+        }
+    }
+
+    /// Total ordering used by ORDER BY, MIN/MAX and SMA pruning. Numeric
+    /// values compare by numeric value across INT/FLOAT; NaN sorts last.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if a.data_type().is_numeric() && b.data_type().is_numeric() => {
+                let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+                x.total_cmp(&y)
+            }
+            // Heterogeneous non-numeric comparison: order by type tag so
+            // sorting stays total. Planner type checks prevent reaching this
+            // from SQL.
+            (a, b) => type_tag(a).cmp(&type_tag(b)),
+        }
+    }
+}
+
+fn type_tag(v: &Value) -> u8 {
+    match v {
+        Value::Bool(_) => 0,
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_rules() {
+        assert_eq!(DataType::Int.promote(DataType::Int).unwrap(), DataType::Int);
+        assert_eq!(DataType::Int.promote(DataType::Float).unwrap(), DataType::Float);
+        assert_eq!(DataType::Float.promote(DataType::Float).unwrap(), DataType::Float);
+        assert!(DataType::Str.promote(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn sql_type_names() {
+        assert_eq!(DataType::parse_sql("integer").unwrap(), DataType::Int);
+        assert_eq!(DataType::parse_sql("REAL").unwrap(), DataType::Float);
+        assert_eq!(DataType::parse_sql("varchar").unwrap(), DataType::Str);
+        assert!(DataType::parse_sql("BLOB").is_err());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Value::Int(3).cast(DataType::Float).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Float(3.7).cast(DataType::Int).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Str(" 42 ".into()).cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert!(Value::Str("x".into()).cast(DataType::Int).is_err());
+        assert!(Value::Bool(true).cast(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn cross_type_numeric_ordering() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+        assert_eq!(
+            Value::Str("b".into()).total_cmp(&Value::Str("a".into())),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(5).as_f64().unwrap(), 5.0);
+        assert_eq!(Value::Float(5.9).as_i64().unwrap(), 5);
+        assert!(Value::Str("hi".into()).as_f64().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+}

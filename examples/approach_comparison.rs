@@ -1,0 +1,47 @@
+//! Compare all eight evaluated approaches on one workload — a miniature
+//! Figure 8 cell with cross-verification against the reference model.
+//!
+//! ```text
+//! cargo run --release --example approach_comparison [rows]
+//! ```
+
+use indb_ml::core::{Approach, Experiment, ExperimentConfig, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+    let workload = Workload::Dense { width: 32, depth: 2 };
+    println!(
+        "workload: {} on {} replicated Iris tuples (paper Fig. 8 cell)",
+        workload.label(),
+        rows
+    );
+
+    let experiment = Experiment::build(ExperimentConfig::new(workload, rows))?;
+    let oracle = experiment.oracle_predictions()?;
+
+    println!("\n{:<16}{:>12}{:>12}{:>16}", "approach", "runtime", "rows", "max |err|");
+    for approach in Approach::ALL {
+        let outcome = experiment.run(approach, true)?;
+        let preds = outcome.predictions.as_ref().expect("collected");
+        let max_err = preds
+            .iter()
+            .zip(&oracle)
+            .map(|((_, p), (_, o))| (p - o).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<16}{:>11.3}s{}{:>11}{:>16.2e}",
+            approach.label(),
+            outcome.runtime.as_secs_f64(),
+            if outcome.gpu_modeled { "*" } else { " " },
+            outcome.rows,
+            max_err
+        );
+        assert!(max_err < 1e-3, "{approach} diverged from the oracle");
+    }
+    println!("\nall approaches agree with the reference model to < 1e-3");
+    println!("(*) GPU runtime derived from the calibrated device model (DESIGN.md §2)");
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: every approach, every workload family, every
+//! optimization level and dialect produces the reference model's
+//! predictions.
+
+use indb_ml::core::{Approach, Experiment, ExperimentConfig, Workload};
+use indb_ml::ml2sql::{ActivationDialect, GenOptions, OptLevel, SqlGenerator};
+use indb_ml::model_repr::load_into_engine;
+use vector_engine::EngineConfig;
+
+fn small_engine() -> EngineConfig {
+    EngineConfig { vector_size: 64, partitions: 4, parallelism: 3, ..Default::default() }
+}
+
+fn check_all(workload: Workload, rows: usize, opt: OptLevel) {
+    let config = ExperimentConfig {
+        engine: small_engine(),
+        opt,
+        ..ExperimentConfig::new(workload, rows)
+    };
+    let experiment = Experiment::build(config).unwrap();
+    let oracle = experiment.oracle_predictions().unwrap();
+    for approach in Approach::ALL {
+        let outcome = experiment
+            .run(approach, true)
+            .unwrap_or_else(|e| panic!("{approach} on {}: {e}", workload.label()));
+        let preds = outcome.predictions.unwrap();
+        assert_eq!(preds.len(), rows, "{approach}");
+        let max_err = preds
+            .iter()
+            .zip(&oracle)
+            .map(|((ia, p), (ib, o))| {
+                assert_eq!(ia, ib, "{approach}: id ordering");
+                (p - o).abs()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-3, "{approach} on {}: max err {max_err}", workload.label());
+    }
+}
+
+#[test]
+fn dense_all_approaches_node_id_layout() {
+    check_all(Workload::Dense { width: 8, depth: 3 }, 150, OptLevel::NodeId);
+}
+
+#[test]
+fn dense_all_approaches_layer_node_layout() {
+    check_all(Workload::Dense { width: 6, depth: 2 }, 90, OptLevel::LayerFilters);
+}
+
+#[test]
+fn dense_all_approaches_basic_level() {
+    check_all(Workload::Dense { width: 4, depth: 2 }, 60, OptLevel::Basic);
+}
+
+#[test]
+fn lstm_all_approaches() {
+    check_all(Workload::Lstm { width: 6 }, 80, OptLevel::NodeId);
+}
+
+#[test]
+fn lstm_layer_node_layout() {
+    check_all(Workload::Lstm { width: 4 }, 50, OptLevel::LayerFilters);
+}
+
+#[test]
+fn portable_dialect_runs_the_whole_pipeline() {
+    // The portability claim: generated SQL restricted to EXP/GREATEST
+    // arithmetic still reproduces the model.
+    let engine = vector_engine::Engine::new(small_engine());
+    let model = nn::paper::dense_model(8, 2, 77);
+    engine
+        .execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, c2 FLOAT, c3 FLOAT)")
+        .unwrap();
+    let n = 64usize;
+    let rows: Vec<Vec<f32>> = indb_ml::core::data::replicated_iris(n);
+    let mut cols = vec![vector_engine::ColumnVector::Int((0..n as i64).collect())];
+    for c in 0..4 {
+        cols.push(vector_engine::ColumnVector::Float(
+            rows.iter().map(|r| r[c] as f64).collect(),
+        ));
+    }
+    engine.insert_columns("facts", cols).unwrap();
+    engine.table("facts").unwrap().declare_unique("id").unwrap();
+    let (_, meta) =
+        load_into_engine(&engine, "m", &model, OptLevel::NodeId.layout()).unwrap();
+    let sql = SqlGenerator::new(
+        &meta,
+        "m",
+        "facts",
+        "id",
+        &["c0", "c1", "c2", "c3"],
+        &[],
+        GenOptions { opt: OptLevel::NodeId, dialect: ActivationDialect::Portable },
+    )
+    .unwrap()
+    .generate()
+    .unwrap();
+    // Portable SQL never references engine-specific functions.
+    assert!(!sql.contains("SIGMOID") && !sql.contains("RELU("));
+    let result = engine.execute(&format!("{sql} ORDER BY id")).unwrap();
+    let preds = result.column("prediction").unwrap().as_float().unwrap();
+    for (r, row) in rows.iter().enumerate() {
+        let expected = model.predict_row(row)[0] as f64;
+        assert!((preds[r] - expected).abs() < 1e-4, "row {r}");
+    }
+}
+
+#[test]
+fn parallel_and_serial_engines_agree_on_ml2sql() {
+    let workload = Workload::Dense { width: 6, depth: 2 };
+    let mk = |engine: EngineConfig| {
+        let config = ExperimentConfig { engine, ..ExperimentConfig::new(workload, 120) };
+        let ex = Experiment::build(config).unwrap();
+        ex.run(Approach::Ml2Sql, true).unwrap().predictions.unwrap()
+    };
+    let parallel = mk(small_engine());
+    let serial = mk(EngineConfig {
+        vector_size: 64,
+        partitions: 1,
+        parallelism: 1,
+        ..Default::default()
+    });
+    assert_eq!(parallel.len(), serial.len());
+    for ((ia, a), (ib, b)) in parallel.iter().zip(&serial) {
+        assert_eq!(ia, ib);
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn gpu_runtimes_are_adjusted_not_fabricated() {
+    // GPU and CPU variants must produce identical predictions; the GPU
+    // runtime must be flagged as model-derived.
+    let config = ExperimentConfig {
+        engine: small_engine(),
+        ..ExperimentConfig::new(Workload::Dense { width: 16, depth: 2 }, 100)
+    };
+    let ex = Experiment::build(config).unwrap();
+    let cpu = ex.run(Approach::ModelJoinCpu, true).unwrap();
+    let gpu = ex.run(Approach::ModelJoinGpu, true).unwrap();
+    assert!(!cpu.gpu_modeled);
+    assert!(gpu.gpu_modeled);
+    let (a, b) = (cpu.predictions.unwrap(), gpu.predictions.unwrap());
+    assert_eq!(a, b, "identical math on both devices");
+}
+
+#[test]
+fn approaches_handle_multiple_runs_on_one_experiment() {
+    let config = ExperimentConfig {
+        engine: small_engine(),
+        ..ExperimentConfig::new(Workload::Dense { width: 4, depth: 2 }, 40)
+    };
+    let ex = Experiment::build(config).unwrap();
+    let first = ex.run(Approach::Ml2Sql, true).unwrap().predictions.unwrap();
+    let second = ex.run(Approach::Ml2Sql, true).unwrap().predictions.unwrap();
+    assert_eq!(first, second, "queries are read-only and repeatable");
+}
