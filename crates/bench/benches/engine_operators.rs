@@ -45,16 +45,12 @@ fn engine_operators(c: &mut Criterion) {
     });
     group.bench_function("scan_sma_pruned_range", |b| {
         b.iter(|| {
-            engine
-                .execute("SELECT SUM(v) FROM t WHERE id >= 99000 AND id <= 99999")
-                .expect("q")
+            engine.execute("SELECT SUM(v) FROM t WHERE id >= 99000 AND id <= 99999").expect("q")
         });
     });
     group.bench_function("hash_join_probe_100k_x_100", |b| {
         b.iter(|| {
-            engine
-                .execute("SELECT SUM(t.v * dim.w) FROM t, dim WHERE t.grp = dim.grp")
-                .expect("q")
+            engine.execute("SELECT SUM(t.v * dim.w) FROM t, dim WHERE t.grp = dim.grp").expect("q")
         });
     });
     group.bench_function("hash_aggregate_100_groups", |b| {
@@ -62,9 +58,7 @@ fn engine_operators(c: &mut Criterion) {
     });
     group.bench_function("parallel_group_by_unique_key", |b| {
         b.iter(|| {
-            engine
-                .execute("SELECT id, SUM(v) FROM t WHERE id < 20000 GROUP BY id")
-                .expect("q")
+            engine.execute("SELECT id, SUM(v) FROM t WHERE id < 20000 GROUP BY id").expect("q")
         });
     });
     group.finish();

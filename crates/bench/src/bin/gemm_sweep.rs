@@ -1,0 +1,183 @@
+//! GEMM kernel-layer sweep: the seed scalar `sgemm` against the blocked,
+//! packed, register-tiled kernel of PR 2 — in isolation and end-to-end
+//! through the dense ModelJoin operator.
+//!
+//! ```text
+//! cargo run --release -p bench --bin gemm_sweep [--quick]
+//! ```
+//!
+//! For each width `w` in {32, 128, 512} the multiply is the dense-layer
+//! shape the operator issues (`vectorsize x w  *  w x w`), plus the
+//! acceptance shape `1024 x 512 * 512 x 512`; each is timed for the
+//! unblocked seed kernel and the blocked kernel at 1 and 2 kernel
+//! threads. End-to-end, a dense ModelJoin over the same widths is timed
+//! against the full operator stack. Results go to stdout and to
+//! `BENCH_gemm.json` at the repository root — including the host core
+//! count, since intra-kernel threading cannot show wall-clock wins on a
+//! single-core host.
+
+use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
+use std::time::Instant;
+use tensor::blas::{gemm_flops, sgemm, sgemm_unblocked, Transpose};
+use tensor::Matrix;
+use vector_engine::EngineConfig;
+
+/// One timed GEMM configuration.
+struct GemmRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    unblocked_s: f64,
+    blocked_1t_s: f64,
+    blocked_2t_s: f64,
+}
+
+/// One timed end-to-end ModelJoin configuration.
+struct JoinRow {
+    width: usize,
+    rows: usize,
+    seconds: f64,
+}
+
+fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let x =
+            (r as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(c as u64).wrapping_add(seed);
+        ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    })
+}
+
+/// Median wall time of `reps` runs of `f`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: faults in buffers, spawns pool workers
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_gemm(m: usize, k: usize, n: usize, reps: usize) -> GemmRow {
+    let a = fill(m, k, 1);
+    let b = fill(k, n, 2);
+    let mut c = Matrix::zeros(m, n);
+
+    let unblocked_s = time_median(reps, || {
+        sgemm_unblocked(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    tensor::set_kernel_threads(1);
+    let blocked_1t_s =
+        time_median(reps, || sgemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c));
+    tensor::set_kernel_threads(2);
+    let blocked_2t_s =
+        time_median(reps, || sgemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c));
+    tensor::set_kernel_threads(1);
+    GemmRow { m, k, n, unblocked_s, blocked_1t_s, blocked_2t_s }
+}
+
+fn bench_join(width: usize, rows: usize, kernel_threads: usize) -> Option<JoinRow> {
+    let engine = EngineConfig {
+        vector_size: 1024,
+        partitions: 4,
+        parallelism: 1,
+        kernel_threads,
+        ..Default::default()
+    };
+    let workload = Workload::Dense { width, depth: 3 };
+    let config = ExperimentConfig { engine, ..ExperimentConfig::new(workload, rows) };
+    let experiment = match Experiment::build(config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("setup failed for width {width}: {e}");
+            return None;
+        }
+    };
+    // Median of 3: the operator path includes the one-off model build.
+    let mut samples: Vec<f64> = (0..3)
+        .filter_map(|_| {
+            experiment.run(Approach::ModelJoinCpu, false).ok().map(|o| o.runtime.as_secs_f64())
+        })
+        .collect();
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Some(JoinRow { width, rows, seconds: samples[samples.len() / 2] })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("# GEMM kernel sweep (cores = {cores})");
+    println!("m,k,n,unblocked_s,blocked_1t_s,blocked_2t_s,speedup_1t,gflops_blocked");
+
+    let reps = if quick { 3 } else { 7 };
+    let mut gemm_rows = Vec::new();
+    for &w in &[32usize, 128, 512] {
+        gemm_rows.push(bench_gemm(1024, w, w, reps));
+    }
+    // The acceptance shape: 1024 x 512 * 512 x 512, single thread.
+    gemm_rows.push(bench_gemm(1024, 512, 512, reps));
+
+    for r in &gemm_rows {
+        let speedup = r.unblocked_s / r.blocked_1t_s;
+        let gflops = gemm_flops(r.m, r.k, r.n) as f64 / r.blocked_1t_s / 1e9;
+        println!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.2},{:.1}",
+            r.m, r.k, r.n, r.unblocked_s, r.blocked_1t_s, r.blocked_2t_s, speedup, gflops
+        );
+    }
+
+    println!("\n# End-to-end dense ModelJoin (rows x width, depth 3, serial partitions)");
+    println!("width,rows,seconds");
+    let join_rows_count = if quick { 4_000 } else { 16_000 };
+    let mut join_rows = Vec::new();
+    for &w in &[32usize, 128, 512] {
+        if let Some(row) = bench_join(w, join_rows_count, 1) {
+            println!("{},{},{:.4}", row.width, row.rows, row.seconds);
+            join_rows.push(row);
+        }
+    }
+
+    // Hand-rolled JSON: the repository vendors no serializer, and the
+    // schema is three flat arrays.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str("  \"kernel\": \"blocked sgemm (PR 2)\",\n");
+    json.push_str("  \"gemm\": [\n");
+    for (i, r) in gemm_rows.iter().enumerate() {
+        let sep = if i + 1 < gemm_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"unblocked_s\": {:.6}, \
+             \"blocked_1t_s\": {:.6}, \"blocked_2t_s\": {:.6}, \"speedup_1t\": {:.3}}}{sep}\n",
+            r.m,
+            r.k,
+            r.n,
+            r.unblocked_s,
+            r.blocked_1t_s,
+            r.blocked_2t_s,
+            r.unblocked_s / r.blocked_1t_s
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"modeljoin_dense\": [\n");
+    for (i, r) in join_rows.iter().enumerate() {
+        let sep = if i + 1 < join_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"width\": {}, \"rows\": {}, \"seconds\": {:.4}}}{sep}\n",
+            r.width, r.rows, r.seconds
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

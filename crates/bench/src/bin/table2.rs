@@ -63,15 +63,9 @@ fn main() {
         println!(
             "  {:<18} small {:>10} large {:>10} peak {:>12}",
             class.label(),
-            small_rt
-                .get(&class)
-                .map_or("-".into(), |d| format!("{:.3}s", d.as_secs_f64())),
-            large_rt
-                .get(&class)
-                .map_or("-".into(), |d| format!("{:.3}s", d.as_secs_f64())),
-            large_mem
-                .get(&class)
-                .map_or("-".into(), |&b| memtrack::format_bytes(b)),
+            small_rt.get(&class).map_or("-".into(), |d| format!("{:.3}s", d.as_secs_f64())),
+            large_rt.get(&class).map_or("-".into(), |d| format!("{:.3}s", d.as_secs_f64())),
+            large_mem.get(&class).map_or("-".into(), |&b| memtrack::format_bytes(b)),
         );
     }
 

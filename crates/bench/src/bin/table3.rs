@@ -31,12 +31,8 @@ fn main() {
         .unwrap_or(if full { 100_000 } else { 10_000 });
 
     // The paper's Table 3 columns.
-    let approaches = [
-        Approach::ModelJoinCpu,
-        Approach::TfCapiCpu,
-        Approach::TfPythonCpu,
-        Approach::Ml2Sql,
-    ];
+    let approaches =
+        [Approach::ModelJoinCpu, Approach::TfCapiCpu, Approach::TfPythonCpu, Approach::Ml2Sql];
     // The paper's Table 3 rows.
     let workloads = [
         ("Dense(32,4)", Workload::Dense { width: 32, depth: 4 }),

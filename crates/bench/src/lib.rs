@@ -80,16 +80,13 @@ impl Scale {
                     i += 1;
                 }
                 "--budget" => {
-                    scale.ml2sql_budget = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(scale.ml2sql_budget);
+                    scale.ml2sql_budget =
+                        args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(scale.ml2sql_budget);
                     i += 1;
                 }
                 "--approaches" => {
                     if let Some(list) = args.get(i + 1) {
-                        scale.approaches =
-                            list.split(',').filter_map(Approach::parse).collect();
+                        scale.approaches = list.split(',').filter_map(Approach::parse).collect();
                     }
                     i += 1;
                 }
@@ -103,8 +100,7 @@ impl Scale {
 }
 
 fn parse_list(arg: Option<&String>) -> Vec<usize> {
-    arg.map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
-        .unwrap_or_default()
+    arg.map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect()).unwrap_or_default()
 }
 
 /// The ML-To-SQL work estimate: one intermediate row per (tuple, edge).
@@ -188,9 +184,7 @@ pub fn run_cell(
     let oracle = if scale.verify { experiment.oracle_predictions().ok() } else { None };
     let mut cells = Vec::new();
     for &approach in &scale.approaches {
-        if approach == Approach::Ml2Sql
-            && ml2sql_cost(fact_rows, &model) > scale.ml2sql_budget
-        {
+        if approach == Approach::Ml2Sql && ml2sql_cost(fact_rows, &model) > scale.ml2sql_budget {
             cells.push(Cell { workload, fact_rows, approach, runtime: None, gpu_modeled: false });
             continue;
         }
@@ -202,10 +196,7 @@ pub fn run_cell(
                         .zip(oracle)
                         .map(|((_, p), (_, o))| (p - o).abs())
                         .fold(0.0f64, f64::max);
-                    assert!(
-                        max_diff < 1e-3,
-                        "{approach} diverges from oracle by {max_diff}"
-                    );
+                    assert!(max_diff < 1e-3, "{approach} diverges from oracle by {max_diff}");
                 }
                 cells.push(Cell {
                     workload,
@@ -303,12 +294,8 @@ mod tests {
         let mut scale = Scale::default_scale();
         scale.approaches = vec![Approach::ModelJoinCpu, Approach::Ml2Sql];
         scale.verify = true;
-        let cfg = EngineConfig {
-            vector_size: 64,
-            partitions: 2,
-            parallelism: 2,
-            ..Default::default()
-        };
+        let cfg =
+            EngineConfig { vector_size: 64, partitions: 2, parallelism: 2, ..Default::default() };
         let cells = run_cell(Workload::Dense { width: 4, depth: 2 }, 60, &scale, cfg);
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.runtime.is_some()));

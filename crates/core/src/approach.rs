@@ -55,10 +55,7 @@ impl Approach {
     /// Such results are model-derived (DESIGN.md §2) and flagged in the
     /// harness output.
     pub fn uses_gpu(self) -> bool {
-        matches!(
-            self,
-            Approach::ModelJoinGpu | Approach::TfCapiGpu | Approach::TfPythonGpu
-        )
+        matches!(self, Approach::ModelJoinGpu | Approach::TfCapiGpu | Approach::TfPythonGpu)
     }
 
     /// Parse a figure label (for bench harness CLI filters).

@@ -13,9 +13,7 @@ pub use iris::{iris_features, iris_labels, IRIS, IRIS_ROWS};
 /// "self-joining the table n-1 times ... with a join predicate that lets
 /// tuples match with their predecessor in the series").
 pub fn sine_series(rows: usize, timesteps: usize) -> Vec<Vec<f32>> {
-    (0..rows)
-        .map(|i| (0..timesteps).map(|t| ((i + t) as f32 * 0.1).sin()).collect())
-        .collect()
+    (0..rows).map(|i| (0..timesteps).map(|t| ((i + t) as f32 * 0.1).sin()).collect()).collect()
 }
 
 /// Replicate the Iris feature rows to `n` tuples ("the Iris dataset that

@@ -15,9 +15,7 @@ use pybridge::UdfHost;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tensor::Device;
-use vector_engine::{
-    ColumnVector, Engine, EngineConfig, EngineError, Result, Table,
-};
+use vector_engine::{ColumnVector, Engine, EngineConfig, EngineError, Result, Table};
 
 /// The two workload families of the evaluation (Sec. 6.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,20 +112,16 @@ impl Experiment {
             ddl.push(format!("c{i} FLOAT"));
         }
         engine.execute(&format!("CREATE TABLE facts ({})", ddl.join(", ")))?;
-        let mut columns =
-            vec![ColumnVector::Int((0..config.fact_rows as i64).collect())];
+        let mut columns = vec![ColumnVector::Int((0..config.fact_rows as i64).collect())];
         for c in 0..dim {
-            columns.push(ColumnVector::Float(
-                rows.iter().map(|r| r[c] as f64).collect(),
-            ));
+            columns.push(ColumnVector::Float(rows.iter().map(|r| r[c] as f64).collect()));
         }
         engine.insert_columns("facts", columns)?;
         let fact_table = engine.table("facts")?;
         fact_table.declare_unique("id")?;
 
         let layout = config.opt.layout();
-        let (model_table, meta) =
-            load_into_engine(&engine, "model_table", &model, layout)?;
+        let (model_table, meta) = load_into_engine(&engine, "model_table", &model, layout)?;
         let saved_model = nn::serial::to_string(&model);
         let input_cols = (0..dim).map(|i| format!("c{i}")).collect();
         Ok(Experiment { engine, model, meta, config, saved_model, input_cols, model_table })
@@ -182,13 +176,7 @@ impl Experiment {
         )?;
         let runtime = device.adjust(start.elapsed());
         let (rows, predictions) = gather_id_pred(&batches, 0, 1, collect)?;
-        Ok(RunOutcome {
-            approach,
-            runtime,
-            gpu_modeled: device.is_gpu(),
-            rows,
-            predictions,
-        })
+        Ok(RunOutcome { approach, runtime, gpu_modeled: device.is_gpu(), rows, predictions })
     }
 
     fn run_capi(&self, device: Device, approach: Approach, collect: bool) -> Result<RunOutcome> {
@@ -207,21 +195,10 @@ impl Experiment {
         )?;
         let runtime = device.adjust(start.elapsed());
         let (rows, predictions) = gather_id_pred(&batches, 0, 1, collect)?;
-        Ok(RunOutcome {
-            approach,
-            runtime,
-            gpu_modeled: device.is_gpu(),
-            rows,
-            predictions,
-        })
+        Ok(RunOutcome { approach, runtime, gpu_modeled: device.is_gpu(), rows, predictions })
     }
 
-    fn run_client(
-        &self,
-        device: Device,
-        approach: Approach,
-        collect: bool,
-    ) -> Result<RunOutcome> {
+    fn run_client(&self, device: Device, approach: Approach, collect: bool) -> Result<RunOutcome> {
         let session = Arc::new(Session::from_model("client", &self.model, device.clone()));
         device.reset();
         let start = Instant::now();
@@ -229,41 +206,27 @@ impl Experiment {
         // the ODBC transport, the client-side conversion, the inference.
         let (ids, rows) = self.fact_rows_with_ids()?;
         let dim = self.model.input_dim();
-        let (preds, _stats) = run_client_inference(
-            &rows,
-            dim,
-            &session,
-            &ClientConfig::default(),
-        )
-        .map_err(EngineError::Execution)?;
+        let (preds, _stats) = run_client_inference(&rows, dim, &session, &ClientConfig::default())
+            .map_err(EngineError::Execution)?;
         let runtime = device.adjust(start.elapsed());
         let n = ids.len();
         let predictions = if collect {
             let p = self.model.output_dim();
-            let mut out: Vec<(i64, f64)> = ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (id, preds[i * p] as f64))
-                .collect();
+            let mut out: Vec<(i64, f64)> =
+                ids.iter().enumerate().map(|(i, &id)| (id, preds[i * p] as f64)).collect();
             out.sort_by_key(|r| r.0);
             Some(out)
         } else {
             None
         };
-        Ok(RunOutcome {
-            approach,
-            runtime,
-            gpu_modeled: device.is_gpu(),
-            rows: n,
-            predictions,
-        })
+        Ok(RunOutcome { approach, runtime, gpu_modeled: device.is_gpu(), rows: n, predictions })
     }
 
     fn run_udf(&self, collect: bool) -> Result<RunOutcome> {
         // The UDF host loads the saved model once (paper: "we load the
         // saved model"), outside the measured query.
-        let host = UdfHost::spawn(&self.saved_model, Device::cpu())
-            .map_err(EngineError::Execution)?;
+        let host =
+            UdfHost::spawn(&self.saved_model, Device::cpu()).map_err(EngineError::Execution)?;
         let dim = self.model.input_dim();
         let p = self.model.output_dim();
         let start = Instant::now();
@@ -302,13 +265,7 @@ impl Experiment {
         } else {
             None
         };
-        Ok(RunOutcome {
-            approach: Approach::Udf,
-            runtime,
-            gpu_modeled: false,
-            rows,
-            predictions,
-        })
+        Ok(RunOutcome { approach: Approach::Udf, runtime, gpu_modeled: false, rows, predictions })
     }
 
     fn run_ml2sql(&self, collect: bool) -> Result<RunOutcome> {
@@ -335,8 +292,7 @@ impl Experiment {
                 result.column("prediction_0")?
             };
             let preds = pred_col.as_float()?;
-            let mut out: Vec<(i64, f64)> =
-                ids.iter().copied().zip(preds.iter().copied()).collect();
+            let mut out: Vec<(i64, f64)> = ids.iter().copied().zip(preds.iter().copied()).collect();
             out.sort_by_key(|r| r.0);
             Some(out)
         } else {
@@ -388,6 +344,7 @@ impl Experiment {
 
 /// Extract `(id, prediction)` from operator output batches where column
 /// `id_col` is the id and `pred_col` the first prediction column.
+#[allow(clippy::type_complexity)] // (row count, optional collected (id, pred) pairs)
 fn gather_id_pred(
     batches: &[vector_engine::Batch],
     id_col: usize,
@@ -439,10 +396,7 @@ mod tests {
             assert_eq!(preds.len(), rows, "{approach}: prediction count");
             for ((id_a, p), (id_b, o)) in preds.iter().zip(&oracle) {
                 assert_eq!(id_a, id_b, "{approach}: id order");
-                assert!(
-                    (p - o).abs() < 1e-4,
-                    "{approach} id {id_a}: {p} vs oracle {o}"
-                );
+                assert!((p - o).abs() < 1e-4, "{approach} id {id_a}: {p} vs oracle {o}");
             }
             assert_eq!(outcome.gpu_modeled, approach.uses_gpu());
         }

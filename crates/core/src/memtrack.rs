@@ -73,8 +73,7 @@ pub fn reset_peak() {
 /// Peak bytes above the baseline since the last [`reset_peak`]. Zero when
 /// the tracking allocator is not registered.
 pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
-        .saturating_sub(BASELINE.load(Ordering::Relaxed))
+    PEAK.load(Ordering::Relaxed).saturating_sub(BASELINE.load(Ordering::Relaxed))
 }
 
 /// Absolute peak since the last reset.

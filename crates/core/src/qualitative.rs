@@ -127,8 +127,7 @@ pub fn derive_table2(
     };
     let best_small = best(small_runtime);
     let best_large = best(large_runtime);
-    let best_mem =
-        peak_memory.values().copied().map(|v| v as f64).fold(f64::INFINITY, f64::min);
+    let best_mem = peak_memory.values().copied().map(|v| v as f64).fold(f64::INFINITY, f64::min);
     ApproachClass::ALL
         .iter()
         .map(|&class| Table2Row {
@@ -139,9 +138,7 @@ pub fn derive_table2(
             perf_large: large_runtime
                 .get(&class)
                 .map_or(Grade::Bad, |d| grade(d.as_secs_f64(), best_large)),
-            memory: peak_memory
-                .get(&class)
-                .map_or(Grade::Bad, |&b| grade(b as f64, best_mem)),
+            memory: peak_memory.get(&class).map_or(Grade::Bad, |&b| grade(b as f64, best_mem)),
             portability: class.portability(),
             generalizability: class.generalizability(),
         })

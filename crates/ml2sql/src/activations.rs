@@ -54,16 +54,10 @@ mod tests {
     fn native_and_portable_agree() {
         for x in [-3.0f64, -0.5, 0.0, 0.5, 3.0] {
             for act in Activation::all() {
-                let native = eval(&activation_sql(
-                    act,
-                    &format!("({x})"),
-                    ActivationDialect::Native,
-                ));
-                let portable = eval(&activation_sql(
-                    act,
-                    &format!("({x})"),
-                    ActivationDialect::Portable,
-                ));
+                let native =
+                    eval(&activation_sql(act, &format!("({x})"), ActivationDialect::Native));
+                let portable =
+                    eval(&activation_sql(act, &format!("({x})"), ActivationDialect::Portable));
                 assert!(
                     (native - portable).abs() < 1e-12,
                     "{act} at {x}: native {native} vs portable {portable}"
@@ -76,23 +70,13 @@ mod tests {
 
     #[test]
     fn portable_forms_saturate_instead_of_nan() {
-        let big = eval(&activation_sql(
-            Activation::Tanh,
-            "(1000.0)",
-            ActivationDialect::Portable,
-        ));
+        let big = eval(&activation_sql(Activation::Tanh, "(1000.0)", ActivationDialect::Portable));
         assert_eq!(big, 1.0);
-        let small = eval(&activation_sql(
-            Activation::Tanh,
-            "(-1000.0)",
-            ActivationDialect::Portable,
-        ));
+        let small =
+            eval(&activation_sql(Activation::Tanh, "(-1000.0)", ActivationDialect::Portable));
         assert_eq!(small, -1.0);
-        let sig = eval(&activation_sql(
-            Activation::Sigmoid,
-            "(-1000.0)",
-            ActivationDialect::Portable,
-        ));
+        let sig =
+            eval(&activation_sql(Activation::Sigmoid, "(-1000.0)", ActivationDialect::Portable));
         assert_eq!(sig, 0.0);
     }
 

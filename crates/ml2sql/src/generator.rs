@@ -88,11 +88,9 @@ impl<'a> SqlGenerator<'a> {
         }
         for s in &meta.slots {
             if s.kind == SlotKind::LstmKernel && s.features != 1 {
-                return Err(
-                    "ML-To-SQL supports LSTM layers with one feature per time step \
+                return Err("ML-To-SQL supports LSTM layers with one feature per time step \
                      (the paper's time-series setup); use the native ModelJoin for more"
-                        .into(),
-                );
+                    .into());
             }
         }
         Ok(SqlGenerator {
@@ -186,9 +184,7 @@ impl<'a> SqlGenerator<'a> {
                 ", model.layer",
                 "input.node = model.node_in AND input.layer = model.layer_in",
             ),
-            Layout::NodeId => {
-                ("model.node AS node", "", "input.node = model.node_in")
-            }
+            Layout::NodeId => ("model.node AS node", "", "input.node = model.node_in"),
         };
         format!(
             "SELECT {cols}, s + bias AS output FROM \
@@ -411,15 +407,12 @@ mod tests {
         for i in 0..dim {
             cols.push(format!("c{i} FLOAT"));
         }
-        engine
-            .execute(&format!("CREATE TABLE facts ({})", cols.join(", ")))
-            .unwrap();
+        engine.execute(&format!("CREATE TABLE facts ({})", cols.join(", "))).unwrap();
         let mut data = Vec::new();
         let mut columns = vec![ColumnVector::Int((0..n as i64).collect())];
         let mut feature_cols: Vec<Vec<f64>> = vec![Vec::new(); dim];
         for r in 0..n {
-            let row: Vec<f32> =
-                (0..dim).map(|c| ((r * dim + c) as f32 * 0.7).sin()).collect();
+            let row: Vec<f32> = (0..dim).map(|c| ((r * dim + c) as f32 * 0.7).sin()).collect();
             for (c, v) in row.iter().enumerate() {
                 feature_cols[c].push(*v as f64);
             }
@@ -443,21 +436,12 @@ mod tests {
             ..Default::default()
         });
         let data = load_fact(&engine, model, n);
-        let (_, meta) =
-            load_into_engine(&engine, "model_table", model, options.opt.layout())?;
-        let input_cols: Vec<String> =
-            (0..model.input_dim()).map(|i| format!("c{i}")).collect();
+        let (_, meta) = load_into_engine(&engine, "model_table", model, options.opt.layout())?;
+        let input_cols: Vec<String> = (0..model.input_dim()).map(|i| format!("c{i}")).collect();
         let input_refs: Vec<&str> = input_cols.iter().map(|s| s.as_str()).collect();
-        let generator = SqlGenerator::new(
-            &meta,
-            "model_table",
-            "facts",
-            "id",
-            &input_refs,
-            &[],
-            options,
-        )
-        .map_err(vector_engine::EngineError::Plan)?;
+        let generator =
+            SqlGenerator::new(&meta, "model_table", "facts", "id", &input_refs, &[], options)
+                .map_err(vector_engine::EngineError::Plan)?;
         let sql = generator.generate().map_err(vector_engine::EngineError::Plan)?;
         let result = engine.execute(&format!("{sql} ORDER BY id"))?;
         let preds = result.column("prediction")?.as_float()?.to_vec();
@@ -524,8 +508,7 @@ mod tests {
             .build();
         let engine = Engine::new(EngineConfig::test_small());
         let data = load_fact(&engine, &model, 5);
-        let (_, meta) =
-            load_into_engine(&engine, "model_table", &model, Layout::NodeId).unwrap();
+        let (_, meta) = load_into_engine(&engine, "model_table", &model, Layout::NodeId).unwrap();
         let generator = SqlGenerator::new(
             &meta,
             "model_table",
@@ -551,16 +534,9 @@ mod tests {
     fn payload_columns_are_carried_through() {
         let model = ModelBuilder::new(2, 1).dense(1, Activation::Linear).build();
         let engine = Engine::new(EngineConfig::test_small());
-        engine
-            .execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, tag VARCHAR)")
-            .unwrap();
-        engine
-            .execute(
-                "INSERT INTO facts VALUES (1, 0.1, 0.2, 'a'), (2, 0.3, 0.4, 'b')",
-            )
-            .unwrap();
-        let (_, meta) =
-            load_into_engine(&engine, "model_table", &model, Layout::NodeId).unwrap();
+        engine.execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, tag VARCHAR)").unwrap();
+        engine.execute("INSERT INTO facts VALUES (1, 0.1, 0.2, 'a'), (2, 0.3, 0.4, 'b')").unwrap();
+        let (_, meta) = load_into_engine(&engine, "model_table", &model, Layout::NodeId).unwrap();
         let generator = SqlGenerator::new(
             &meta,
             "model_table",
@@ -609,16 +585,8 @@ mod tests {
     fn input_dim_mismatch_rejected() {
         let model = paper::dense_model(4, 2, 0);
         let meta = model_repr::ModelMeta::of(&model);
-        let err = SqlGenerator::new(
-            &meta,
-            "m",
-            "f",
-            "id",
-            &["c0"],
-            &[],
-            GenOptions::default(),
-        )
-        .unwrap_err();
+        let err = SqlGenerator::new(&meta, "m", "f", "id", &["c0"], &[], GenOptions::default())
+            .unwrap_err();
         assert!(err.contains("input columns"));
     }
 }

@@ -44,16 +44,13 @@ fn with_registry<R>(f: impl FnOnce(&mut HashMap<u64, Arc<Session>>) -> R) -> R {
 }
 
 /// Create a session from a serialized model. Returns the opaque handle.
-pub fn tf_new_session(
-    saved_model: &str,
-    device: TfDeviceKind,
-) -> Result<u64, TfStatus> {
+pub fn tf_new_session(saved_model: &str, device: TfDeviceKind) -> Result<u64, TfStatus> {
     let dev = match device {
         TfDeviceKind::Cpu => Device::cpu(),
         TfDeviceKind::Gpu => Device::gpu(),
     };
-    let session = Session::from_saved("capi", saved_model, dev)
-        .map_err(TfStatus::InvalidArgument)?;
+    let session =
+        Session::from_saved("capi", saved_model, dev).map_err(TfStatus::InvalidArgument)?;
     let handle = NEXT_HANDLE.fetch_add(1, Ordering::Relaxed);
     with_registry(|r| r.insert(handle, Arc::new(session)));
     Ok(handle)

@@ -5,6 +5,7 @@ use tensor::blas::Transpose;
 use tensor::{Activation, Device, Matrix};
 
 /// One compiled layer.
+#[allow(clippy::large_enum_variant)] // models hold few layers; boxing buys nothing
 enum CompiledLayer {
     Dense {
         /// `input_dim x units`, row-major.
@@ -114,9 +115,7 @@ impl CompiledModel {
                     out
                 }
                 CompiledLayer::Lstm { features, timesteps, units, kernel, recurrent, bias } => {
-                    self.run_lstm(
-                        &current, *features, *timesteps, *units, kernel, recurrent, bias,
-                    )
+                    self.run_lstm(&current, *features, *timesteps, *units, kernel, recurrent, bias)
                 }
             };
         }
@@ -235,10 +234,8 @@ mod tests {
     fn multi_feature_lstm_matches_oracle() {
         // 2 features per time step, 4 steps — beyond what ML-To-SQL
         // supports, exercising the general path.
-        let model = ModelBuilder::new(8, 3)
-            .lstm(5, 4, 2)
-            .dense_biased(2, Activation::Sigmoid)
-            .build();
+        let model =
+            ModelBuilder::new(8, 3).lstm(5, 4, 2).dense_biased(2, Activation::Sigmoid).build();
         assert_matches_oracle(&model, 9, Device::cpu());
     }
 

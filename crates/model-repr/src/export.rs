@@ -244,12 +244,8 @@ mod tests {
         let b_col = cols[10].as_float().unwrap();
         // All edges into the same node carry the same bias.
         let target = meta.slots[1].node_base; // first hidden node
-        let biases: Vec<f64> = node
-            .iter()
-            .zip(b_col)
-            .filter(|(n, _)| **n == target)
-            .map(|(_, b)| *b)
-            .collect();
+        let biases: Vec<f64> =
+            node.iter().zip(b_col).filter(|(n, _)| **n == target).map(|(_, b)| *b).collect();
         assert_eq!(biases.len(), 4);
         assert!(biases.windows(2).all(|w| w[0] == w[1]));
     }

@@ -28,10 +28,8 @@ impl<'a> Edges<'a> {
             )));
         }
         let nend = layout.column_count() - 12;
-        let endpoints: Result<Vec<&[i64]>> =
-            columns[..nend].iter().map(|c| c.as_int()).collect();
-        let weights: Result<Vec<&[f64]>> =
-            columns[nend..].iter().map(|c| c.as_float()).collect();
+        let endpoints: Result<Vec<&[i64]>> = columns[..nend].iter().map(|c| c.as_int()).collect();
+        let weights: Result<Vec<&[f64]>> = columns[nend..].iter().map(|c| c.as_float()).collect();
         Ok(Edges { layout, endpoints: endpoints?, weights: weights? })
     }
 
@@ -71,11 +69,7 @@ impl<'a> Edges<'a> {
 }
 
 /// Reconstruct a model from model-table columns plus its metadata.
-pub fn import_model(
-    columns: &[ColumnVector],
-    meta: &ModelMeta,
-    layout: Layout,
-) -> Result<Model> {
+pub fn import_model(columns: &[ColumnVector], meta: &ModelMeta, layout: Layout) -> Result<Model> {
     let edges = Edges::from_columns(columns, layout)?;
     let mut layers = Vec::with_capacity(meta.layers.len());
     let mut prev_slot = 0usize;
@@ -109,8 +103,7 @@ pub fn import_model(
                 let src = &meta.slots[prev_slot];
                 let kernel_slot = &meta.slots[slot];
                 let rec_slot = &meta.slots[slot + 1];
-                let mut kernel =
-                    [0, 1, 2, 3].map(|_| Matrix::zeros(*features, *units));
+                let mut kernel = [0, 1, 2, 3].map(|_| Matrix::zeros(*features, *units));
                 let mut recurrent = [0, 1, 2, 3].map(|_| Matrix::zeros(*units, *units));
                 let mut bias = [0, 1, 2, 3].map(|_| vec![0.0f32; *units]);
                 let mut kernel_found = 0usize;
@@ -123,8 +116,8 @@ pub fn import_model(
                         }
                         kernel_found += 1;
                     } else if let Some((h, j)) = edges.relative(e, kernel_slot, rec_slot) {
-                        for g in 0..4 {
-                            recurrent[g].set(h, j, edges.weights[4 + g][e] as f32);
+                        for (g, rec) in recurrent.iter_mut().enumerate() {
+                            rec.set(h, j, edges.weights[4 + g][e] as f32);
                         }
                         rec_found += 1;
                     }
@@ -156,9 +149,8 @@ pub fn import_model(
 pub fn import_from_table(table: &Table, meta: &ModelMeta, layout: Layout) -> Result<Model> {
     let batches = table.all_batches();
     let schema_len = table.schema().len();
-    let mut columns: Vec<ColumnVector> = (0..schema_len)
-        .map(|i| ColumnVector::empty(table.schema().column(i).dtype))
-        .collect();
+    let mut columns: Vec<ColumnVector> =
+        (0..schema_len).map(|i| ColumnVector::empty(table.schema().column(i).dtype)).collect();
     for b in &batches {
         for (dst, src) in columns.iter_mut().zip(b.columns()) {
             dst.append(src);
@@ -205,8 +197,7 @@ mod tests {
         let model = paper::dense_model(4, 2, 0);
         let (cols, meta) = export_columns(&model, Layout::NodeId);
         // Drop the last edge of every column.
-        let truncated: Vec<ColumnVector> =
-            cols.iter().map(|c| c.slice(0, c.len() - 1)).collect();
+        let truncated: Vec<ColumnVector> = cols.iter().map(|c| c.slice(0, c.len() - 1)).collect();
         assert!(import_model(&truncated, &meta, Layout::NodeId).is_err());
     }
 

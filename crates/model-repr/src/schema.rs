@@ -5,9 +5,8 @@ use vector_engine::{ColumnDef, DataType, Schema};
 /// The 12 weight columns of the relational representation, in storage
 /// order: kernel `w_*`, recurrent kernel `u_*`, bias `b_*` for the gates
 /// `i, f, c, o` (paper Sec. 4.1).
-pub const WEIGHT_COLUMNS: [&str; 12] = [
-    "w_i", "w_f", "w_c", "w_o", "u_i", "u_f", "u_c", "u_o", "b_i", "b_f", "b_c", "b_o",
-];
+pub const WEIGHT_COLUMNS: [&str; 12] =
+    ["w_i", "w_f", "w_c", "w_o", "u_i", "u_f", "u_c", "u_o", "b_i", "b_f", "b_c", "b_o"];
 
 /// How edges are addressed in the model table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

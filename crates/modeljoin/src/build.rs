@@ -7,6 +7,7 @@ use tensor::{Activation, Device, Matrix};
 use vector_engine::{Batch, EngineError, Result, Table};
 
 /// A layer of the built (in-memory) model.
+#[allow(clippy::large_enum_variant)] // models hold few layers; boxing buys nothing
 pub enum BuiltLayer {
     Dense {
         /// `input_dim x units` row-major. (The paper stores the weight
@@ -38,61 +39,115 @@ pub struct BuiltModel {
     vector_size: usize,
 }
 
+/// Per-operator scratch arena for [`BuiltModel::infer_into`]: every buffer
+/// inference needs — the ping-pong layer output matrices and the LSTM gate
+/// and state buffers — lives here and is reused across batches. Capacity is
+/// retained when the batch shrinks (the short final vector of a partition),
+/// so steady-state inference allocates nothing.
+#[derive(Default)]
+pub struct InferScratch {
+    /// Ping-pong layer outputs: layer `l` writes one while reading the other.
+    ping: Matrix,
+    pong: Matrix,
+    lstm: LstmScratch,
+}
+
+/// Working state of one LSTM forward pass (see [`lstm_forward_into`]).
+#[derive(Default)]
+struct LstmScratch {
+    /// Cell state `c`.
+    c: Matrix,
+    /// The time-step input slice `X_t`.
+    x_t: Matrix,
+    /// Gate pre-activations/activations `z_i, z_f, z_c, z_o`.
+    z: [Matrix; 4],
+    /// `f * c` (then reused for `tanh(c)`).
+    tmp_a: Vec<f32>,
+    /// `i * c~`.
+    tmp_b: Vec<f32>,
+}
+
 impl BuiltModel {
     pub fn vector_size(&self) -> usize {
         self.vector_size
     }
 
     /// Vectorized inference (paper Sec. 5.4): one pass over the layer list
-    /// for a whole `rows x input_dim` input matrix.
+    /// for a whole `rows x input_dim` input matrix. Allocating wrapper
+    /// around [`BuiltModel::infer_into`] for one-shot callers.
     pub fn infer(&self, input: &Matrix, device: &Device) -> Matrix {
+        let mut scratch = InferScratch::default();
+        self.infer_into(input, device, &mut scratch).clone()
+    }
+
+    /// Inference writing exclusively into `scratch`; the returned reference
+    /// points at the scratch buffer holding the final layer's output.
+    /// Batch-at-a-time callers (the ModelJoin operator) pass the same
+    /// scratch every call and pay zero allocations after the first batch.
+    pub fn infer_into<'s>(
+        &self,
+        input: &Matrix,
+        device: &Device,
+        scratch: &'s mut InferScratch,
+    ) -> &'s Matrix {
         assert!(input.rows() <= self.vector_size, "batch exceeds vector size");
         assert_eq!(input.cols(), self.input_dim, "input width mismatch");
         device.transfer_h2d(input.byte_len());
         let rows = input.rows();
-        let mut current = input.clone();
+        let InferScratch { ping, pong, lstm } = scratch;
+        // Invariant: the current layer input lives in `ping` (or is the
+        // caller's matrix on the first layer); each layer computes into
+        // `pong`, then the two swap — a pointer swap, never a data copy.
+        let mut first = true;
         for layer in &self.layers {
-            current = match layer {
+            let cur: &Matrix = if first { input } else { &*ping };
+            match layer {
                 BuiltLayer::Dense { weights, bias_matrix, activation } => {
                     // C pre-loaded with the replicated bias rows, beta = 1:
                     // the bias addition comes for free with the sgemm
                     // (Sec. 5.4).
                     let units = weights.cols();
-                    let mut out = Matrix::from_vec(
-                        rows,
-                        units,
-                        bias_matrix.as_slice()[..rows * units].to_vec(),
-                    );
-                    device.gemm(
-                        Transpose::No,
-                        Transpose::No,
-                        1.0,
-                        &current,
-                        weights,
-                        1.0,
-                        &mut out,
-                    );
-                    device.activation(*activation, out.as_mut_slice());
-                    out
+                    pong.resize_zeroed(rows, units);
+                    device.copy(&bias_matrix.as_slice()[..rows * units], pong.as_mut_slice());
+                    device.gemm(Transpose::No, Transpose::No, 1.0, cur, weights, 1.0, pong);
+                    device.activation(*activation, pong.as_mut_slice());
                 }
                 BuiltLayer::Lstm { features, timesteps, units, kernel, recurrent, bias_matrix } => {
-                    lstm_forward(
-                        &current, *features, *timesteps, *units, kernel, recurrent,
-                        bias_matrix, device,
-                    )
+                    lstm_forward_into(
+                        cur,
+                        *features,
+                        *timesteps,
+                        *units,
+                        kernel,
+                        recurrent,
+                        bias_matrix,
+                        device,
+                        lstm,
+                        pong,
+                    );
                 }
-            };
+            }
+            std::mem::swap(ping, pong);
+            first = false;
         }
-        device.transfer_d2h(current.byte_len());
-        current
+        if first {
+            // Zero-layer model: the output is the input, copied so the
+            // return value always borrows from the scratch.
+            ping.resize_zeroed(rows, input.cols());
+            ping.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+        device.transfer_d2h(ping.byte_len());
+        &*ping
     }
 }
 
 /// The LSTM layer forward function of paper Listing 5, vectorized over the
 /// batch: per time step `z_x := bias ; z_x += X_t W_x ; z_x += H U_x`,
-/// gate activations, cell/hidden update.
+/// gate activations, cell/hidden update. The hidden state `h` lives
+/// directly in `out`, which holds the final `h` when the loop ends; all
+/// other working buffers come from `scratch`.
 #[allow(clippy::too_many_arguments)]
-fn lstm_forward(
+fn lstm_forward_into(
     input: &Matrix,
     features: usize,
     timesteps: usize,
@@ -101,25 +156,33 @@ fn lstm_forward(
     recurrent: &[Matrix; 4],
     bias_matrix: &[Matrix; 4],
     device: &Device,
-) -> Matrix {
+    scratch: &mut LstmScratch,
+    out: &mut Matrix,
+) {
     let rows = input.rows();
-    let mut h = Matrix::zeros(rows, units);
-    let mut c = Matrix::zeros(rows, units);
-    let mut x_t = Matrix::zeros(rows, features);
-    let mut z: Vec<Matrix> = (0..4).map(|_| Matrix::zeros(rows, units)).collect();
-    let mut tmp = vec![0.0f32; rows * units];
+    let h = out;
+    h.resize_zeroed(rows, units);
+    scratch.c.resize_zeroed(rows, units);
+    scratch.x_t.resize_zeroed(rows, features);
+    for zg in &mut scratch.z {
+        zg.resize_zeroed(rows, units);
+    }
+    scratch.tmp_a.clear();
+    scratch.tmp_a.resize(rows * units, 0.0);
+    scratch.tmp_b.clear();
+    scratch.tmp_b.resize(rows * units, 0.0);
+    let LstmScratch { c, x_t, z, tmp_a, tmp_b } = scratch;
 
     for t in 0..timesteps {
         for r in 0..rows {
-            x_t.row_mut(r)
-                .copy_from_slice(&input.row(r)[t * features..(t + 1) * features]);
+            x_t.row_mut(r).copy_from_slice(&input.row(r)[t * features..(t + 1) * features]);
         }
-        for g in 0..4 {
+        for (g, zg) in z.iter_mut().enumerate() {
             // COPY(z_x, bias_x) — from the pre-replicated bias matrix.
-            device.copy(&bias_matrix[g].as_slice()[..rows * units], z[g].as_mut_slice());
-            device.gemm(Transpose::No, Transpose::No, 1.0, &x_t, &kernel[g], 1.0, &mut z[g]);
+            device.copy(&bias_matrix[g].as_slice()[..rows * units], zg.as_mut_slice());
+            device.gemm(Transpose::No, Transpose::No, 1.0, x_t, &kernel[g], 1.0, zg);
             if t > 0 {
-                device.gemm(Transpose::No, Transpose::No, 1.0, &h, &recurrent[g], 1.0, &mut z[g]);
+                device.gemm(Transpose::No, Transpose::No, 1.0, h, &recurrent[g], 1.0, zg);
             }
         }
         device.activation(Activation::Sigmoid, z[0].as_mut_slice());
@@ -128,19 +191,15 @@ fn lstm_forward(
         device.activation(Activation::Sigmoid, z[3].as_mut_slice());
 
         // c := f*c + i*c~   (vsMul / vsAdd of Listing 5)
-        device.vs_mul(z[1].as_slice(), c.as_slice(), &mut tmp);
-        c.as_mut_slice().copy_from_slice(&tmp);
-        device.vs_mul(z[0].as_slice(), z[2].as_slice(), &mut tmp);
-        let c_prev = c.as_slice().to_vec();
-        device.vs_add(&c_prev, &tmp, c.as_mut_slice());
+        device.vs_mul(z[1].as_slice(), c.as_slice(), tmp_a);
+        device.vs_mul(z[0].as_slice(), z[2].as_slice(), tmp_b);
+        device.vs_add(tmp_a, tmp_b, c.as_mut_slice());
 
         // h := o * tanh(c)
-        tmp.copy_from_slice(c.as_slice());
-        device.activation(Activation::Tanh, &mut tmp);
-        let tanh_c = tmp.clone();
-        device.vs_mul(z[3].as_slice(), &tanh_c, h.as_mut_slice());
+        tmp_a.copy_from_slice(c.as_slice());
+        device.activation(Activation::Tanh, tmp_a);
+        device.vs_mul(z[3].as_slice(), tmp_a, h.as_mut_slice());
     }
-    h
 }
 
 /// Description of one flat weight buffer to fill.
@@ -220,9 +279,7 @@ impl Router {
                     .meta
                     .slots
                     .iter()
-                    .position(|s| {
-                        node >= s.node_base && node < s.node_base + s.dim as i64
-                    })?;
+                    .position(|s| node >= s.node_base && node < s.node_base + s.dim as i64)?;
                 if slot_idx == 0 {
                     return None;
                 }
@@ -236,17 +293,12 @@ impl Router {
                             .slots
                             .iter()
                             .find(|s| {
-                                node_in >= s.node_base
-                                    && node_in < s.node_base + s.dim as i64
+                                node_in >= s.node_base && node_in < s.node_base + s.dim as i64
                             })?
                             .node_base
                     }
                 };
-                (
-                    slot_idx,
-                    (node_in - src_base) as usize,
-                    (node - dst.node_base) as usize,
-                )
+                (slot_idx, (node_in - src_base) as usize, (node - dst.node_base) as usize)
             }
         };
         let slot = &self.meta.slots[slot_idx];
@@ -266,16 +318,16 @@ impl Router {
                 }
             }
             SlotKind::LstmKernel => {
-                for g in 0..4 {
-                    writes[g] = (base + g, rel_in * slot.dim + rel_out, W0 + g);
+                for (g, w) in writes.iter_mut().enumerate().take(4) {
+                    *w = (base + g, rel_in * slot.dim + rel_out, W0 + g);
                 }
                 n = 4;
                 // Kernel bias written by the f == 0 edge only, handled via a
                 // second target below (see `route_bias`).
             }
             SlotKind::LstmRecurrent => {
-                for g in 0..4 {
-                    writes[g] = (base + g, rel_in * slot.dim + rel_out, U0 + g);
+                for (g, w) in writes.iter_mut().enumerate().take(4) {
+                    *w = (base + g, rel_in * slot.dim + rel_out, U0 + g);
                 }
                 n = 4;
             }
@@ -285,41 +337,44 @@ impl Router {
 
     /// Additional bias writes for LSTM kernel edges with `rel_in == 0`.
     fn route_lstm_bias(&self, endpoints: &[i64]) -> Option<EdgeTarget> {
-        let (slot_idx, rel_in, rel_out) = match self.layout {
-            Layout::LayerNode => {
-                let (_, node_in, layer, node) =
-                    (endpoints[0], endpoints[1], endpoints[2], endpoints[3]);
-                if layer <= 0 {
-                    return None;
+        let (slot_idx, rel_in, rel_out) =
+            match self.layout {
+                Layout::LayerNode => {
+                    let (_, node_in, layer, node) =
+                        (endpoints[0], endpoints[1], endpoints[2], endpoints[3]);
+                    if layer <= 0 {
+                        return None;
+                    }
+                    (layer as usize, node_in as usize, node as usize)
                 }
-                (layer as usize, node_in as usize, node as usize)
-            }
-            Layout::NodeId => {
-                let (node_in, node) = (endpoints[0], endpoints[1]);
-                let slot_idx = self.meta.slots.iter().position(|s| {
-                    node >= s.node_base && node < s.node_base + s.dim as i64
-                })?;
-                if slot_idx == 0 {
-                    return None;
+                Layout::NodeId => {
+                    let (node_in, node) = (endpoints[0], endpoints[1]);
+                    let slot_idx =
+                        self.meta.slots.iter().position(|s| {
+                            node >= s.node_base && node < s.node_base + s.dim as i64
+                        })?;
+                    if slot_idx == 0 {
+                        return None;
+                    }
+                    let src =
+                        self.meta.slots.iter().find(|s| {
+                            node_in >= s.node_base && node_in < s.node_base + s.dim as i64
+                        })?;
+                    (
+                        slot_idx,
+                        (node_in - src.node_base) as usize,
+                        (node - self.meta.slots[slot_idx].node_base) as usize,
+                    )
                 }
-                let src = self.meta.slots.iter().find(|s| {
-                    node_in >= s.node_base && node_in < s.node_base + s.dim as i64
-                })?;
-                (
-                    slot_idx,
-                    (node_in - src.node_base) as usize,
-                    (node - self.meta.slots[slot_idx].node_base) as usize,
-                )
-            }
-        };
+            };
         let slot = &self.meta.slots[slot_idx];
         if slot.kind != SlotKind::LstmKernel || rel_in != 0 {
             return None;
         }
         let base = self.slot_buffers[slot_idx];
         let mut writes = [(0usize, 0usize, 0usize); 4];
-        for g in 0..4 {
-            writes[g] = (base + 4 + g, rel_out, B0 + g);
+        for (g, w) in writes.iter_mut().enumerate() {
+            *w = (base + 4 + g, rel_out, B0 + g);
         }
         Some(EdgeTarget { writes, write_count: 4 })
     }
@@ -361,8 +416,7 @@ fn fill_from_batch(batch: &Batch, router: &Router, slabs: &SlabPtrs) -> Result<(
     let weight_cols: Result<Vec<&[f64]>> =
         (nend..nend + 12).map(|i| batch.column(i).as_float()).collect();
     let weight_cols = weight_cols?;
-    let end_cols: Result<Vec<&[i64]>> =
-        (0..nend).map(|i| batch.column(i).as_int()).collect();
+    let end_cols: Result<Vec<&[i64]>> = (0..nend).map(|i| batch.column(i).as_int()).collect();
     let end_cols = end_cols?;
     for row in 0..batch.num_rows() {
         for (e, col) in endpoints.iter_mut().zip(&end_cols) {
@@ -482,18 +536,18 @@ pub fn build_parallel(
                     features: slot.features,
                     timesteps: slot.timesteps,
                     units: slot.dim,
-                    kernel: kernel.try_into().map_err(|_| {
-                        EngineError::Execution("gate count mismatch".into())
-                    })?,
+                    kernel: kernel
+                        .try_into()
+                        .map_err(|_| EngineError::Execution("gate count mismatch".into()))?,
                     recurrent: [
                         Matrix::zeros(0, 0),
                         Matrix::zeros(0, 0),
                         Matrix::zeros(0, 0),
                         Matrix::zeros(0, 0),
                     ],
-                    bias_matrix: bias_matrix.try_into().map_err(|_| {
-                        EngineError::Execution("gate count mismatch".into())
-                    })?,
+                    bias_matrix: bias_matrix
+                        .try_into()
+                        .map_err(|_| EngineError::Execution("gate count mismatch".into()))?,
                 });
             }
             SlotKind::LstmRecurrent => {
@@ -503,26 +557,20 @@ pub fn build_parallel(
                     total_bytes += u.len() * 4;
                     recurrent.push(Matrix::from_vec(slot.dim, slot.dim, u));
                 }
-                let Some(BuiltLayer::Lstm { recurrent: rec_slot, .. }) = layers.last_mut()
-                else {
+                let Some(BuiltLayer::Lstm { recurrent: rec_slot, .. }) = layers.last_mut() else {
                     return Err(EngineError::Execution(
                         "recurrent slot without kernel slot".into(),
                     ));
                 };
-                *rec_slot = recurrent.try_into().map_err(|_| {
-                    EngineError::Execution("gate count mismatch".into())
-                })?;
+                *rec_slot = recurrent
+                    .try_into()
+                    .map_err(|_| EngineError::Execution("gate count mismatch".into()))?;
                 prev_dim = slot.dim;
             }
         }
     }
     device.transfer_h2d(total_bytes);
-    Ok(BuiltModel {
-        layers,
-        input_dim: meta.input_dim,
-        output_dim: meta.output_dim(),
-        vector_size,
-    })
+    Ok(BuiltModel { layers, input_dim: meta.input_dim, output_dim: meta.output_dim(), vector_size })
 }
 
 /// The shared model handle of the parallel ModelJoin: all per-partition
@@ -596,11 +644,7 @@ mod tests {
     use nn::paper;
     use vector_engine::{Engine, EngineConfig};
 
-    fn build_for(
-        model: &nn::Model,
-        layout: Layout,
-        threads: usize,
-    ) -> (BuiltModel, nn::Model) {
+    fn build_for(model: &nn::Model, layout: Layout, threads: usize) -> (BuiltModel, nn::Model) {
         let engine = Engine::new(EngineConfig {
             vector_size: 8,
             partitions: 4,
@@ -608,15 +652,12 @@ mod tests {
             ..Default::default()
         });
         let (table, meta) = load_into_engine(&engine, "m", model, layout).unwrap();
-        let built =
-            build_parallel(&table, &meta, layout, &Device::cpu(), 16, threads).unwrap();
+        let built = build_parallel(&table, &meta, layout, &Device::cpu(), 16, threads).unwrap();
         (built, model.clone())
     }
 
     fn assert_infer_matches(model: &nn::Model, built: &BuiltModel, rows: usize) {
-        let x = Matrix::from_fn(rows, model.input_dim(), |r, c| {
-            ((r * 7 + c) as f32 * 0.21).sin()
-        });
+        let x = Matrix::from_fn(rows, model.input_dim(), |r, c| ((r * 7 + c) as f32 * 0.21).sin());
         let got = built.infer(&x, &Device::cpu());
         let expected = model.predict(&x);
         let diff = got.max_abs_diff(&expected);
@@ -651,6 +692,26 @@ mod tests {
     }
 
     #[test]
+    fn infer_into_reuses_scratch_across_batch_sizes() {
+        // Shrinking then regrowing the batch (a partition's short tail
+        // vector) must neither reallocate incorrectly nor leave stale
+        // values behind — every batch matches the oracle.
+        for model in [paper::dense_model(8, 3, 21), paper::lstm_model(6, 13)] {
+            let (built, model) = build_for(&model, Layout::NodeId, 2);
+            let mut scratch = InferScratch::default();
+            for rows in [16usize, 5, 16, 1, 9] {
+                let x = Matrix::from_fn(rows, model.input_dim(), |r, c| {
+                    ((r * 11 + c * 3) as f32 * 0.17).sin()
+                });
+                let got = built.infer_into(&x, &Device::cpu(), &mut scratch).clone();
+                let expected = model.predict(&x);
+                let diff = got.max_abs_diff(&expected);
+                assert!(diff < 1e-4, "rows {rows}: max diff {diff}");
+            }
+        }
+    }
+
+    #[test]
     fn gpu_build_charges_one_bulk_upload() {
         let model = paper::dense_model(8, 2, 3);
         let engine = Engine::new(EngineConfig::test_small());
@@ -672,8 +733,7 @@ mod tests {
         let model = paper::dense_model(4, 2, 2);
         let engine = Engine::new(EngineConfig::test_small());
         let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
-        let shared =
-            SharedModel::new(table, meta, Layout::NodeId, Device::cpu(), 8, 2);
+        let shared = SharedModel::new(table, meta, Layout::NodeId, Device::cpu(), 8, 2);
         let a = shared.get().unwrap();
         let b = shared.get().unwrap();
         assert!(Arc::ptr_eq(&a, &b));
@@ -684,8 +744,7 @@ mod tests {
         let model = paper::dense_model(4, 2, 2);
         let engine = Engine::new(EngineConfig::test_small());
         let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
-        assert!(build_parallel(&table, &meta, Layout::LayerNode, &Device::cpu(), 8, 1)
-            .is_err());
+        assert!(build_parallel(&table, &meta, Layout::LayerNode, &Device::cpu(), 8, 1).is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl CapiInferenceOp {
     }
 
     /// Columnar → row-major conversion at the C-API boundary.
-    fn to_row_major(&mut self, batch: &Batch) -> Result<()> {
+    fn stage_row_major(&mut self, batch: &Batch) -> Result<()> {
         let rows = batch.num_rows();
         let n = self.input_cols.len();
         self.staging.clear();
@@ -77,17 +77,11 @@ impl Operator for CapiInferenceOp {
         if rows == 0 {
             return Ok(Some(Batch::of_rows(0)));
         }
-        self.to_row_major(&batch)?;
-        let out = self
-            .session
-            .run(&self.staging, rows)
-            .map_err(EngineError::Execution)?;
+        self.stage_row_major(&batch)?;
+        let out = self.session.run(&self.staging, rows).map_err(EngineError::Execution)?;
         let p = self.session.output_dim();
-        let mut columns: Vec<ColumnVector> = self
-            .payload_cols
-            .iter()
-            .map(|&ci| batch.column(ci).clone())
-            .collect();
+        let mut columns: Vec<ColumnVector> =
+            self.payload_cols.iter().map(|&ci| batch.column(ci).clone()).collect();
         // Row-major → columnar conversion of the predictions.
         for j in 0..p {
             let mut col = Vec::with_capacity(rows);
@@ -154,9 +148,8 @@ pub fn execute_capi_join(
             }));
         }
         for h in handles {
-            let results = h
-                .join()
-                .map_err(|_| EngineError::Execution("C-API worker panicked".into()))?;
+            let results =
+                h.join().map_err(|_| EngineError::Execution("C-API worker panicked".into()))?;
             for (p, r) in results {
                 slots[p] = r;
             }
@@ -212,8 +205,7 @@ mod tests {
         let dim = model.input_dim();
         let input_cols: Vec<String> = (0..dim).map(|i| format!("c{i}")).collect();
         let refs: Vec<&str> = input_cols.iter().map(|s| s.as_str()).collect();
-        let batches =
-            execute_capi_join(&engine, "facts", &refs, &["id"], &session, 3).unwrap();
+        let batches = execute_capi_join(&engine, "facts", &refs, &["id"], &session, 3).unwrap();
         let mut rows: Vec<(i64, f64)> = Vec::new();
         for b in &batches {
             let ids = b.column(0).as_int().unwrap();

@@ -28,6 +28,6 @@ pub mod build;
 pub mod capi_op;
 pub mod operator;
 
-pub use build::{build_parallel, BuiltModel, SharedModel};
+pub use build::{build_parallel, BuiltModel, InferScratch, SharedModel};
 pub use capi_op::CapiInferenceOp;
 pub use operator::ModelJoinOp;

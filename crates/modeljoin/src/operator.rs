@@ -1,6 +1,6 @@
 //! The ModelJoin operator and its partition-parallel driver.
 
-use crate::build::{BuiltModel, SharedModel};
+use crate::build::{BuiltModel, InferScratch, SharedModel};
 use std::sync::Arc;
 use tensor::Matrix;
 use vector_engine::exec::physical::{drain, Operator};
@@ -21,7 +21,10 @@ pub struct ModelJoinOp {
     payload_cols: Vec<usize>,
     built: Option<Arc<BuiltModel>>,
     /// Reused input matrix buffer.
-    packed: Option<Matrix>,
+    packed: Matrix,
+    /// Per-operator inference arena: layer outputs, LSTM gate and state
+    /// buffers — reused across every batch this operator processes.
+    scratch: InferScratch,
 }
 
 impl ModelJoinOp {
@@ -31,18 +34,29 @@ impl ModelJoinOp {
         input_cols: Vec<usize>,
         payload_cols: Vec<usize>,
     ) -> ModelJoinOp {
-        ModelJoinOp { input, shared, input_cols, payload_cols, built: None, packed: None }
+        ModelJoinOp {
+            input,
+            shared,
+            input_cols,
+            payload_cols,
+            built: None,
+            packed: Matrix::default(),
+            scratch: InferScratch::default(),
+        }
     }
 
     /// Pack the batch's input columns into the `rows x n` input matrix
     /// (paper Fig. 7, step 1): each column vector is touched exactly once.
-    fn pack(&mut self, batch: &Batch) -> Result<Matrix> {
+    /// The buffer is capacity-reusing: a shorter batch (the tail vector of
+    /// a partition) shrinks the matrix in place instead of discarding it,
+    /// so steady-state packing never allocates.
+    fn pack(&mut self, batch: &Batch) -> Result<()> {
         let rows = batch.num_rows();
         let n = self.input_cols.len();
-        let mut m = match self.packed.take() {
-            Some(m) if m.rows() == rows => m,
-            _ => Matrix::zeros(rows, n),
-        };
+        let m = &mut self.packed;
+        if m.rows() != rows || m.cols() != n {
+            m.resize_zeroed(rows, n);
+        }
         for (k, &ci) in self.input_cols.iter().enumerate() {
             let col = batch.column(ci);
             match col {
@@ -64,7 +78,7 @@ impl ModelJoinOp {
                 }
             }
         }
-        Ok(m)
+        Ok(())
     }
 }
 
@@ -85,17 +99,13 @@ impl Operator for ModelJoinOp {
         if batch.num_rows() == 0 {
             return Ok(Some(Batch::of_rows(0)));
         }
-        let packed = self.pack(&batch)?;
-        let result = built.infer(&packed, self.shared.device());
-        self.packed = Some(packed);
+        self.pack(&batch)?;
+        let result = built.infer_into(&self.packed, self.shared.device(), &mut self.scratch);
 
         // Unpack the result matrix back into column vectors (Fig. 7,
         // last step), appended to the untouched payload columns.
-        let mut columns: Vec<ColumnVector> = self
-            .payload_cols
-            .iter()
-            .map(|&ci| batch.column(ci).clone())
-            .collect();
+        let mut columns: Vec<ColumnVector> =
+            self.payload_cols.iter().map(|&ci| batch.column(ci).clone()).collect();
         let rows = result.rows();
         for j in 0..result.cols() {
             let mut out = Vec::with_capacity(rows);
@@ -109,24 +119,21 @@ impl Operator for ModelJoinOp {
 
     fn close(&mut self) {
         self.built = None;
-        self.packed = None;
+        self.packed = Matrix::default();
+        self.scratch = InferScratch::default();
         self.input.close();
     }
 }
 
 /// Resolve column names to ordinals for a table.
-pub fn resolve_columns(
-    engine: &Engine,
-    table: &str,
-    names: &[&str],
-) -> Result<Vec<usize>> {
+pub fn resolve_columns(engine: &Engine, table: &str, names: &[&str]) -> Result<Vec<usize>> {
     let t = engine.table(table)?;
     names
         .iter()
         .map(|n| {
-            t.schema().index_of(n).ok_or_else(|| {
-                EngineError::Plan(format!("table {table} has no column {n:?}"))
-            })
+            t.schema()
+                .index_of(n)
+                .ok_or_else(|| EngineError::Plan(format!("table {table} has no column {n:?}")))
         })
         .collect()
 }
@@ -166,6 +173,10 @@ pub fn execute_model_join(
         )));
     }
     let fact = engine.table(fact_table)?;
+    // Apply the engine's intra-kernel thread budget to the tensor worker
+    // pool so large per-batch multiplies can fan out (EngineConfig knob;
+    // default 1 keeps partition parallelism the only parallel axis).
+    tensor::parallel::set_kernel_threads(engine.config().kernel_threads);
     let partitions = fact.partition_count();
     let workers = parallelism.clamp(1, partitions);
     let mut slots: Vec<Result<Vec<Batch>>> = (0..partitions).map(|_| Ok(Vec::new())).collect();
@@ -195,9 +206,8 @@ pub fn execute_model_join(
             }));
         }
         for h in handles {
-            let results = h
-                .join()
-                .map_err(|_| EngineError::Execution("ModelJoin worker panicked".into()))?;
+            let results =
+                h.join().map_err(|_| EngineError::Execution("ModelJoin worker panicked".into()))?;
             for (p, r) in results {
                 slots[p] = r;
             }
@@ -224,12 +234,8 @@ mod tests {
         n: usize,
         device: Device,
     ) -> (Engine, Arc<SharedModel>, Vec<Vec<f32>>) {
-        let config = EngineConfig {
-            vector_size: 16,
-            partitions: 4,
-            parallelism: 4,
-            ..Default::default()
-        };
+        let config =
+            EngineConfig { vector_size: 16, partitions: 4, parallelism: 4, ..Default::default() };
         let engine = Engine::new(config.clone());
         let dim = model.input_dim();
         let mut ddl = vec!["id INT".to_string(), "payload FLOAT".to_string()];
@@ -270,15 +276,9 @@ mod tests {
         let dim = model.input_dim();
         let input_cols: Vec<String> = (0..dim).map(|i| format!("c{i}")).collect();
         let input_refs: Vec<&str> = input_cols.iter().map(|s| s.as_str()).collect();
-        let batches = execute_model_join(
-            &engine,
-            "facts",
-            &input_refs,
-            &["id", "payload"],
-            &shared,
-            4,
-        )
-        .unwrap();
+        let batches =
+            execute_model_join(&engine, "facts", &input_refs, &["id", "payload"], &shared, 4)
+                .unwrap();
         // Gather predictions by id (partitioned output is ordered within,
         // not across, partitions).
         let mut by_id: Vec<(i64, f64, f64)> = Vec::new();
@@ -294,10 +294,7 @@ mod tests {
         assert_eq!(by_id.len(), n);
         for (id, payload, pred) in by_id {
             let expected = model.predict_row(&data[id as usize])[0] as f64;
-            assert!(
-                (pred - expected).abs() < 1e-4,
-                "id {id}: {pred} vs {expected}"
-            );
+            assert!((pred - expected).abs() < 1e-4, "id {id}: {pred} vs {expected}");
             assert_eq!(payload, id as f64 * 100.0, "payload carried through");
         }
     }
@@ -330,25 +327,16 @@ mod tests {
     fn unknown_column_is_reported() {
         let model = paper::dense_model(4, 2, 1);
         let (engine, shared, _) = setup(&model, 5, Device::cpu());
-        let err = execute_model_join(
-            &engine,
-            "facts",
-            &["c0", "c1", "c2", "nosuch"],
-            &[],
-            &shared,
-            2,
-        )
-        .unwrap_err();
+        let err =
+            execute_model_join(&engine, "facts", &["c0", "c1", "c2", "nosuch"], &[], &shared, 2)
+                .unwrap_err();
         assert!(err.to_string().contains("nosuch"));
     }
 
     #[test]
     fn output_names_shape() {
         assert_eq!(output_names(&["id"], 1), vec!["id", "prediction"]);
-        assert_eq!(
-            output_names(&[], 2),
-            vec!["prediction_0", "prediction_1"]
-        );
+        assert_eq!(output_names(&[], 2), vec!["prediction_0", "prediction_1"]);
     }
 
     #[test]

@@ -166,6 +166,7 @@ impl LstmLayer {
 /// A model layer: the two architectures the paper identifies as relevant for
 /// relational data (Sec. 2).
 #[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // models hold few layers; boxing buys nothing
 pub enum Layer {
     Dense(DenseLayer),
     Lstm(LstmLayer),

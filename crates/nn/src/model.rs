@@ -124,11 +124,8 @@ mod tests {
 
     #[test]
     fn new_rejects_dimension_mismatch() {
-        let err = Model::new(vec![
-            dense(2, 3, Activation::Relu),
-            dense(4, 1, Activation::Linear),
-        ])
-        .unwrap_err();
+        let err = Model::new(vec![dense(2, 3, Activation::Relu), dense(4, 1, Activation::Linear)])
+            .unwrap_err();
         assert!(err.contains("outputs 3"), "{err}");
     }
 

@@ -20,24 +20,13 @@ pub fn to_string(model: &Model) -> String {
     for layer in model.layers() {
         match layer {
             Layer::Dense(d) => {
-                let _ = writeln!(
-                    out,
-                    "dense {} {} {}",
-                    d.input_dim(),
-                    d.units(),
-                    d.activation.name()
-                );
+                let _ =
+                    writeln!(out, "dense {} {} {}", d.input_dim(), d.units(), d.activation.name());
                 write_floats(&mut out, "weights", d.weights.as_slice());
                 write_floats(&mut out, "bias", &d.bias);
             }
             Layer::Lstm(l) => {
-                let _ = writeln!(
-                    out,
-                    "lstm {} {} {}",
-                    l.input_features,
-                    l.timesteps,
-                    l.units()
-                );
+                let _ = writeln!(out, "lstm {} {} {}", l.input_features, l.timesteps, l.units());
                 for g in Gate::ALL {
                     write_floats(
                         &mut out,
@@ -93,11 +82,7 @@ pub fn from_str(text: &str) -> Result<Model, String> {
             Some("dense") => {
                 let input: usize = parse_field(parts.next(), "dense input dim")?;
                 let units: usize = parse_field(parts.next(), "dense units")?;
-                let act: Activation = parts
-                    .next()
-                    .ok_or("missing dense activation")?
-                    .parse()
-                    .map_err(|e| format!("{e}"))?;
+                let act: Activation = parts.next().ok_or("missing dense activation")?.parse()?;
                 let weights = read_floats(lines.next(), "weights", input * units)?;
                 let bias = read_floats(lines.next(), "bias", units)?;
                 layers.push(Layer::Dense(DenseLayer {
@@ -150,10 +135,7 @@ pub fn from_str(text: &str) -> Result<Model, String> {
 }
 
 fn parse_field(field: Option<&str>, what: &str) -> Result<usize, String> {
-    field
-        .ok_or_else(|| format!("missing {what}"))?
-        .parse()
-        .map_err(|e| format!("bad {what}: {e}"))
+    field.ok_or_else(|| format!("missing {what}"))?.parse().map_err(|e| format!("bad {what}: {e}"))
 }
 
 fn read_floats(line: Option<&str>, tag: &str, expected: usize) -> Result<Vec<f32>, String> {
@@ -203,8 +185,7 @@ mod tests {
     fn rejects_truncated_file() {
         let model = paper::dense_model(8, 2, 1);
         let text = to_string(&model);
-        let truncated: String =
-            text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        let truncated: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
         assert!(from_str(&truncated).is_err());
     }
 

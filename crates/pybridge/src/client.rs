@@ -112,9 +112,7 @@ mod tests {
     use tensor::Device;
 
     fn rows(n: usize, dim: usize) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|r| (0..dim).map(|c| ((r * dim + c) as f64 * 0.17).sin()).collect())
-            .collect()
+        (0..n).map(|r| (0..dim).map(|c| ((r * dim + c) as f64 * 0.17).sin()).collect()).collect()
     }
 
     #[test]
@@ -123,8 +121,7 @@ mod tests {
         let session = Arc::new(Session::from_model("m", &model, Device::cpu()));
         let data = rows(57, 4);
         let config = ClientConfig { fetch_size: 10, batch_size: 16 };
-        let (preds, stats) =
-            run_client_inference(&data, 4, &session, &config).unwrap();
+        let (preds, stats) = run_client_inference(&data, 4, &session, &config).unwrap();
         assert_eq!(preds.len(), 57);
         assert_eq!(stats.rows, 57);
         assert!(stats.wire_bytes > 57 * 4 * 8, "text encoding is bigger than binary");

@@ -44,8 +44,7 @@ impl PyObject {
             PyObject::Float(_) | PyObject::Int(_) => 24 + 8,
             PyObject::Str(s) => 49 + s.len(),
             PyObject::List(items) => {
-                56 + items.iter().map(PyObject::approx_bytes).sum::<usize>()
-                    + items.len() * 8
+                56 + items.iter().map(PyObject::approx_bytes).sum::<usize>() + items.len() * 8
             }
             PyObject::None => 8,
         }

@@ -121,8 +121,7 @@ fn serve_invoke(session: &Session, payload: BytesMut) -> Result<BytesMut, String
     let p = session.output_dim();
     let mut writer = WireWriter::new(p);
     for r in 0..rows {
-        let row: Vec<f64> =
-            predictions[r * p..(r + 1) * p].iter().map(|&v| v as f64).collect();
+        let row: Vec<f64> = predictions[r * p..(r + 1) * p].iter().map(|&v| v as f64).collect();
         writer.write_row(&row);
     }
     let mut out = writer.take_chunk();
@@ -141,9 +140,8 @@ mod tests {
         let saved = nn::serial::to_string(&model);
         let host = UdfHost::spawn(&saved, Device::cpu()).unwrap();
         assert_eq!(host.input_dim(), 4);
-        let rows: Vec<Vec<f64>> = (0..37)
-            .map(|r| (0..4).map(|c| ((r + c) as f64 * 0.29).cos()).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..37).map(|r| (0..4).map(|c| ((r + c) as f64 * 0.29).cos()).collect()).collect();
         let preds = host.invoke(&rows).unwrap();
         assert_eq!(preds.len(), 37);
         for (r, row) in rows.iter().enumerate() {

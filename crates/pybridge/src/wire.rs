@@ -23,7 +23,8 @@ pub struct WireWriter {
 impl WireWriter {
     /// Start a stream of rows of `columns` numeric fields.
     pub fn new(columns: usize) -> WireWriter {
-        let mut w = WireWriter { buf: BytesMut::with_capacity(4096), columns, scratch: String::new() };
+        let mut w =
+            WireWriter { buf: BytesMut::with_capacity(4096), columns, scratch: String::new() };
         // Header frame: column count.
         w.frame(MSG_HEADER, &columns.to_string().into_bytes());
         w
@@ -126,8 +127,7 @@ impl WireReader {
             return Ok(None);
         }
         let tag = self.buf[0];
-        let len = u32::from_be_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]])
-            as usize;
+        let len = u32::from_be_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]]) as usize;
         if self.buf.len() < 5 + len + 1 {
             return Ok(None);
         }
@@ -141,17 +141,15 @@ impl WireReader {
         }
         match tag {
             MSG_HEADER => {
-                let text = std::str::from_utf8(&payload)
-                    .map_err(|e| format!("bad header: {e}"))?;
-                let columns: usize =
-                    text.parse().map_err(|e| format!("bad column count: {e}"))?;
+                let text = std::str::from_utf8(&payload).map_err(|e| format!("bad header: {e}"))?;
+                let columns: usize = text.parse().map_err(|e| format!("bad column count: {e}"))?;
                 self.columns = Some(columns);
                 Ok(Some(WireEvent::Header { columns }))
             }
             MSG_ROW => {
                 let columns = self.columns.ok_or("row before header")?;
-                let text = std::str::from_utf8(&payload)
-                    .map_err(|e| format!("bad row encoding: {e}"))?;
+                let text =
+                    std::str::from_utf8(&payload).map_err(|e| format!("bad row encoding: {e}"))?;
                 let mut values = Vec::with_capacity(columns);
                 for field in text.split('|') {
                     values.push(
@@ -159,10 +157,7 @@ impl WireReader {
                     );
                 }
                 if values.len() != columns {
-                    return Err(format!(
-                        "row has {} fields, expected {columns}",
-                        values.len()
-                    ));
+                    return Err(format!("row has {} fields, expected {columns}", values.len()));
                 }
                 Ok(Some(WireEvent::Row(values)))
             }
@@ -181,10 +176,7 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_values_exactly() {
-        let rows = vec![
-            vec![1.0, -2.5, 3.25e10],
-            vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0],
-        ];
+        let rows = vec![vec![1.0, -2.5, 3.25e10], vec![0.1 + 0.2, f64::MIN_POSITIVE, -0.0]];
         let mut w = WireWriter::new(3);
         for r in &rows {
             w.write_row(r);

@@ -155,9 +155,7 @@ impl Device {
     pub fn report(&self) -> DeviceReport {
         DeviceReport {
             device_wall: Duration::from_nanos(self.counters.wall_ns.load(Ordering::Relaxed)),
-            device_modeled: Duration::from_nanos(
-                self.counters.modeled_ns.load(Ordering::Relaxed),
-            ),
+            device_modeled: Duration::from_nanos(self.counters.modeled_ns.load(Ordering::Relaxed)),
             h2d_bytes: self.counters.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: self.counters.d2h_bytes.load(Ordering::Relaxed),
             kernel_launches: self.counters.kernel_launches.load(Ordering::Relaxed),
@@ -211,6 +209,7 @@ impl Device {
     }
 
     /// Device matrix multiply (see [`blas::sgemm`] for semantics).
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
     pub fn gemm(
         &self,
         trans_a: Transpose,
@@ -323,7 +322,7 @@ mod tests {
         let total = r.device_wall + Duration::from_millis(3);
         let adjusted = gpu.adjust(total);
         let expected = Duration::from_millis(3) + r.device_modeled;
-        let diff = if adjusted > expected { adjusted - expected } else { expected - adjusted };
+        let diff = adjusted.abs_diff(expected);
         assert!(diff < Duration::from_micros(10));
     }
 

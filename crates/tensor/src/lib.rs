@@ -18,7 +18,11 @@ pub mod activation;
 pub mod blas;
 pub mod device;
 pub mod matrix;
+mod microkernel;
+mod pack;
+pub mod parallel;
 
 pub use activation::Activation;
 pub use device::{Device, DeviceKind, DeviceReport, GpuModel};
 pub use matrix::Matrix;
+pub use parallel::{kernel_threads, set_kernel_threads};

@@ -131,16 +131,37 @@ impl Matrix {
         self.data.fill(v);
     }
 
+    /// Allocated capacity of the backing buffer, in elements.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshape in place to `rows x cols`, reusing the backing allocation
+    /// when it is large enough, and zero-fill. This is what lets operator
+    /// scratch matrices survive batch-size changes (e.g. a short final
+    /// vector) without reallocating every batch.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Maximum absolute element-wise difference to `other`.
     /// Panics on shape mismatch. Useful in tests comparing approaches.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+    }
+}
+
+/// The empty `0 x 0` matrix — the natural seed for capacity-reusing
+/// scratch buffers (see [`Matrix::resize_zeroed`]).
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -150,8 +171,7 @@ impl fmt::Debug for Matrix {
         let show_rows = self.rows.min(6);
         for r in 0..show_rows {
             let row = self.row(r);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }
@@ -214,6 +234,19 @@ mod tests {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let b = Matrix::from_vec(2, 2, vec![1.0, 2.5, 3.0, 3.0]);
         assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity() {
+        let mut m = Matrix::from_fn(8, 4, |r, c| (r + c) as f32 + 1.0);
+        let cap = m.capacity();
+        m.resize_zeroed(3, 4);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.capacity(), cap, "shrinking must not reallocate");
+        m.resize_zeroed(8, 4);
+        assert_eq!(m.capacity(), cap, "regrowth within capacity must not reallocate");
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

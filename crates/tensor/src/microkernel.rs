@@ -1,0 +1,208 @@
+//! The register-tiled MR×NR micro-kernel at the bottom of the blocked GEMM.
+//!
+//! Operates on panels produced by [`crate::pack`]: an A micro-panel laid
+//! out `k`-major with `MR` consecutive rows per step, and a B micro-panel
+//! laid out `k`-major with `NR` consecutive columns per step.
+//!
+//! Two implementations sit behind [`microkernel`]:
+//!
+//! * an explicit AVX-512 kernel (x86-64 with `avx512f` compiled in, i.e.
+//!   `target-cpu=native` on a capable host): 8×32 tiles held in 16 zmm
+//!   accumulator registers, rank-1 updates issued as FMAs with the A
+//!   element broadcast. Used for full tiles; edge tiles fall through to
+//!   the scalar kernel so the hot path carries no masking logic;
+//! * a portable scalar kernel whose fixed-size `MR x NR` accumulator
+//!   array autovectorizes to FMA lanes on any target.
+
+use crate::pack::{MR, NR};
+
+/// `C[0..mr_eff, 0..nr_eff] += alpha * Ap · Bp`.
+///
+/// `ap` is one packed A micro-panel (`kc * MR` values), `bp` one packed B
+/// micro-panel (`kc * NR` values); both are zero-padded so the accumulation
+/// loop itself is always the full `MR x NR` shape. `c` points at the first
+/// element of the target tile inside a row-major C with leading dimension
+/// `ldc`; only the `mr_eff x nr_eff` valid region is written back.
+///
+/// # Safety
+/// `c` must be valid for reads and writes of rows `0..mr_eff` with columns
+/// `0..nr_eff` at leading dimension `ldc`, and no other thread may access
+/// that region concurrently.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the BLIS micro-kernel ABI
+pub(crate) unsafe fn microkernel(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    debug_assert!(ap.len() >= kc * MR);
+    debug_assert!(bp.len() >= kc * NR);
+    debug_assert!(mr_eff <= MR && nr_eff <= NR);
+
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+    if mr_eff == MR && nr_eff == NR {
+        unsafe { microkernel_avx512(kc, alpha, ap, bp, c, ldc) };
+        return;
+    }
+
+    unsafe { microkernel_scalar(kc, alpha, ap, bp, c, ldc, mr_eff, nr_eff) };
+}
+
+/// Full-tile AVX-512 kernel: MR = 8 rows × NR = 32 columns, two zmm
+/// accumulators per row. Per `k` step: two B loads, then per row one
+/// broadcast of the A element feeding two FMAs — 16 FMAs against 10 loads,
+/// so the loop is FMA-throughput-bound, not load-bound.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+unsafe fn microkernel_avx512(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: *mut f32,
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    const _: () = assert!(MR == 8 && NR == 32, "kernel is tiled for 8 x 32");
+
+    unsafe {
+        let mut acc_lo = [_mm512_setzero_ps(); MR];
+        let mut acc_hi = [_mm512_setzero_ps(); MR];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kc {
+            let b_lo = _mm512_loadu_ps(b);
+            let b_hi = _mm512_loadu_ps(b.add(16));
+            for i in 0..MR {
+                let ai = _mm512_set1_ps(*a.add(i));
+                acc_lo[i] = _mm512_fmadd_ps(ai, b_lo, acc_lo[i]);
+                acc_hi[i] = _mm512_fmadd_ps(ai, b_hi, acc_hi[i]);
+            }
+            a = a.add(MR);
+            b = b.add(NR);
+        }
+        let va = _mm512_set1_ps(alpha);
+        for i in 0..MR {
+            let crow = c.add(i * ldc);
+            let lo = _mm512_fmadd_ps(va, acc_lo[i], _mm512_loadu_ps(crow));
+            let hi = _mm512_fmadd_ps(va, acc_hi[i], _mm512_loadu_ps(crow.add(16)));
+            _mm512_storeu_ps(crow, lo);
+            _mm512_storeu_ps(crow.add(16), hi);
+        }
+    }
+}
+
+/// Portable scalar kernel; also handles edge tiles for the SIMD path.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn microkernel_scalar(
+    kc: usize,
+    alpha: f32,
+    ap: &[f32],
+    bp: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    // chunks_exact gives the optimizer bound-check-free, fixed-size slices;
+    // the rank-1 update body then vectorizes to one FMA per accumulator row.
+    for (a, b) in ap[..kc * MR].chunks_exact(MR).zip(bp[..kc * NR].chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+    if mr_eff == MR && nr_eff == NR {
+        // Full tile: unrolled writeback with no per-element bounds logic.
+        for (i, row) in acc.iter().enumerate() {
+            let crow = unsafe { c.add(i * ldc) };
+            for (j, &v) in row.iter().enumerate() {
+                unsafe { *crow.add(j) += alpha * v };
+            }
+        }
+    } else {
+        for (i, row) in acc.iter().enumerate().take(mr_eff) {
+            let crow = unsafe { c.add(i * ldc) };
+            for (j, &v) in row.iter().enumerate().take(nr_eff) {
+                unsafe { *crow.add(j) += alpha * v };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_tile_matches_scalar_reference() {
+        let kc = 5;
+        // Ap: value at (k, i) = k*10 + i; Bp: value at (k, j) = k + j * 0.5
+        let mut ap = vec![0.0f32; kc * MR];
+        let mut bp = vec![0.0f32; kc * NR];
+        for k in 0..kc {
+            for i in 0..MR {
+                ap[k * MR + i] = (k * 10 + i) as f32;
+            }
+            for j in 0..NR {
+                bp[k * NR + j] = k as f32 + j as f32 * 0.5;
+            }
+        }
+        let ldc = NR;
+        let mut c = vec![1.0f32; MR * NR];
+        unsafe { microkernel(kc, 2.0, &ap, &bp, c.as_mut_ptr(), ldc, MR, NR) };
+        for i in 0..MR {
+            for j in 0..NR {
+                let mut expect = 0.0f32;
+                for k in 0..kc {
+                    expect += ap[k * MR + i] * bp[k * NR + j];
+                }
+                let got = c[i * ldc + j];
+                assert!((got - (1.0 + 2.0 * expect)).abs() < 1e-3, "({i},{j}): {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_tile_leaves_outside_untouched() {
+        let kc = 3;
+        let ap = vec![1.0f32; kc * MR];
+        let bp = vec![1.0f32; kc * NR];
+        let ldc = NR + 2; // C wider than the tile
+        let mut c = vec![0.0f32; MR * ldc];
+        unsafe { microkernel(kc, 1.0, &ap, &bp, c.as_mut_ptr(), ldc, 2, 3) };
+        for i in 0..MR {
+            for j in 0..ldc {
+                let expected = if i < 2 && j < 3 { kc as f32 } else { 0.0 };
+                assert_eq!(c[i * ldc + j], expected, "({i},{j})");
+            }
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+    #[test]
+    fn simd_and_scalar_kernels_agree() {
+        let kc = 37;
+        let ap: Vec<f32> = (0..kc * MR).map(|v| ((v * 13 % 97) as f32) * 0.03 - 1.0).collect();
+        let bp: Vec<f32> = (0..kc * NR).map(|v| ((v * 7 % 89) as f32) * 0.05 - 2.0).collect();
+        let ldc = NR;
+        let mut c_simd = vec![0.5f32; MR * NR];
+        let mut c_scalar = vec![0.5f32; MR * NR];
+        unsafe {
+            microkernel_avx512(kc, 1.25, &ap, &bp, c_simd.as_mut_ptr(), ldc);
+            microkernel_scalar(kc, 1.25, &ap, &bp, c_scalar.as_mut_ptr(), ldc, MR, NR);
+        }
+        for (i, (s, r)) in c_simd.iter().zip(&c_scalar).enumerate() {
+            assert!((s - r).abs() < 1e-3, "lane {i}: {s} vs {r}");
+        }
+    }
+}

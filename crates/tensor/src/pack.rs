@@ -1,0 +1,227 @@
+//! Panel packing for the blocked GEMM (the "copy kernels" of an MKL-class
+//! BLAS, paper Sec. 5.4).
+//!
+//! The blocked [`crate::blas::sgemm`] never walks the operand matrices
+//! directly. Each `KC`-deep slice of the K dimension is first repacked into
+//! contiguous tile buffers — A into `MR`-row micro-panels, B into `NR`-column
+//! micro-panels, both `k`-major and zero-padded to full tiles — so the
+//! micro-kernel streams purely sequential, aligned memory regardless of the
+//! original layout or transpose. This is what lets all four transpose
+//! combinations share one multiplication path: the transpose is absorbed
+//! here, at packing time, where the access pattern is chosen per case.
+//!
+//! Packed layouts (`kc` = depth of the current K slice):
+//!
+//! ```text
+//! A block (mc x kc):  ⌈mc/MR⌉ micro-panels, panel p holds rows p*MR..,
+//!                     element (i, k) of the panel at  p*kc*MR + k*MR + i
+//! B panel (kc x nc):  ⌈nc/NR⌉ micro-panels, panel q holds cols q*NR..,
+//!                     element (k, j) of the panel at  q*kc*NR + k*NR + j
+//! ```
+
+use crate::blas::Transpose;
+use crate::matrix::Matrix;
+
+/// Rows per A micro-panel (register tile height).
+pub(crate) const MR: usize = 8;
+/// Columns per B micro-panel (register tile width). With AVX-512 the
+/// micro-kernel holds two 16-lane accumulator registers per A row
+/// (16 zmm total), so the tile is 32 columns wide; elsewhere 8 columns
+/// keeps the autovectorized scalar kernel inside 16 ymm registers.
+pub(crate) const NR: usize =
+    if cfg!(all(target_arch = "x86_64", target_feature = "avx512f")) { 32 } else { 8 };
+/// Rows of A packed per block (with `KC`, sized to sit in L2: `MC*KC`
+/// floats = 512 KiB).
+pub(crate) const MC: usize = 256;
+/// Depth of one packed K slice. A and B micro-panels (`KC*MR`, `KC*NR`
+/// floats) stream from L1/L2 while C tiles stay register-resident.
+pub(crate) const KC: usize = 512;
+/// Columns of B packed per panel (bounds the shared B buffer at ~8 MiB).
+pub(crate) const NC: usize = 4096;
+
+/// A transpose-aware read view of one GEMM operand: `at(r, c)` addresses
+/// `op(M)[r, c]` over the underlying row-major buffer.
+#[derive(Clone, Copy)]
+pub(crate) struct MatView<'a> {
+    data: &'a [f32],
+    /// Leading dimension of the *stored* matrix (its column count).
+    ld: usize,
+    trans: bool,
+}
+
+impl<'a> MatView<'a> {
+    pub(crate) fn new(m: &'a Matrix, trans: Transpose) -> MatView<'a> {
+        MatView { data: m.as_slice(), ld: m.cols(), trans: trans == Transpose::Yes }
+    }
+
+    /// Element access; only the packing loops' tests address elements one
+    /// at a time, the packing loops themselves are specialized per layout.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub(crate) fn at(&self, r: usize, c: usize) -> f32 {
+        if self.trans {
+            self.data[c * self.ld + r]
+        } else {
+            self.data[r * self.ld + c]
+        }
+    }
+}
+
+/// Number of floats `pack_a` needs for an `mc x kc` block.
+pub(crate) fn packed_a_len(mc: usize, kc: usize) -> usize {
+    mc.div_ceil(MR) * MR * kc
+}
+
+/// Number of floats `pack_b` needs for a `kc x nc` panel.
+pub(crate) fn packed_b_len(kc: usize, nc: usize) -> usize {
+    nc.div_ceil(NR) * NR * kc
+}
+
+/// Pack the `mc x kc` block of `op(A)` starting at `(ic, pc)` into `out`.
+pub(crate) fn pack_a(
+    view: &MatView<'_>,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(out.len() >= packed_a_len(mc, kc));
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let row0 = ic + p * MR;
+        let rows = MR.min(ic + mc - row0);
+        let panel = &mut out[p * kc * MR..(p + 1) * kc * MR];
+        if view.trans {
+            // op(A)(i, k) = data[k * ld + i]: walking k outer keeps the
+            // source reads and the panel writes both sequential.
+            for k in 0..kc {
+                let src_base = (pc + k) * view.ld + row0;
+                let dst = &mut panel[k * MR..k * MR + MR];
+                let src = &view.data[src_base..src_base + rows];
+                dst[..rows].copy_from_slice(src);
+                dst[rows..].fill(0.0);
+            }
+        } else {
+            // Row-major A: read each source row sequentially; the writes
+            // stride by MR (one cache line per step at MR = 8).
+            if rows < MR {
+                panel.fill(0.0);
+            }
+            for i in 0..rows {
+                let src_base = (row0 + i) * view.ld + pc;
+                let src = &view.data[src_base..src_base + kc];
+                for (k, &v) in src.iter().enumerate() {
+                    panel[k * MR + i] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nc` panel of `op(B)` starting at `(pc, jc)` into `out`.
+pub(crate) fn pack_b(
+    view: &MatView<'_>,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(out.len() >= packed_b_len(kc, nc));
+    let panels = nc.div_ceil(NR);
+    for q in 0..panels {
+        let col0 = jc + q * NR;
+        let cols = NR.min(jc + nc - col0);
+        let panel = &mut out[q * kc * NR..(q + 1) * kc * NR];
+        if view.trans {
+            // op(B)(k, j) = data[j * ld + k]: read each stored row (one j)
+            // sequentially in k; writes stride by NR.
+            if cols < NR {
+                panel.fill(0.0);
+            }
+            for j in 0..cols {
+                let src_base = (col0 + j) * view.ld + pc;
+                let src = &view.data[src_base..src_base + kc];
+                for (k, &v) in src.iter().enumerate() {
+                    panel[k * NR + j] = v;
+                }
+            }
+        } else {
+            // Row-major B: both source reads and panel writes sequential.
+            for k in 0..kc {
+                let src_base = (pc + k) * view.ld + col0;
+                let dst = &mut panel[k * NR..k * NR + NR];
+                let src = &view.data[src_base..src_base + cols];
+                dst[..cols].copy_from_slice(src);
+                dst[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| (r * 100 + c) as f32)
+    }
+
+    #[test]
+    fn pack_a_layout_no_transpose() {
+        let a = sample(10, 6);
+        let view = MatView::new(&a, Transpose::No);
+        let (mc, kc) = (10, 4);
+        let mut out = vec![-1.0; packed_a_len(mc, kc)];
+        pack_a(&view, 0, mc, 1, kc, &mut out);
+        for p in 0..mc.div_ceil(MR) {
+            for k in 0..kc {
+                for i in 0..MR {
+                    let got = out[p * kc * MR + k * MR + i];
+                    let row = p * MR + i;
+                    let expected = if row < mc { a.get(row, 1 + k) } else { 0.0 };
+                    assert_eq!(got, expected, "panel {p} k {k} i {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_transposed_matches_view() {
+        let a = sample(6, 10); // op(A) is 10 x 6
+        let view = MatView::new(&a, Transpose::Yes);
+        let (ic, mc, pc, kc) = (3, 7, 2, 4);
+        let mut out = vec![-1.0; packed_a_len(mc, kc)];
+        pack_a(&view, ic, mc, pc, kc, &mut out);
+        for p in 0..mc.div_ceil(MR) {
+            for k in 0..kc {
+                for i in 0..MR {
+                    let got = out[p * kc * MR + k * MR + i];
+                    let r = p * MR + i;
+                    let expected = if r < mc { view.at(ic + r, pc + k) } else { 0.0 };
+                    assert_eq!(got, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_layouts_agree_between_transposes() {
+        // B and Bᵀ viewed appropriately must pack identically.
+        let b = sample(5, 9);
+        let bt = b.transposed();
+        let (pc, kc, jc, nc) = (1, 3, 2, 7);
+        let mut out_n = vec![-1.0; packed_b_len(kc, nc)];
+        let mut out_t = vec![-2.0; packed_b_len(kc, nc)];
+        pack_b(&MatView::new(&b, Transpose::No), pc, kc, jc, nc, &mut out_n);
+        pack_b(&MatView::new(&bt, Transpose::Yes), pc, kc, jc, nc, &mut out_t);
+        assert_eq!(out_n, out_t);
+    }
+
+    #[test]
+    fn blocking_constants_are_tile_aligned() {
+        assert_eq!(MC % MR, 0);
+        assert_eq!(NC % NR, 0);
+    }
+}

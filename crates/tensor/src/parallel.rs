@@ -1,0 +1,241 @@
+//! Persistent worker pool for intra-kernel parallelism.
+//!
+//! The paper's MKL-backed operator gets its throughput from a kernel layer
+//! that can split one large `sgemm` across cores. This module provides the
+//! equivalent: a process-wide pool of persistent worker threads that the
+//! blocked GEMM hands M-block ranges to. The pool size is governed by the
+//! [`set_kernel_threads`] knob (wired to `EngineConfig::kernel_threads` in
+//! the engine crate); the default of 1 keeps kernels single-threaded so
+//! partition parallelism — the engine's primary parallel axis — is not
+//! oversubscribed. Raise the knob for large single-query multiplies.
+//!
+//! Workers are spawned lazily on first use, never exit, and park on a
+//! condvar while idle, so an idle pool costs nothing on the hot path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Requested intra-kernel thread count (including the calling thread).
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set how many threads a single large kernel may use (clamped to ≥ 1).
+/// Cheap to call per query; the pool grows lazily and never shrinks.
+pub fn set_kernel_threads(n: usize) {
+    KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current intra-kernel thread budget.
+pub fn kernel_threads() -> usize {
+    KERNEL_THREADS.load(Ordering::Relaxed)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Worker threads spawned so far (grow-only).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Make sure at least `n` workers exist.
+    fn ensure_workers(&self, n: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < n {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("tensor-kernel-{spawned}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn kernel worker");
+            *spawned += 1;
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.shared.queue.lock().unwrap().push_back(job);
+        self.shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Tracks completion (and panics) of one fan-out batch.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+/// Run `tasks` to completion, using pool workers for all but the first task
+/// (which runs on the calling thread). Blocks until every task has
+/// finished, so tasks may borrow from the caller's stack.
+///
+/// A panicking task is caught on its worker, and the panic is re-raised
+/// here after all tasks have completed — the borrow scope is never exited
+/// while a worker still holds a reference into it.
+pub(crate) fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    let pool = pool();
+    pool.ensure_workers(n - 1);
+    let latch = Arc::new(Latch::new(n));
+    let mut iter = tasks.into_iter();
+    let own = iter.next().expect("n >= 1");
+    for task in iter {
+        // SAFETY: the job only outlives this function if we return before
+        // `latch.wait()` observes every count_down. We wait unconditionally
+        // (including when our own task panics — see below), so the borrowed
+        // data outlives every job. The transmute only erases the lifetime;
+        // layout of `Box<dyn FnOnce() + Send>` is lifetime-independent.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
+        };
+        let latch = Arc::clone(&latch);
+        pool.push(Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            if result.is_err() {
+                latch.panicked.store(true, Ordering::Relaxed);
+            }
+            latch.count_down();
+        }));
+    }
+    let own_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(own));
+    latch.count_down();
+    latch.wait();
+    if let Err(payload) = own_result {
+        std::panic::resume_unwind(payload);
+    }
+    if latch.panicked.load(Ordering::Relaxed) {
+        panic!("tensor kernel worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_scoped_executes_every_task_with_borrows() {
+        let mut out = vec![0usize; 8];
+        {
+            let chunks: Vec<&mut [usize]> = out.chunks_mut(2).collect();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, chunk)| {
+                    Box::new(move || {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = i * 10 + j;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }
+        assert_eq!(out, vec![0, 1, 10, 11, 20, 21, 30, 31]);
+    }
+
+    #[test]
+    fn knob_clamps_to_one() {
+        let before = kernel_threads();
+        set_kernel_threads(0);
+        assert_eq!(kernel_threads(), 1);
+        set_kernel_threads(before.max(1));
+    }
+
+    #[test]
+    fn pool_worker_panic_is_propagated() {
+        let result = std::panic::catch_unwind(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                vec![Box::new(|| {}), Box::new(|| panic!("boom"))];
+            run_scoped(tasks);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_panic_for_later_batches() {
+        let _ = std::panic::catch_unwind(|| {
+            run_scoped(vec![
+                Box::new(|| panic!("first batch dies")) as Box<dyn FnOnce() + Send + '_>,
+                Box::new(|| {}),
+            ]);
+        });
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

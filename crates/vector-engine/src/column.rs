@@ -102,9 +102,7 @@ impl ColumnVector {
             (ColumnVector::Int(dst), ColumnVector::Int(src)) => dst.extend_from_slice(src),
             (ColumnVector::Float(dst), ColumnVector::Float(src)) => dst.extend_from_slice(src),
             (ColumnVector::Bool(dst), ColumnVector::Bool(src)) => dst.extend_from_slice(src),
-            (ColumnVector::Str(dst), ColumnVector::Str(src)) => {
-                dst.extend(src.iter().cloned())
-            }
+            (ColumnVector::Str(dst), ColumnVector::Str(src)) => dst.extend(src.iter().cloned()),
             _ => panic!("append: column type mismatch"),
         }
     }
@@ -113,12 +111,8 @@ impl ColumnVector {
     pub fn take(&self, indices: &[usize]) -> ColumnVector {
         match self {
             ColumnVector::Int(v) => ColumnVector::Int(indices.iter().map(|&i| v[i]).collect()),
-            ColumnVector::Float(v) => {
-                ColumnVector::Float(indices.iter().map(|&i| v[i]).collect())
-            }
-            ColumnVector::Bool(v) => {
-                ColumnVector::Bool(indices.iter().map(|&i| v[i]).collect())
-            }
+            ColumnVector::Float(v) => ColumnVector::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnVector::Bool(v) => ColumnVector::Bool(indices.iter().map(|&i| v[i]).collect()),
             ColumnVector::Str(v) => {
                 ColumnVector::Str(indices.iter().map(|&i| v[i].clone()).collect())
             }
@@ -128,8 +122,7 @@ impl ColumnVector {
     /// Keep rows where `mask` is true (filter compaction).
     pub fn filter(&self, mask: &[bool]) -> ColumnVector {
         debug_assert_eq!(mask.len(), self.len());
-        let idx: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let idx: Vec<usize> = mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
         self.take(&idx)
     }
 
@@ -294,10 +287,7 @@ mod tests {
     #[test]
     fn filter_and_take() {
         let col = ColumnVector::Int(vec![10, 20, 30, 40]);
-        assert_eq!(
-            col.filter(&[true, false, true, false]),
-            ColumnVector::Int(vec![10, 30])
-        );
+        assert_eq!(col.filter(&[true, false, true, false]), ColumnVector::Int(vec![10, 30]));
         assert_eq!(col.take(&[3, 0]), ColumnVector::Int(vec![40, 10]));
         assert_eq!(col.slice(1, 3), ColumnVector::Int(vec![20, 30]));
     }
@@ -329,10 +319,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length differs")]
     fn batch_rejects_ragged_columns() {
-        let _ = Batch::new(vec![
-            ColumnVector::Int(vec![1]),
-            ColumnVector::Int(vec![1, 2]),
-        ]);
+        let _ = Batch::new(vec![ColumnVector::Int(vec![1]), ColumnVector::Int(vec![1, 2])]);
     }
 
     #[test]

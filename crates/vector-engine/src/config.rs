@@ -19,6 +19,11 @@ pub struct EngineConfig {
     pub hash_join: bool,
     /// Enable predicate pushdown through projections and joins.
     pub predicate_pushdown: bool,
+    /// Threads a single large tensor kernel (one `sgemm`) may fan out to.
+    /// Default 1: partition parallelism is the engine's primary parallel
+    /// axis, and intra-kernel threads would oversubscribe it. Raise for
+    /// low-concurrency workloads with very large per-batch multiplies.
+    pub kernel_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +35,7 @@ impl Default for EngineConfig {
             sma_pruning: true,
             hash_join: true,
             predicate_pushdown: true,
+            kernel_threads: 1,
         }
     }
 }
@@ -58,5 +64,6 @@ mod tests {
         assert_eq!(c.partitions, 12);
         assert_eq!(c.parallelism, 12);
         assert!(c.sma_pruning && c.hash_join && c.predicate_pushdown);
+        assert_eq!(c.kernel_threads, 1, "kernels stay single-threaded by default");
     }
 }

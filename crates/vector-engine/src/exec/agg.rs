@@ -78,14 +78,10 @@ impl AggState {
                 Value::Float(if count == 0 { 0.0 } else { sum / count as f64 })
             }
             AggState::Min(v) => v.ok_or_else(|| {
-                EngineError::Execution(
-                    "MIN over empty input requires NULL support".into(),
-                )
+                EngineError::Execution("MIN over empty input requires NULL support".into())
             })?,
             AggState::Max(v) => v.ok_or_else(|| {
-                EngineError::Execution(
-                    "MAX over empty input requires NULL support".into(),
-                )
+                EngineError::Execution("MAX over empty input requires NULL support".into())
             })?,
         })
     }
@@ -155,8 +151,7 @@ impl HashAggExec {
                     None => {
                         let gi = group_rows.len();
                         index.insert(key, gi);
-                        group_rows
-                            .push(key_cols.iter().map(|c| c.value(row)).collect());
+                        group_rows.push(key_cols.iter().map(|c| c.value(row)).collect());
                         states.push(
                             self.aggs
                                 .iter()
@@ -179,11 +174,7 @@ impl HashAggExec {
         if ngroup == 0 && group_rows.is_empty() {
             group_rows.push(Vec::new());
             states.push(
-                self.aggs
-                    .iter()
-                    .zip(&agg_types)
-                    .map(|(s, t)| AggState::new(s, *t))
-                    .collect(),
+                self.aggs.iter().zip(&agg_types).map(|(s, t)| AggState::new(s, *t)).collect(),
             );
         }
 
@@ -239,10 +230,7 @@ mod tests {
     use crate::expr::BinaryOp;
 
     fn source(rows: Vec<(i64, f64)>) -> Box<dyn Operator> {
-        let rows = rows
-            .into_iter()
-            .map(|(a, b)| vec![Value::Int(a), Value::Float(b)])
-            .collect();
+        let rows = rows.into_iter().map(|(a, b)| vec![Value::Int(a), Value::Float(b)]).collect();
         Box::new(ValuesExec::new(rows, vec![DataType::Int, DataType::Float]))
     }
 
@@ -289,12 +277,10 @@ mod tests {
             1024,
         );
         let rows = collect_rows(drain(Box::new(agg)).unwrap());
-        assert_eq!(rows[0], vec![
-            Value::Int(1),
-            Value::Float(2.0),
-            Value::Float(6.0),
-            Value::Float(4.0)
-        ]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(1), Value::Float(2.0), Value::Float(6.0), Value::Float(4.0)]
+        );
     }
 
     #[test]
@@ -302,10 +288,7 @@ mod tests {
         let agg = HashAggExec::new(
             source(vec![(1, 0.0), (1, 0.0)]),
             vec![],
-            vec![AggSpec {
-                func: AggFunc::Sum,
-                arg: Some(Expr::col(0)),
-            }],
+            vec![AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(0)) }],
             vec![DataType::Int],
             1024,
         );

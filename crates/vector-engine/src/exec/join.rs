@@ -300,10 +300,7 @@ mod tests {
     }
 
     fn pairs(rows: Vec<(i64, f64)>) -> Box<dyn Operator> {
-        let rows = rows
-            .into_iter()
-            .map(|(a, b)| vec![Value::Int(a), Value::Float(b)])
-            .collect();
+        let rows = rows.into_iter().map(|(a, b)| vec![Value::Int(a), Value::Float(b)]).collect();
         Box::new(ValuesExec::new(rows, vec![DataType::Int, DataType::Float]))
     }
 
@@ -349,13 +346,7 @@ mod tests {
         // left ids 1..4, right has two rows with id 2.
         let left = ints(vec![1, 2, 3, 4]);
         let right = pairs(vec![(2, 0.1), (2, 0.2), (4, 0.4), (9, 0.9)]);
-        let j = HashJoinExec::new(
-            left,
-            right,
-            vec![Expr::col(0)],
-            vec![Expr::col(0)],
-            1024,
-        );
+        let j = HashJoinExec::new(left, right, vec![Expr::col(0)], vec![Expr::col(0)], 1024);
         let rows = collect_rows(drain(Box::new(j)).unwrap());
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r[0] == r[1]));

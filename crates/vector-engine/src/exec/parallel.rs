@@ -48,7 +48,7 @@ pub fn execute(plan: &LogicalPlan, config: &EngineConfig) -> Result<Vec<Batch>> 
 
     let batches = match target {
         Some(table) => execute_partitioned(core, &table, config)?,
-        None => drain(build_operator(core, &ExecContext::new(config.vector_size))?)?,
+        None => drain(build_operator(core, &ExecContext::from_config(config))?)?,
     };
 
     // Apply the peeled tail serially (innermost first).
@@ -84,8 +84,7 @@ fn execute_partitioned(
                 let mut out = Vec::new();
                 let mut p = w;
                 while p < partitions {
-                    let ctx =
-                        ExecContext::for_partition(config.vector_size, Arc::clone(&table), p);
+                    let ctx = ExecContext::for_partition(config, Arc::clone(&table), p);
                     let result = build_operator(plan, &ctx).and_then(drain);
                     out.push((p, result));
                     p += workers;
@@ -94,9 +93,8 @@ fn execute_partitioned(
             }));
         }
         for h in handles {
-            let results = h.join().map_err(|_| {
-                EngineError::Execution("parallel worker panicked".into())
-            });
+            let results =
+                h.join().map_err(|_| EngineError::Execution("parallel worker panicked".into()));
             match results {
                 Ok(results) => {
                     for (p, r) in results {
@@ -147,8 +145,7 @@ fn collect_scan_tables(plan: &LogicalPlan, out: &mut Vec<Arc<Table>>) {
         | LogicalPlan::Aggregate { input, .. }
         | LogicalPlan::Sort { input, .. }
         | LogicalPlan::Limit { input, .. } => collect_scan_tables(input, out),
-        LogicalPlan::CrossJoin { left, right, .. }
-        | LogicalPlan::HashJoin { left, right, .. } => {
+        LogicalPlan::CrossJoin { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
             collect_scan_tables(left, out);
             collect_scan_tables(right, out);
         }
@@ -178,8 +175,7 @@ fn is_safe(plan: &LogicalPlan, table: &Arc<Table>) -> bool {
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Sort { input, .. } => is_safe(input, table),
-        LogicalPlan::CrossJoin { left, right, .. }
-        | LogicalPlan::HashJoin { left, right, .. } => {
+        LogicalPlan::CrossJoin { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
             is_safe(left, table) && is_safe(right, table)
         }
         LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => true,
@@ -198,8 +194,7 @@ fn column_source(plan: &LogicalPlan, idx: usize) -> Option<(Arc<Table>, usize)> 
             Expr::Column(i) => column_source(input, *i),
             _ => None,
         },
-        LogicalPlan::CrossJoin { left, right, .. }
-        | LogicalPlan::HashJoin { left, right, .. } => {
+        LogicalPlan::CrossJoin { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
             let nleft = left.schema().len();
             if idx < nleft {
                 column_source(left, idx)
@@ -266,8 +261,10 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree_on_grouped_aggregate() {
-        let par = EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
-        let ser = EngineConfig { vector_size: 8, partitions: 1, parallelism: 1, ..Default::default() };
+        let par =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let ser =
+            EngineConfig { vector_size: 8, partitions: 1, parallelism: 1, ..Default::default() };
         let sql = "SELECT id, SUM(v) AS s FROM facts GROUP BY id ORDER BY id";
         let a = run(sql, &par, &setup(&par));
         let b = run(sql, &ser, &setup(&ser));
@@ -277,17 +274,16 @@ mod tests {
 
     #[test]
     fn order_by_is_applied_after_gather() {
-        let cfg = EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let cfg =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
         let rows = run("SELECT id FROM facts ORDER BY id DESC LIMIT 3", &cfg, &setup(&cfg));
-        assert_eq!(
-            rows,
-            vec![vec![Value::Int(49)], vec![Value::Int(48)], vec![Value::Int(47)]]
-        );
+        assert_eq!(rows, vec![vec![Value::Int(49)], vec![Value::Int(48)], vec![Value::Int(47)]]);
     }
 
     #[test]
     fn unsafe_group_by_falls_back_to_serial_but_stays_correct() {
-        let cfg = EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let cfg =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
         let cat = setup(&cfg);
         // Group key id % 5 spans partitions: must not be parallelized.
         let rows = run(
@@ -301,7 +297,8 @@ mod tests {
 
     #[test]
     fn choose_rejects_tables_scanned_twice() {
-        let cfg = EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let cfg =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
         let cat = setup(&cfg);
         // Self join: the table appears twice, so no partition target exists;
         // results must still be correct (serial fallback).
@@ -315,7 +312,8 @@ mod tests {
 
     #[test]
     fn lineage_through_projection() {
-        let cfg = EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let cfg =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
         let cat = setup(&cfg);
         // id flows through a subquery projection into the GROUP BY: still
         // parallel-safe, and correct either way.

@@ -5,9 +5,7 @@ use crate::error::Result;
 use crate::exec::agg::HashAggExec;
 use crate::exec::join::{CrossJoinExec, HashJoinExec};
 use crate::exec::scan::ScanExec;
-use crate::exec::simple::{
-    BatchesExec, FilterExec, LimitExec, ProjectExec, SortExec, ValuesExec,
-};
+use crate::exec::simple::{BatchesExec, FilterExec, LimitExec, ProjectExec, SortExec, ValuesExec};
 use crate::plan::logical::LogicalPlan;
 use crate::storage::Table;
 use std::sync::Arc;
@@ -52,15 +50,37 @@ pub struct ExecContext {
     /// read fully by every worker (the paper's "model table is shared
     /// between the execution threads", Sec. 4.4).
     pub scan_restrict: Option<(Arc<Table>, usize)>,
+    /// Intra-kernel thread budget (`EngineConfig::kernel_threads`), carried
+    /// to operators that issue tensor kernels. The engine itself never
+    /// spawns these threads; consumers (the ModelJoin crate) hand the value
+    /// to the tensor worker pool.
+    pub kernel_threads: usize,
 }
 
 impl ExecContext {
     pub fn new(vector_size: usize) -> ExecContext {
-        ExecContext { vector_size, scan_restrict: None }
+        ExecContext { vector_size, scan_restrict: None, kernel_threads: 1 }
     }
 
-    pub fn for_partition(vector_size: usize, table: Arc<Table>, partition: usize) -> ExecContext {
-        ExecContext { vector_size, scan_restrict: Some((table, partition)) }
+    /// Context for a full (non-partitioned) execution under `config`.
+    pub fn from_config(config: &crate::config::EngineConfig) -> ExecContext {
+        ExecContext {
+            vector_size: config.vector_size,
+            scan_restrict: None,
+            kernel_threads: config.kernel_threads.max(1),
+        }
+    }
+
+    pub fn for_partition(
+        config: &crate::config::EngineConfig,
+        table: Arc<Table>,
+        partition: usize,
+    ) -> ExecContext {
+        ExecContext {
+            vector_size: config.vector_size,
+            scan_restrict: Some((table, partition)),
+            kernel_threads: config.kernel_threads.max(1),
+        }
     }
 }
 
@@ -101,11 +121,9 @@ pub fn build_operator(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn O
             schema.types(),
             ctx.vector_size,
         )),
-        LogicalPlan::Sort { input, keys } => Box::new(SortExec::new(
-            build_operator(input, ctx)?,
-            keys.clone(),
-            ctx.vector_size,
-        )),
+        LogicalPlan::Sort { input, keys } => {
+            Box::new(SortExec::new(build_operator(input, ctx)?, keys.clone(), ctx.vector_size))
+        }
         LogicalPlan::Limit { input, n } => {
             Box::new(LimitExec::new(build_operator(input, ctx)?, *n))
         }

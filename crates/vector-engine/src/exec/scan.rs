@@ -34,14 +34,7 @@ impl ScanExec {
         partition: Option<usize>,
     ) -> ScanExec {
         let start = partition.unwrap_or(0);
-        ScanExec {
-            table,
-            pruning,
-            partition,
-            cursor: (start, 0),
-            blocks_pruned: 0,
-            blocks_read: 0,
-        }
+        ScanExec { table, pruning, partition, cursor: (start, 0), blocks_pruned: 0, blocks_read: 0 }
     }
 
     fn block_survives(&self, min: &Value, max: &Value, pred: &PrunePredicate) -> bool {

@@ -316,10 +316,8 @@ mod tests {
         let s = SortExec::new(source(vec![3, 1, 2, 5, 4]), vec![(Expr::col(0), true)], 2);
         let out = drain(Box::new(s)).unwrap();
         assert_eq!(out.len(), 3); // 2 + 2 + 1
-        let all: Vec<i64> = out
-            .iter()
-            .flat_map(|b| b.column(0).as_int().unwrap().to_vec())
-            .collect();
+        let all: Vec<i64> =
+            out.iter().flat_map(|b| b.column(0).as_int().unwrap().to_vec()).collect();
         assert_eq!(all, vec![1, 2, 3, 4, 5]);
     }
 

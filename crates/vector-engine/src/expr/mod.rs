@@ -85,13 +85,29 @@ pub enum Expr {
     Column(usize),
     /// A constant.
     Literal(Value),
-    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
-    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
     /// Searched CASE: `CASE WHEN cond THEN value ... ELSE value END`.
     /// (The binder desugars simple CASE into this form.)
-    Case { whens: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
-    Func { func: ScalarFunc, args: Vec<Expr> },
-    Cast { expr: Box<Expr>, to: DataType },
+    Case {
+        whens: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<Expr>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        to: DataType,
+    },
 }
 
 impl Expr {
@@ -110,9 +126,10 @@ impl Expr {
     /// Result type given input column types.
     pub fn data_type(&self, input: &[DataType]) -> Result<DataType> {
         match self {
-            Expr::Column(i) => input.get(*i).copied().ok_or_else(|| {
-                EngineError::Plan(format!("column ordinal {i} out of range"))
-            }),
+            Expr::Column(i) => input
+                .get(*i)
+                .copied()
+                .ok_or_else(|| EngineError::Plan(format!("column ordinal {i} out of range"))),
             Expr::Literal(v) => Ok(v.data_type()),
             Expr::Binary { op, left, right } => {
                 let l = left.data_type(input)?;
@@ -287,23 +304,15 @@ impl Expr {
                 left: Box::new(left.transform(f)),
                 right: Box::new(right.transform(f)),
             },
-            Expr::Unary { op, expr } => {
-                Expr::Unary { op: *op, expr: Box::new(expr.transform(f)) }
-            }
+            Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(expr.transform(f)) },
             Expr::Case { whens, else_expr } => Expr::Case {
-                whens: whens
-                    .iter()
-                    .map(|(c, v)| (c.transform(f), v.transform(f)))
-                    .collect(),
+                whens: whens.iter().map(|(c, v)| (c.transform(f), v.transform(f))).collect(),
                 else_expr: else_expr.as_ref().map(|e| Box::new(e.transform(f))),
             },
-            Expr::Func { func, args } => Expr::Func {
-                func: *func,
-                args: args.iter().map(|a| a.transform(f)).collect(),
-            },
-            Expr::Cast { expr, to } => {
-                Expr::Cast { expr: Box::new(expr.transform(f)), to: *to }
+            Expr::Func { func, args } => {
+                Expr::Func { func: *func, args: args.iter().map(|a| a.transform(f)).collect() }
             }
+            Expr::Cast { expr, to } => Expr::Cast { expr: Box::new(expr.transform(f)), to: *to },
         };
         f(&rebuilt).unwrap_or(rebuilt)
     }
@@ -551,14 +560,8 @@ mod tests {
     #[test]
     fn arithmetic_promotes_int_to_float() {
         let e = Expr::binary(BinaryOp::Add, Expr::col(0), Expr::col(1));
-        assert_eq!(
-            e.data_type(&[DataType::Int, DataType::Float]).unwrap(),
-            DataType::Float
-        );
-        assert_eq!(
-            e.eval(&batch()).unwrap(),
-            ColumnVector::Float(vec![1.5, 3.5, 5.5, 7.5])
-        );
+        assert_eq!(e.data_type(&[DataType::Int, DataType::Float]).unwrap(), DataType::Float);
+        assert_eq!(e.eval(&batch()).unwrap(), ColumnVector::Float(vec![1.5, 3.5, 5.5, 7.5]));
     }
 
     #[test]
@@ -583,19 +586,13 @@ mod tests {
             Expr::binary(BinaryOp::Gt, Expr::col(0), Expr::lit(Value::Int(1))),
             Expr::binary(BinaryOp::Lt, Expr::col(1), Expr::lit(Value::Float(3.0))),
         );
-        assert_eq!(
-            e.eval(&batch()).unwrap(),
-            ColumnVector::Bool(vec![false, true, true, false])
-        );
+        assert_eq!(e.eval(&batch()).unwrap(), ColumnVector::Bool(vec![false, true, true, false]));
     }
 
     #[test]
     fn mixed_numeric_comparison() {
         let e = Expr::binary(BinaryOp::GtEq, Expr::col(1), Expr::col(0));
-        assert_eq!(
-            e.eval(&batch()).unwrap(),
-            ColumnVector::Bool(vec![false, false, false, false])
-        );
+        assert_eq!(e.eval(&batch()).unwrap(), ColumnVector::Bool(vec![false, false, false, false]));
     }
 
     #[test]
@@ -610,18 +607,12 @@ mod tests {
             e.data_type(&[DataType::Int, DataType::Float, DataType::Bool]).unwrap(),
             DataType::Float
         );
-        assert_eq!(
-            e.eval(&batch()).unwrap(),
-            ColumnVector::Float(vec![1.0, 1.5, 3.0, 3.5])
-        );
+        assert_eq!(e.eval(&batch()).unwrap(), ColumnVector::Float(vec![1.0, 1.5, 3.0, 3.5]));
     }
 
     #[test]
     fn case_without_else_yields_zero() {
-        let e = Expr::Case {
-            whens: vec![(Expr::col(2), Expr::col(0))],
-            else_expr: None,
-        };
+        let e = Expr::Case { whens: vec![(Expr::col(2), Expr::col(0))], else_expr: None };
         assert_eq!(e.eval(&batch()).unwrap(), ColumnVector::Int(vec![1, 0, 3, 0]));
     }
 
@@ -630,10 +621,7 @@ mod tests {
         let neg = Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col(0)) };
         assert_eq!(neg.eval(&batch()).unwrap(), ColumnVector::Int(vec![-1, -2, -3, -4]));
         let not = Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::col(2)) };
-        assert_eq!(
-            not.eval(&batch()).unwrap(),
-            ColumnVector::Bool(vec![false, true, false, true])
-        );
+        assert_eq!(not.eval(&batch()).unwrap(), ColumnVector::Bool(vec![false, true, false, true]));
     }
 
     #[test]

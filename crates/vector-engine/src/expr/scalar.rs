@@ -139,9 +139,7 @@ impl ScalarFunc {
                 let a = args[0].cast(DataType::Float)?;
                 let b = args[1].cast(DataType::Float)?;
                 let (xs, ys) = (a.as_float()?, b.as_float()?);
-                Ok(ColumnVector::Float(
-                    xs.iter().zip(ys).map(|(x, y)| x.powf(*y)).collect(),
-                ))
+                Ok(ColumnVector::Float(xs.iter().zip(ys).map(|(x, y)| x.powf(*y)).collect()))
             }
             ScalarFunc::Least | ScalarFunc::Greatest => {
                 let all_int = args.iter().all(|a| a.data_type() == DataType::Int);
@@ -165,8 +163,7 @@ impl ScalarFunc {
                     let cast: Result<Vec<ColumnVector>> =
                         args.iter().map(|a| a.cast(DataType::Float)).collect();
                     let cast = cast?;
-                    let cols: Result<Vec<&[f64]>> =
-                        cast.iter().map(|a| a.as_float()).collect();
+                    let cols: Result<Vec<&[f64]>> = cast.iter().map(|a| a.as_float()).collect();
                     let cols = cols?;
                     let mut out = Vec::with_capacity(rows);
                     for r in 0..rows {
@@ -239,12 +236,12 @@ mod tests {
     #[test]
     fn activations_match_reference() {
         let xs = floats(vec![-2.0, 0.0, 2.0]);
-        let sig = ScalarFunc::Sigmoid.eval(&[xs.clone()], 3).unwrap();
+        let sig = ScalarFunc::Sigmoid.eval(std::slice::from_ref(&xs), 3).unwrap();
         let sig = sig.as_float().unwrap();
         assert!((sig[1] - 0.5).abs() < 1e-12);
         assert!((sig[2] - 1.0 / (1.0 + (-2.0f64).exp())).abs() < 1e-12);
 
-        let relu = ScalarFunc::Relu.eval(&[xs.clone()], 3).unwrap();
+        let relu = ScalarFunc::Relu.eval(std::slice::from_ref(&xs), 3).unwrap();
         assert_eq!(relu, floats(vec![0.0, 0.0, 2.0]));
 
         let tanh = ScalarFunc::Tanh.eval(&[xs], 3).unwrap();
@@ -254,10 +251,7 @@ mod tests {
     #[test]
     fn relu_preserves_int_type() {
         let xs = ColumnVector::Int(vec![-3, 0, 3]);
-        assert_eq!(
-            ScalarFunc::Relu.eval(&[xs], 3).unwrap(),
-            ColumnVector::Int(vec![0, 0, 3])
-        );
+        assert_eq!(ScalarFunc::Relu.eval(&[xs], 3).unwrap(), ColumnVector::Int(vec![0, 0, 3]));
     }
 
     #[test]
@@ -273,10 +267,7 @@ mod tests {
             ScalarFunc::Least.eval(&[a.clone(), b.clone(), c.clone()], 2).unwrap(),
             floats(vec![2.0, -5.0])
         );
-        assert_eq!(
-            ScalarFunc::Greatest.eval(&[a, b, c], 2).unwrap(),
-            floats(vec![10.0, 3.0])
-        );
+        assert_eq!(ScalarFunc::Greatest.eval(&[a, b, c], 2).unwrap(), floats(vec![10.0, 3.0]));
     }
 
     #[test]
@@ -287,10 +278,7 @@ mod tests {
             ScalarFunc::Least.eval(&[a.clone(), b.clone()], 2).unwrap(),
             ColumnVector::Int(vec![1, 2])
         );
-        assert_eq!(
-            ScalarFunc::Greatest.eval(&[a, b], 2).unwrap(),
-            ColumnVector::Int(vec![5, 9])
-        );
+        assert_eq!(ScalarFunc::Greatest.eval(&[a, b], 2).unwrap(), ColumnVector::Int(vec![5, 9]));
     }
 
     #[test]
@@ -298,14 +286,14 @@ mod tests {
         let col = Expr::col(0);
         let input = [DataType::Int];
         assert_eq!(
-            ScalarFunc::Sigmoid.return_type(&[col.clone()], &input).unwrap(),
+            ScalarFunc::Sigmoid.return_type(std::slice::from_ref(&col), &input).unwrap(),
             DataType::Float
         );
         assert_eq!(
-            ScalarFunc::Abs.return_type(&[col.clone()], &input).unwrap(),
+            ScalarFunc::Abs.return_type(std::slice::from_ref(&col), &input).unwrap(),
             DataType::Int
         );
-        assert!(ScalarFunc::Power.return_type(&[col.clone()], &input).is_err());
+        assert!(ScalarFunc::Power.return_type(std::slice::from_ref(&col), &input).is_err());
         let s = Expr::lit(Value::Str("x".into()));
         assert!(ScalarFunc::Exp.return_type(&[s], &input).is_err());
     }
@@ -313,6 +301,6 @@ mod tests {
     #[test]
     fn floor_on_ints_is_identity() {
         let xs = ColumnVector::Int(vec![7]);
-        assert_eq!(ScalarFunc::Floor.eval(&[xs.clone()], 1).unwrap(), xs);
+        assert_eq!(ScalarFunc::Floor.eval(std::slice::from_ref(&xs), 1).unwrap(), xs);
     }
 }

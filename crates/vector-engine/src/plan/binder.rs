@@ -66,9 +66,9 @@ impl<'a> Binder<'a> {
             for item in &stmt.order_by {
                 let out_schema = plan.schema().clone();
                 let key = if let AstExpr::Number(n) = &item.expr {
-                    let pos: usize = n.parse().map_err(|_| {
-                        EngineError::Plan(format!("invalid ORDER BY position {n}"))
-                    })?;
+                    let pos: usize = n
+                        .parse()
+                        .map_err(|_| EngineError::Plan(format!("invalid ORDER BY position {n}")))?;
                     if pos == 0 || pos > visible {
                         return Err(EngineError::Plan(format!(
                             "ORDER BY position {pos} out of range"
@@ -82,8 +82,7 @@ impl<'a> Binder<'a> {
                             // Try the projection input (not valid for
                             // aggregated queries, where only the output
                             // exists).
-                            let LogicalPlan::Project { input, exprs, schema } = &mut plan
-                            else {
+                            let LogicalPlan::Project { input, exprs, schema } = &mut plan else {
                                 return Err(outer_err);
                             };
                             if matches!(input.as_ref(), LogicalPlan::Aggregate { .. }) {
@@ -153,8 +152,7 @@ impl<'a> Binder<'a> {
                 let l = self.bind_table_ref(left)?;
                 let r = self.bind_table_ref(right)?;
                 let schema = PlanSchema::join(l.schema(), r.schema());
-                let join =
-                    LogicalPlan::CrossJoin { left: Box::new(l), right: Box::new(r), schema };
+                let join = LogicalPlan::CrossJoin { left: Box::new(l), right: Box::new(r), schema };
                 match on {
                     None => Ok(join),
                     Some(cond) => {
@@ -171,11 +169,7 @@ impl<'a> Binder<'a> {
         }
     }
 
-    fn bind_plain_projection(
-        &self,
-        input: LogicalPlan,
-        stmt: &SelectStmt,
-    ) -> Result<LogicalPlan> {
+    fn bind_plain_projection(&self, input: LogicalPlan, stmt: &SelectStmt) -> Result<LogicalPlan> {
         let in_schema = input.schema().clone();
         let in_types = in_schema.types();
         let mut exprs = Vec::new();
@@ -214,11 +208,7 @@ impl<'a> Binder<'a> {
                 }
             }
         }
-        Ok(LogicalPlan::Project {
-            input: Box::new(input),
-            exprs,
-            schema: PlanSchema::new(fields),
-        })
+        Ok(LogicalPlan::Project { input: Box::new(input), exprs, schema: PlanSchema::new(fields) })
     }
 
     fn bind_aggregate_projection(
@@ -257,8 +247,7 @@ impl<'a> Binder<'a> {
             agg_fields.push(field);
         }
         for (k, spec) in specs.iter().enumerate() {
-            let arg_type =
-                spec.arg.as_ref().map(|a| a.data_type(&in_types)).transpose()?;
+            let arg_type = spec.arg.as_ref().map(|a| a.data_type(&in_types)).transpose()?;
             agg_fields.push(PlanField::new(
                 None,
                 &format!("_agg{k}"),
@@ -279,13 +268,8 @@ impl<'a> Binder<'a> {
         let mut fields = Vec::new();
         for item in &stmt.items {
             let SelectItem::Expr { expr, alias } = item else { unreachable!() };
-            let rewritten = self.rewrite_post_agg(
-                expr,
-                &in_schema,
-                &group_bound,
-                &specs,
-                group_count,
-            )?;
+            let rewritten =
+                self.rewrite_post_agg(expr, &in_schema, &group_bound, &specs, group_count)?;
             let dtype = rewritten.data_type(&agg_types)?;
             let (qualifier, name) = output_field_name(expr, alias, exprs.len());
             exprs.push(rewritten);
@@ -311,10 +295,7 @@ impl<'a> Binder<'a> {
                 let func = AggFunc::parse(name).expect("checked by is_aggregate");
                 let arg = if *wildcard_arg {
                     if func != AggFunc::Count {
-                        return Err(EngineError::Plan(format!(
-                            "{}(*) is not valid",
-                            func.name()
-                        )));
+                        return Err(EngineError::Plan(format!("{}(*) is not valid", func.name())));
                     }
                     None
                 } else {
@@ -384,16 +365,11 @@ impl<'a> Binder<'a> {
         if let AstExpr::Function { name, args, wildcard_arg } = ast {
             if is_aggregate(name) {
                 let func = AggFunc::parse(name).expect("checked");
-                let arg = if *wildcard_arg {
-                    None
-                } else {
-                    Some(self.bind_expr(&args[0], in_schema)?)
-                };
+                let arg =
+                    if *wildcard_arg { None } else { Some(self.bind_expr(&args[0], in_schema)?) };
                 let spec = AggSpec { func, arg };
-                let idx = specs
-                    .iter()
-                    .position(|s| *s == spec)
-                    .expect("collected in collect_agg_specs");
+                let idx =
+                    specs.iter().position(|s| *s == spec).expect("collected in collect_agg_specs");
                 return Ok(Expr::Column(group_count + idx));
             }
         }
@@ -437,14 +413,11 @@ impl<'a> Binder<'a> {
                 )?),
             }),
             AstExpr::Function { name, args, .. } => {
-                let func = ScalarFunc::parse(name).ok_or_else(|| {
-                    EngineError::Plan(format!("unknown function {name:?}"))
-                })?;
+                let func = ScalarFunc::parse(name)
+                    .ok_or_else(|| EngineError::Plan(format!("unknown function {name:?}")))?;
                 let rewritten: Result<Vec<Expr>> = args
                     .iter()
-                    .map(|a| {
-                        self.rewrite_post_agg(a, in_schema, group_bound, specs, group_count)
-                    })
+                    .map(|a| self.rewrite_post_agg(a, in_schema, group_bound, specs, group_count))
                     .collect();
                 Ok(Expr::Func { func, args: rewritten? })
             }
@@ -534,9 +507,8 @@ impl<'a> Binder<'a> {
                         "aggregate function {name:?} is not allowed here"
                     )));
                 }
-                let func = ScalarFunc::parse(name).ok_or_else(|| {
-                    EngineError::Plan(format!("unknown function {name:?}"))
-                })?;
+                let func = ScalarFunc::parse(name)
+                    .ok_or_else(|| EngineError::Plan(format!("unknown function {name:?}")))?;
                 let bound: Result<Vec<Expr>> =
                     args.iter().map(|a| self.bind_expr(a, schema)).collect();
                 Ok(Expr::Func { func, args: bound? })
@@ -580,9 +552,7 @@ impl<'a> Binder<'a> {
     pub fn eval_const(&self, ast: &AstExpr) -> Result<Value> {
         let bound = self.bind_expr(ast, &PlanSchema::empty())?;
         if !bound.columns().is_empty() {
-            return Err(EngineError::Plan(
-                "INSERT values must be constant expressions".into(),
-            ));
+            return Err(EngineError::Plan("INSERT values must be constant expressions".into()));
         }
         let batch = crate::column::Batch::of_rows(1);
         let col = bound.eval(&batch)?;
@@ -788,8 +758,7 @@ mod tests {
     #[test]
     fn subquery_requalification() {
         let plan =
-            bind("SELECT t.s FROM (SELECT id, a + b AS s FROM facts) AS t WHERE t.id > 0")
-                .unwrap();
+            bind("SELECT t.s FROM (SELECT id, a + b AS s FROM facts) AS t WHERE t.id > 0").unwrap();
         assert_eq!(plan.schema().fields[0].name, "s");
     }
 
@@ -836,10 +805,8 @@ mod tests {
         let cat = catalog();
         let b = Binder::new(&cat);
         assert_eq!(b.eval_const(&AstExpr::Number("3".into())).unwrap(), Value::Int(3));
-        let neg = AstExpr::Unary {
-            op: UnaryOp::Neg,
-            expr: Box::new(AstExpr::Number("2.5".into())),
-        };
+        let neg =
+            AstExpr::Unary { op: UnaryOp::Neg, expr: Box::new(AstExpr::Number("2.5".into())) };
         assert_eq!(b.eval_const(&neg).unwrap(), Value::Float(-2.5));
         assert!(b.eval_const(&AstExpr::col("id")).is_err());
     }

@@ -39,11 +39,9 @@ impl Optimizer {
                     LogicalPlan::Filter { input: Box::new(input), predicate }
                 }
             }
-            LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-                input: Box::new(self.rewrite(*input)),
-                exprs,
-                schema,
-            },
+            LogicalPlan::Project { input, exprs, schema } => {
+                LogicalPlan::Project { input: Box::new(self.rewrite(*input)), exprs, schema }
+            }
             LogicalPlan::CrossJoin { left, right, schema } => LogicalPlan::CrossJoin {
                 left: Box::new(self.rewrite(*left)),
                 right: Box::new(self.rewrite(*right)),
@@ -349,10 +347,8 @@ mod tests {
     #[test]
     fn computed_key_join_is_extracted() {
         // The node-ID-offset join of ML-To-SQL's optimized queries.
-        let plan = optimize(
-            "SELECT t.id FROM t, m WHERE t.id = m.node - 3",
-            EngineConfig::default(),
-        );
+        let plan =
+            optimize("SELECT t.id FROM t, m WHERE t.id = m.node - 3", EngineConfig::default());
         let s = plan.display_indent();
         assert!(s.contains("HashJoin [#0] = [(#0 - 3)]"), "{s}");
     }

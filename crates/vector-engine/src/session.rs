@@ -138,9 +138,7 @@ impl Engine {
                 let plan = binder.bind_select(&stmt)?;
                 Ok(Optimizer::new(self.config.clone()).optimize(plan))
             }
-            other => {
-                Err(EngineError::Plan(format!("cannot plan non-SELECT statement {other:?}")))
-            }
+            other => Err(EngineError::Plan(format!("cannot plan non-SELECT statement {other:?}"))),
         }
     }
 
@@ -193,7 +191,7 @@ impl Engine {
     /// the caller (used by approaches that embed the engine).
     pub fn compile(&self, sql: &str) -> Result<Box<dyn Operator>> {
         let plan = self.plan(sql)?;
-        build_operator(&plan, &ExecContext::new(self.config.vector_size))
+        build_operator(&plan, &ExecContext::from_config(&self.config))
     }
 }
 
@@ -211,9 +209,11 @@ fn reorder_insert(
     }
     let mut positions = Vec::with_capacity(cols.len());
     for c in cols {
-        positions.push(schema.index_of(c).ok_or_else(|| {
-            EngineError::Catalog(format!("unknown column {c:?} in INSERT"))
-        })?);
+        positions.push(
+            schema
+                .index_of(c)
+                .ok_or_else(|| EngineError::Catalog(format!("unknown column {c:?} in INSERT")))?,
+        );
     }
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
@@ -234,7 +234,12 @@ mod tests {
     use super::*;
 
     fn engine() -> Engine {
-        Engine::new(EngineConfig { vector_size: 4, partitions: 3, parallelism: 2, ..Default::default() })
+        Engine::new(EngineConfig {
+            vector_size: 4,
+            partitions: 3,
+            parallelism: 2,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -245,10 +250,10 @@ mod tests {
         assert_eq!(r.affected, 3);
         let q = e.execute("SELECT id, v * 2 AS dbl FROM t WHERE id >= 2 ORDER BY id").unwrap();
         assert_eq!(q.names, vec!["id", "dbl"]);
-        assert_eq!(q.rows(), vec![
-            vec![Value::Int(2), Value::Float(3.0)],
-            vec![Value::Int(3), Value::Float(5.0)],
-        ]);
+        assert_eq!(
+            q.rows(),
+            vec![vec![Value::Int(2), Value::Float(3.0)], vec![Value::Int(3), Value::Float(5.0)],]
+        );
     }
 
     #[test]
@@ -283,13 +288,15 @@ mod tests {
         let e = engine();
         e.execute("CREATE TABLE t (g INT, v FLOAT)").unwrap();
         e.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (1, 3.0)").unwrap();
-        let q = e
-            .execute("SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g ORDER BY g")
-            .unwrap();
-        assert_eq!(q.rows(), vec![
-            vec![Value::Int(1), Value::Float(4.0), Value::Int(2)],
-            vec![Value::Int(2), Value::Float(2.0), Value::Int(1)],
-        ]);
+        let q =
+            e.execute("SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g ORDER BY g").unwrap();
+        assert_eq!(
+            q.rows(),
+            vec![
+                vec![Value::Int(1), Value::Float(4.0), Value::Int(2)],
+                vec![Value::Int(2), Value::Float(2.0), Value::Int(1)],
+            ]
+        );
     }
 
     #[test]
@@ -299,9 +306,7 @@ mod tests {
         e.execute("CREATE TABLE b (id INT, w FLOAT)").unwrap();
         e.execute("INSERT INTO a VALUES (1), (2)").unwrap();
         e.execute("INSERT INTO b VALUES (2, 0.5), (3, 0.7)").unwrap();
-        let q = e
-            .execute("SELECT a.id, b.w FROM a, b WHERE a.id = b.id")
-            .unwrap();
+        let q = e.execute("SELECT a.id, b.w FROM a, b WHERE a.id = b.id").unwrap();
         assert_eq!(q.rows(), vec![vec![Value::Int(2), Value::Float(0.5)]]);
     }
 

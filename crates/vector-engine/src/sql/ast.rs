@@ -79,24 +79,46 @@ pub struct OrderItem {
 #[derive(Clone, Debug, PartialEq)]
 pub enum AstExpr {
     /// Possibly-qualified column reference.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     /// Numeric literal (int/float decided at binding).
     Number(String),
     StringLit(String),
     BoolLit(bool),
-    Binary { op: BinaryOp, left: Box<AstExpr>, right: Box<AstExpr> },
-    Unary { op: UnaryOp, expr: Box<AstExpr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<AstExpr>,
+    },
     /// Function call: scalar or aggregate, resolved at binding.
     /// `COUNT(*)` is represented with `wildcard_arg = true`.
-    Function { name: String, args: Vec<AstExpr>, wildcard_arg: bool },
+    Function {
+        name: String,
+        args: Vec<AstExpr>,
+        wildcard_arg: bool,
+    },
     Case {
         /// Simple CASE operand (`CASE x WHEN v THEN ...`), if present.
         operand: Option<Box<AstExpr>>,
         whens: Vec<(AstExpr, AstExpr)>,
         else_expr: Option<Box<AstExpr>>,
     },
-    Cast { expr: Box<AstExpr>, type_name: String },
-    Between { expr: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    Cast {
+        expr: Box<AstExpr>,
+        type_name: String,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
 }
 
 impl AstExpr {

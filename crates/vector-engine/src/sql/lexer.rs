@@ -292,9 +292,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 let word: String = chars[start..i].iter().collect();
@@ -349,10 +347,8 @@ mod tests {
     #[test]
     fn operators() {
         let toks = tokenize("a <= b <> c != d >= e < f > g = h").unwrap();
-        let ops: Vec<&Token> = toks
-            .iter()
-            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
-            .collect();
+        let ops: Vec<&Token> =
+            toks.iter().filter(|t| !matches!(t, Token::Ident(_) | Token::Eof)).collect();
         assert_eq!(
             ops,
             vec![

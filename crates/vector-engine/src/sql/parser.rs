@@ -179,8 +179,7 @@ impl Parser {
                 }
             }
         }
-        let selection =
-            if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_kw(Keyword::Group) {
             self.expect_kw(Keyword::By)?;
@@ -210,9 +209,10 @@ impl Parser {
         }
         let limit = if self.eat_kw(Keyword::Limit) {
             match self.advance() {
-                Token::Number(n) => Some(n.parse::<u64>().map_err(|_| {
-                    EngineError::Parse(format!("invalid LIMIT value {n}"))
-                })?),
+                Token::Number(n) => Some(
+                    n.parse::<u64>()
+                        .map_err(|_| EngineError::Parse(format!("invalid LIMIT value {n}")))?,
+                ),
                 other => {
                     return Err(EngineError::Parse(format!(
                         "expected a number after LIMIT, found {other}"
@@ -522,18 +522,14 @@ mod tests {
         assert!(
             matches!(&s.from[0], TableRef::Table { name, alias: Some(a) } if name == "input_table" && a == "data")
         );
-        assert!(
-            matches!(&s.from[1], TableRef::Table { alias: Some(a), .. } if a == "model")
-        );
+        assert!(matches!(&s.from[1], TableRef::Table { alias: Some(a), .. } if a == "model"));
     }
 
     #[test]
     fn explicit_joins() {
         let s = select("SELECT * FROM a JOIN b ON a.x = b.y CROSS JOIN c");
         assert_eq!(s.from.len(), 1);
-        let TableRef::Join { left, on, .. } = &s.from[0] else {
-            panic!("expected join")
-        };
+        let TableRef::Join { left, on, .. } = &s.from[0] else { panic!("expected join") };
         assert!(on.is_none()); // outermost is the CROSS JOIN
         let TableRef::Join { on: Some(_), .. } = left.as_ref() else {
             panic!("expected inner join with ON")
@@ -543,9 +539,7 @@ mod tests {
     #[test]
     fn nested_subquery_in_from() {
         let s = select("SELECT id FROM (SELECT id FROM t WHERE id > 0) AS sub");
-        let TableRef::Subquery { alias, query } = &s.from[0] else {
-            panic!("expected subquery")
-        };
+        let TableRef::Subquery { alias, query } = &s.from[0] else { panic!("expected subquery") };
         assert_eq!(alias, "sub");
         assert!(query.selection.is_some());
     }
@@ -557,9 +551,7 @@ mod tests {
 
     #[test]
     fn group_by_and_aggregates() {
-        let s = select(
-            "SELECT id, SUM(v * w) AS s, COUNT(*) FROM t GROUP BY id, layer",
-        );
+        let s = select("SELECT id, SUM(v * w) AS s, COUNT(*) FROM t GROUP BY id, layer");
         assert_eq!(s.group_by.len(), 2);
         assert!(matches!(
             &s.items[1],
@@ -584,8 +576,7 @@ mod tests {
         assert!(else_expr.is_some());
 
         let simple = select("SELECT CASE node WHEN 0 THEN c0 END FROM t");
-        let SelectItem::Expr { expr: AstExpr::Case { operand, .. }, .. } = &simple.items[0]
-        else {
+        let SelectItem::Expr { expr: AstExpr::Case { operand, .. }, .. } = &simple.items[0] else {
             panic!("expected case")
         };
         assert!(operand.is_some());
@@ -617,11 +608,11 @@ mod tests {
 
     #[test]
     fn create_insert_drop() {
-        let c = parse_statement(
-            "CREATE TABLE IF NOT EXISTS m (layer INT, w FLOAT, name VARCHAR)",
-        )
-        .unwrap();
-        assert!(matches!(c, Statement::CreateTable { if_not_exists: true, ref columns, .. } if columns.len() == 3));
+        let c = parse_statement("CREATE TABLE IF NOT EXISTS m (layer INT, w FLOAT, name VARCHAR)")
+            .unwrap();
+        assert!(
+            matches!(c, Statement::CreateTable { if_not_exists: true, ref columns, .. } if columns.len() == 3)
+        );
 
         let i = parse_statement("INSERT INTO m (layer, w) VALUES (1, 0.5), (2, -0.25)").unwrap();
         let Statement::Insert { columns: Some(cols), rows, .. } = i else { panic!() };

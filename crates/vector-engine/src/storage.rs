@@ -268,8 +268,7 @@ impl Table {
         let mut start = 0;
         while start < rows {
             let end = (start + self.vector_size).min(rows);
-            let chunk: Vec<ColumnVector> =
-                columns.iter().map(|c| c.slice(start, end)).collect();
+            let chunk: Vec<ColumnVector> = columns.iter().map(|c| c.slice(start, end)).collect();
             let p = self.next_partition.fetch_add(1, AtomicOrdering::Relaxed) % pcount;
             parts[p].append_chunk(&chunk);
             start = end;

@@ -90,9 +90,7 @@ impl Value {
         match self {
             Value::Int(v) => Ok(*v as f64),
             Value::Float(v) => Ok(*v),
-            other => {
-                Err(EngineError::Type(format!("expected a number, found {other}")))
-            }
+            other => Err(EngineError::Type(format!("expected a number, found {other}"))),
         }
     }
 
@@ -100,18 +98,14 @@ impl Value {
         match self {
             Value::Int(v) => Ok(*v),
             Value::Float(v) => Ok(*v as i64),
-            other => {
-                Err(EngineError::Type(format!("expected an integer, found {other}")))
-            }
+            other => Err(EngineError::Type(format!("expected an integer, found {other}"))),
         }
     }
 
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => {
-                Err(EngineError::Type(format!("expected a boolean, found {other}")))
-            }
+            other => Err(EngineError::Type(format!("expected a boolean, found {other}"))),
         }
     }
 
@@ -205,10 +199,7 @@ mod tests {
     fn casts() {
         assert_eq!(Value::Int(3).cast(DataType::Float).unwrap(), Value::Float(3.0));
         assert_eq!(Value::Float(3.7).cast(DataType::Int).unwrap(), Value::Int(3));
-        assert_eq!(
-            Value::Str(" 42 ".into()).cast(DataType::Int).unwrap(),
-            Value::Int(42)
-        );
+        assert_eq!(Value::Str(" 42 ".into()).cast(DataType::Int).unwrap(), Value::Int(42));
         assert!(Value::Str("x".into()).cast(DataType::Int).is_err());
         assert!(Value::Bool(true).cast(DataType::Int).is_err());
     }
@@ -217,10 +208,7 @@ mod tests {
     fn cross_type_numeric_ordering() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
         assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
-        assert_eq!(
-            Value::Str("b".into()).total_cmp(&Value::Str("a".into())),
-            Ordering::Greater
-        );
+        assert_eq!(Value::Str("b".into()).total_cmp(&Value::Str("a".into())), Ordering::Greater);
     }
 
     #[test]

@@ -8,10 +8,7 @@
 use indb_ml::core::{Approach, Experiment, ExperimentConfig, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5_000);
+    let rows: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5_000);
     let workload = Workload::Dense { width: 32, depth: 2 };
     println!(
         "workload: {} on {} replicated Iris tuples (paper Fig. 8 cell)",
@@ -26,11 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for approach in Approach::ALL {
         let outcome = experiment.run(approach, true)?;
         let preds = outcome.predictions.as_ref().expect("collected");
-        let max_err = preds
-            .iter()
-            .zip(&oracle)
-            .map(|((_, p), (_, o))| (p - o).abs())
-            .fold(0.0f64, f64::max);
+        let max_err =
+            preds.iter().zip(&oracle).map(|((_, p), (_, o))| (p - o).abs()).fold(0.0f64, f64::max);
         println!(
             "{:<16}{:>11.3}s{}{:>11}{:>16.2e}",
             approach.label(),

@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in 0..4 {
         cols.push(ColumnVector::Float(rows.iter().map(|r| r[c] as f64).collect()));
     }
-    cols.push(ColumnVector::Int(
-        (0..n).map(|i| labels[i % labels.len()] as i64).collect(),
-    ));
+    cols.push(ColumnVector::Int((0..n).map(|i| labels[i % labels.len()] as i64).collect()));
     engine.insert_columns("iris", cols)?;
     engine.table("iris")?.declare_unique("id")?;
 
@@ -56,17 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         GenOptions::default(),
     )?;
     let sql = generator.generate()?;
-    println!("generated ModelJoin SQL: {} characters, {} nested SELECTs",
+    println!(
+        "generated ModelJoin SQL: {} characters, {} nested SELECTs",
         sql.len(),
         sql.matches("SELECT").count()
     );
     let t = Instant::now();
     let result = engine.execute(&sql)?;
-    println!(
-        "ML-To-SQL: {} predictions in {:.3}s",
-        result.num_rows(),
-        t.elapsed().as_secs_f64()
-    );
+    println!("ML-To-SQL: {} predictions in {:.3}s", result.num_rows(), t.elapsed().as_secs_f64());
 
     // --- Approach 2: native ModelJoin ------------------------------------
     let shared = SharedModel::new(

@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Store the model relationally — one tuple per edge, the paper's
     //    Sec. 4.1 representation with unique node IDs.
-    let (model_table, meta) =
-        load_into_engine(&engine, "model_table", &model, Layout::NodeId)?;
+    let (model_table, meta) = load_into_engine(&engine, "model_table", &model, Layout::NodeId)?;
     println!(
         "model table: {} edge tuples in {} partitions",
         model_table.row_count(),

@@ -12,11 +12,8 @@ fn small_engine() -> EngineConfig {
 }
 
 fn check_all(workload: Workload, rows: usize, opt: OptLevel) {
-    let config = ExperimentConfig {
-        engine: small_engine(),
-        opt,
-        ..ExperimentConfig::new(workload, rows)
-    };
+    let config =
+        ExperimentConfig { engine: small_engine(), opt, ..ExperimentConfig::new(workload, rows) };
     let experiment = Experiment::build(config).unwrap();
     let oracle = experiment.oracle_predictions().unwrap();
     for approach in Approach::ALL {
@@ -68,21 +65,16 @@ fn portable_dialect_runs_the_whole_pipeline() {
     // arithmetic still reproduces the model.
     let engine = vector_engine::Engine::new(small_engine());
     let model = nn::paper::dense_model(8, 2, 77);
-    engine
-        .execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, c2 FLOAT, c3 FLOAT)")
-        .unwrap();
+    engine.execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, c2 FLOAT, c3 FLOAT)").unwrap();
     let n = 64usize;
     let rows: Vec<Vec<f32>> = indb_ml::core::data::replicated_iris(n);
     let mut cols = vec![vector_engine::ColumnVector::Int((0..n as i64).collect())];
     for c in 0..4 {
-        cols.push(vector_engine::ColumnVector::Float(
-            rows.iter().map(|r| r[c] as f64).collect(),
-        ));
+        cols.push(vector_engine::ColumnVector::Float(rows.iter().map(|r| r[c] as f64).collect()));
     }
     engine.insert_columns("facts", cols).unwrap();
     engine.table("facts").unwrap().declare_unique("id").unwrap();
-    let (_, meta) =
-        load_into_engine(&engine, "m", &model, OptLevel::NodeId.layout()).unwrap();
+    let (_, meta) = load_into_engine(&engine, "m", &model, OptLevel::NodeId.layout()).unwrap();
     let sql = SqlGenerator::new(
         &meta,
         "m",
@@ -114,12 +106,8 @@ fn parallel_and_serial_engines_agree_on_ml2sql() {
         ex.run(Approach::Ml2Sql, true).unwrap().predictions.unwrap()
     };
     let parallel = mk(small_engine());
-    let serial = mk(EngineConfig {
-        vector_size: 64,
-        partitions: 1,
-        parallelism: 1,
-        ..Default::default()
-    });
+    let serial =
+        mk(EngineConfig { vector_size: 64, partitions: 1, parallelism: 1, ..Default::default() });
     assert_eq!(parallel.len(), serial.len());
     for ((ia, a), (ib, b)) in parallel.iter().zip(&serial) {
         assert_eq!(ia, ib);

@@ -32,7 +32,12 @@ fn approaches_with_larger_working_sets_report_larger_peaks() {
     use vector_engine::EngineConfig;
 
     let config = ExperimentConfig {
-        engine: EngineConfig { vector_size: 256, partitions: 2, parallelism: 1, ..Default::default() },
+        engine: EngineConfig {
+            vector_size: 256,
+            partitions: 2,
+            parallelism: 1,
+            ..Default::default()
+        },
         ..ExperimentConfig::new(Workload::Dense { width: 16, depth: 2 }, 2_000)
     };
     let ex = Experiment::build(config).unwrap();
@@ -50,12 +55,6 @@ fn approaches_with_larger_working_sets_report_larger_peaks() {
     // the generic-operator SQL plan and the row-boxing Python client are
     // substantially larger.
     assert!(modeljoin > 0);
-    assert!(
-        ml2sql > modeljoin,
-        "ML-To-SQL ({ml2sql}) should exceed ModelJoin ({modeljoin})"
-    );
-    assert!(
-        python > modeljoin,
-        "TF(Python) ({python}) should exceed ModelJoin ({modeljoin})"
-    );
+    assert!(ml2sql > modeljoin, "ML-To-SQL ({ml2sql}) should exceed ModelJoin ({modeljoin})");
+    assert!(python > modeljoin, "TF(Python) ({python}) should exceed ModelJoin ({modeljoin})");
 }

@@ -25,7 +25,7 @@ fn arb_activation() -> impl Strategy<Value = Activation> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     #[test]
     fn random_dense_models_agree_across_key_approaches(

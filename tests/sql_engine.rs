@@ -102,10 +102,7 @@ fn sma_pruning_does_not_change_results() {
         .unwrap();
     }
     let sql = "SELECT SUM(v) AS s, COUNT(*) AS n FROM t WHERE k >= 50 AND k <= 60";
-    assert_eq!(
-        pruned.execute(sql).unwrap().rows(),
-        unpruned.execute(sql).unwrap().rows()
-    );
+    assert_eq!(pruned.execute(sql).unwrap().rows(), unpruned.execute(sql).unwrap().rows());
 }
 
 #[test]
@@ -143,10 +140,7 @@ fn order_by_limit_across_partitions() {
     let e = engine();
     let q = e.execute("SELECT id FROM facts ORDER BY id DESC LIMIT 4").unwrap();
     let ids: Vec<Value> = q.rows().into_iter().map(|mut r| r.remove(0)).collect();
-    assert_eq!(
-        ids,
-        vec![Value::Int(99), Value::Int(98), Value::Int(97), Value::Int(96)]
-    );
+    assert_eq!(ids, vec![Value::Int(99), Value::Int(98), Value::Int(97), Value::Int(96)]);
 }
 
 #[test]
@@ -191,10 +185,7 @@ fn large_multi_batch_aggregation_is_exact() {
     let n = 50_000i64;
     e.insert_columns(
         "big",
-        vec![
-            ColumnVector::Int((0..n).collect()),
-            ColumnVector::Float(vec![1.0; n as usize]),
-        ],
+        vec![ColumnVector::Int((0..n).collect()), ColumnVector::Float(vec![1.0; n as usize])],
     )
     .unwrap();
     let q = e.execute("SELECT SUM(v) AS s, COUNT(*) AS c FROM big").unwrap();

@@ -1,0 +1,144 @@
+//! Minimal API-compatible stand-in for the `bytes` crate, backed by
+//! `Vec<u8>`. Provides the `BytesMut` + `Buf`/`BufMut` subset the wire
+//! protocol uses; `advance`/`split_to` are O(n) here, which is fine for the
+//! deliberately row-oriented text protocol they serve.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer (`bytes::BytesMut` subset).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Take the entire contents, leaving `self` empty (keeps capacity
+    /// semantics close enough to the real `split`).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { data: std::mem::take(&mut self.data) }
+    }
+
+    /// Split off the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.data.len())
+    }
+}
+
+/// Read cursor operations (`bytes::Buf` subset).
+pub trait Buf {
+    /// Discard the first `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance out of bounds");
+        self.data.drain(..n);
+    }
+}
+
+/// Write operations (`bytes::BufMut` subset). Multi-byte integers are
+/// big-endian, as in the real crate.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32(&mut self, v: u32);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_split_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(b'H');
+        b.put_u32(3);
+        b.put_slice(b"abc");
+        assert_eq!(b.len(), 8);
+        assert_eq!(b[0], b'H');
+        assert_eq!(u32::from_be_bytes([b[1], b[2], b[3], b[4]]), 3);
+        b.advance(5);
+        let payload = b.split_to(3);
+        assert_eq!(&payload[..], b"abc");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_takes_everything() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"xyz");
+        let taken = b.split();
+        assert_eq!(&taken[..], b"xyz");
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal API-compatible stand-in for the `crossbeam` crate, backed by
+//! `std::sync::mpsc`. Only the `channel` subset this workspace uses is
+//! provided (see the root `Cargo.toml` for the path-replacement rationale).
+
+pub mod channel {
+    //! `crossbeam::channel` subset: bounded channels (including
+    //! rendezvous channels of capacity 0) with infallible-clone senders.
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is accepted (rendezvous for capacity 0).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages; `cap == 0` is a
+    /// rendezvous channel, matching crossbeam semantics.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn rendezvous_round_trip() {
+            let (tx, rx) = bounded::<u32>(0);
+            let h = std::thread::spawn(move || tx.send(42));
+            assert_eq!(rx.recv(), Ok(42));
+            h.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn recv_fails_after_senders_drop() {
+            let (tx, rx) = bounded::<u32>(2);
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! Minimal API-compatible stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! range/`Just`/`prop_oneof!`/`any`/`prop_filter`/`prop_map` strategies,
+//! `collection::vec`, `ProptestConfig { cases }`, and the `prop_assert*`
+//! macros. Differences to upstream: cases are sampled from a deterministic
+//! per-test RNG (seeded from the test path and case index, so failures
+//! reproduce across runs) and there is **no shrinking** — a failing case
+//! reports its inputs via the assertion message instead.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 RNG: one stream per (test path, case).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str, case: u64) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// How many resamples `prop_filter` attempts before giving up.
+    const MAX_FILTER_ATTEMPTS: usize = 10_000;
+
+    /// A generator of random values (upstream `Strategy`, minus shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason, pred }
+        }
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Rejection-sampling wrapper produced by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_ATTEMPTS {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected every sample", self.reason);
+        }
+    }
+
+    /// Mapping wrapper produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniformly picks one of several strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($t:ty) => {
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        };
+    }
+
+    impl_int_range_strategy!(i32);
+    impl_int_range_strategy!(i64);
+    impl_int_range_strategy!(u32);
+    impl_int_range_strategy!(u64);
+    impl_int_range_strategy!(usize);
+    impl_int_range_strategy!(u8);
+
+    macro_rules! impl_float_range_strategy {
+        ($t:ty) => {
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit() as $t
+                }
+            }
+        };
+    }
+
+    impl_float_range_strategy!(f32);
+    impl_float_range_strategy!(f64);
+
+    /// Test-loop configuration (`ProptestConfig` subset).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    /// `any::<T>()`: the full value space of `T`, edge cases included.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            const SPECIALS: [f64; 12] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::MIN_POSITIVE,
+                -f64::MIN_POSITIVE,
+                f64::MAX,
+                f64::MIN,
+                f64::EPSILON,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+            ];
+            match rng.below(4) {
+                0 => SPECIALS[rng.below(SPECIALS.len() as u64) as usize],
+                1 => f64::from_bits(rng.next_u64()),
+                _ => (rng.unit() - 0.5) * 2e9,
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::strategy::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::strategy::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                let result: ::std::result::Result<(), ::std::string::String> =
+                    (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(msg) = result {
+                    panic!("proptest {} case {}: {}", stringify!($name), case, msg);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Property-test assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property-test equality assertion (requires `Debug` like upstream).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), va, vb
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err(format!(
+                "assertion failed: `{}` != `{}`; both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                va
+            ));
+        }
+    }};
+}
+
+/// Uniformly samples from one of the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -5i64..=5) {
+            prop_assert!((3..10).contains(&x), "x out of bounds: {x}");
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5, "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn oneof_and_filter(
+            f in prop_oneof![
+                any::<f64>().prop_filter("finite", |v| v.is_finite()),
+                Just(0.25),
+            ],
+        ) {
+            prop_assert!(f.is_finite());
+        }
+
+        #[test]
+        fn mapped_strategy(s in (1usize..4).prop_map(|n| "ab".repeat(n))) {
+            prop_assert_eq!(s.len() % 2, 0);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 0..20);
+        let mut a = TestRng::deterministic("x", 3);
+        let mut b = TestRng::deterministic("x", 3);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}
