@@ -1,0 +1,122 @@
+//! End-to-end ML-To-SQL sweep: the generated ModelJoin SQL (nested joins +
+//! per-layer `SUM ... GROUP BY` aggregations, Sec. 4.3–4.4) timed through
+//! the seed value-at-a-time operators (`EngineConfig::rowwise_ops`) and
+//! through the vectorized join/agg path of this PR.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ml2sql_sweep [--quick]
+//! ```
+//!
+//! Widths {32, 128, 512} × depths {2, 4}; fact rows are sized per model so
+//! every cell materializes roughly the same number of intermediate
+//! (tuple, edge) rows — the quantity that dominates ML-To-SQL runtime (the
+//! paper's scaling wall, Sec. 6.2.1). Both modes run the paper's engine
+//! setup (vector size 1024, 12 partitions, parallelism 12); the ML-To-SQL
+//! plan scans the fact table twice, so partition parallelism does not
+//! apply and the comparison isolates the operator rewrite. Results go to
+//! stdout and `BENCH_ml2sql.json` at the repository root; `--quick` runs
+//! one tiny cell as a smoke test and leaves the JSON untouched.
+
+use bench::ml2sql_cost;
+use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
+use vector_engine::EngineConfig;
+
+struct SweepRow {
+    width: usize,
+    depth: usize,
+    rows: usize,
+    /// Intermediate (tuple, edge) rows the relational plan materializes.
+    work: u64,
+    rowwise_s: f64,
+    vectorized_s: f64,
+}
+
+/// Best-of-`reps` ML-To-SQL runtime under the given operator mode. The
+/// minimum is robust against scheduler interference on the shared
+/// single-core host; both modes are timed the same way.
+fn time_ml2sql(workload: Workload, rows: usize, rowwise_ops: bool, reps: usize) -> Option<f64> {
+    let engine = EngineConfig { rowwise_ops, ..Default::default() };
+    let config = ExperimentConfig { engine, ..ExperimentConfig::new(workload, rows) };
+    let experiment = match Experiment::build(config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("setup failed for {}: {e}", workload.label());
+            return None;
+        }
+    };
+    let samples: Vec<f64> = (0..reps)
+        .filter_map(|_| {
+            experiment.run(Approach::Ml2Sql, false).ok().map(|o| o.runtime.as_secs_f64())
+        })
+        .collect();
+    samples.into_iter().min_by(|a, b| a.total_cmp(b))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Per-cell intermediate-row budget: rows are chosen as budget / edges,
+    // so wide-deep models run fewer tuples through the same plan shape.
+    let (budget, reps, widths, depths): (u64, usize, &[usize], &[usize]) =
+        if quick { (200_000, 1, &[32], &[2]) } else { (12_000_000, 5, &[32, 128, 512], &[2, 4]) };
+
+    println!("# ML-To-SQL operator sweep (cores = {cores}, budget = {budget} edge-rows)");
+    println!("width,depth,rows,work,rowwise_s,vectorized_s,speedup");
+
+    let mut rows_out: Vec<SweepRow> = Vec::new();
+    for &depth in depths {
+        for &width in widths {
+            let workload = Workload::Dense { width, depth };
+            let edges = ml2sql_cost(1, &workload.model(0));
+            let rows = ((budget / edges.max(1)) as usize).clamp(24, 200_000);
+            let work = ml2sql_cost(rows, &workload.model(0));
+            let Some(rowwise_s) = time_ml2sql(workload, rows, true, reps) else {
+                continue;
+            };
+            let Some(vectorized_s) = time_ml2sql(workload, rows, false, reps) else {
+                continue;
+            };
+            println!(
+                "{width},{depth},{rows},{work},{rowwise_s:.4},{vectorized_s:.4},{:.2}",
+                rowwise_s / vectorized_s
+            );
+            rows_out.push(SweepRow { width, depth, rows, work, rowwise_s, vectorized_s });
+        }
+    }
+
+    // Quick mode is a smoke test; don't clobber recorded full-sweep results.
+    if quick {
+        return;
+    }
+
+    // Hand-rolled JSON: the repository vendors no serializer, and the
+    // schema is one flat array.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"edge_row_budget\": {budget},\n"));
+    json.push_str("  \"baseline\": \"seed row-at-a-time join/agg (EngineConfig::rowwise_ops)\",\n");
+    json.push_str("  \"ml2sql\": [\n");
+    for (i, r) in rows_out.iter().enumerate() {
+        let sep = if i + 1 < rows_out.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"width\": {}, \"depth\": {}, \"rows\": {}, \"work\": {}, \
+             \"rowwise_s\": {:.4}, \"vectorized_s\": {:.4}, \"speedup\": {:.3}}}{sep}\n",
+            r.width,
+            r.depth,
+            r.rows,
+            r.work,
+            r.rowwise_s,
+            r.vectorized_s,
+            r.rowwise_s / r.vectorized_s
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ml2sql.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

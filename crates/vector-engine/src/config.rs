@@ -19,11 +19,22 @@ pub struct EngineConfig {
     pub hash_join: bool,
     /// Enable predicate pushdown through projections and joins.
     pub predicate_pushdown: bool,
+    /// Enable column pruning through joins: when a projection or aggregation
+    /// reads only part of a join's output, the join's inputs are narrowed so
+    /// the per-row gather materializes only live columns. Matters for
+    /// ML-To-SQL, whose model-table joins carry many dead weight columns.
+    pub column_pruning: bool,
     /// Threads a single large tensor kernel (one `sgemm`) may fan out to.
     /// Default 1: partition parallelism is the engine's primary parallel
     /// axis, and intra-kernel threads would oversubscribe it. Raise for
     /// low-concurrency workloads with very large per-batch multiplies.
     pub kernel_threads: usize,
+    /// Run joins and aggregations through the seed value-at-a-time
+    /// operators (`exec::rowwise`) instead of the vectorized ones. Off by
+    /// default; exists so benchmarks can measure the pre-vectorization
+    /// baseline in-process. Also disables the partial-aggregate parallel
+    /// path, which only the vectorized accumulators support.
+    pub rowwise_ops: bool,
 }
 
 impl Default for EngineConfig {
@@ -35,7 +46,9 @@ impl Default for EngineConfig {
             sma_pruning: true,
             hash_join: true,
             predicate_pushdown: true,
+            column_pruning: true,
             kernel_threads: 1,
+            rowwise_ops: false,
         }
     }
 }
@@ -63,7 +76,8 @@ mod tests {
         assert_eq!(c.vector_size, 1024);
         assert_eq!(c.partitions, 12);
         assert_eq!(c.parallelism, 12);
-        assert!(c.sma_pruning && c.hash_join && c.predicate_pushdown);
+        assert!(c.sma_pruning && c.hash_join && c.predicate_pushdown && c.column_pruning);
         assert_eq!(c.kernel_threads, 1, "kernels stay single-threaded by default");
+        assert!(!c.rowwise_ops, "vectorized operators are the default");
     }
 }

@@ -1,89 +1,530 @@
-//! Hash aggregation.
+//! Vectorized hash aggregation.
+//!
+//! Grouping runs through the shared columnar key pipeline
+//! ([`crate::exec::hash`]): one hash vector per input batch, group lookup
+//! against retained key columns, and a dense group id per row. Accumulation
+//! is typed: each aggregate owns flat `Vec<i64>`/`Vec<f64>` slot arrays
+//! indexed by group id, updated by batch kernels over the typed column
+//! slices — no per-row `Value` materialization, no composite keys.
+//!
+//! [`GroupedAggState`] is the reusable core: [`HashAggExec`] drives it
+//! serially, and the partition-parallel driver (`exec/parallel.rs`) builds
+//! one state per partition and merges the typed partial aggregates in
+//! partition order.
 
 use crate::column::{Batch, ColumnVector};
 use crate::error::{EngineError, Result};
-use crate::exec::join::{row_key, KeyPart};
+use crate::exec::hash::{hash_key_columns, keys_equal, KeyTable};
 use crate::exec::physical::Operator;
 use crate::expr::Expr;
 use crate::plan::logical::{AggFunc, AggSpec};
 use crate::types::{DataType, Value};
 use std::cmp::Ordering;
-use std::collections::HashMap;
 
-/// Per-group accumulator.
+/// Largest / smallest f64 under `f64::total_cmp` — the absorbing identities
+/// for typed MIN / MAX slots. Every real group receives at least one row
+/// (the engine is NULL-free), so sentinels never leak into results.
+const TOTAL_ORD_MAX: f64 = f64::from_bits(0x7fff_ffff_ffff_ffff);
+const TOTAL_ORD_MIN: f64 = f64::from_bits(0xffff_ffff_ffff_ffff);
+
+/// Typed per-aggregate slot arrays, indexed by dense group id.
 #[derive(Clone, Debug)]
-enum AggState {
-    SumInt(i64),
-    SumFloat(f64),
-    Count(i64),
-    Avg { sum: f64, count: i64 },
-    Min(Option<Value>),
-    Max(Option<Value>),
+enum Accumulator {
+    SumInt(Vec<i64>),
+    SumFloat(Vec<f64>),
+    Count(Vec<i64>),
+    Avg {
+        sum: Vec<f64>,
+        count: Vec<i64>,
+    },
+    MinInt(Vec<i64>),
+    MaxInt(Vec<i64>),
+    MinFloat(Vec<f64>),
+    MaxFloat(Vec<f64>),
+    /// MIN/MAX over non-numeric columns — one `Value` per *group* (not per
+    /// row), ordered by [`Value::total_cmp`].
+    MinVal(Vec<Option<Value>>),
+    MaxVal(Vec<Option<Value>>),
 }
 
-impl AggState {
-    fn new(spec: &AggSpec, result_type: DataType) -> AggState {
+impl Accumulator {
+    fn new(spec: &AggSpec, result_type: DataType) -> Accumulator {
         match spec.func {
             AggFunc::Sum => {
                 if result_type == DataType::Int {
-                    AggState::SumInt(0)
+                    Accumulator::SumInt(Vec::new())
                 } else {
-                    AggState::SumFloat(0.0)
+                    Accumulator::SumFloat(Vec::new())
                 }
             }
-            AggFunc::Count => AggState::Count(0),
-            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
-            AggFunc::Min => AggState::Min(None),
-            AggFunc::Max => AggState::Max(None),
+            AggFunc::Count => Accumulator::Count(Vec::new()),
+            AggFunc::Avg => Accumulator::Avg { sum: Vec::new(), count: Vec::new() },
+            AggFunc::Min => match result_type {
+                DataType::Int => Accumulator::MinInt(Vec::new()),
+                DataType::Float => Accumulator::MinFloat(Vec::new()),
+                _ => Accumulator::MinVal(Vec::new()),
+            },
+            AggFunc::Max => match result_type {
+                DataType::Int => Accumulator::MaxInt(Vec::new()),
+                DataType::Float => Accumulator::MaxFloat(Vec::new()),
+                _ => Accumulator::MaxVal(Vec::new()),
+            },
         }
     }
 
-    fn update(&mut self, value: Option<&Value>) -> Result<()> {
+    /// Append the identity slot of a newly discovered group.
+    fn push_group(&mut self) {
         match self {
-            AggState::Count(n) => *n += 1,
-            AggState::SumInt(acc) => {
-                *acc += value.expect("SUM has an argument").as_i64()?;
+            Accumulator::SumInt(v) => v.push(0),
+            Accumulator::SumFloat(v) => v.push(0.0),
+            Accumulator::Count(v) => v.push(0),
+            Accumulator::Avg { sum, count } => {
+                sum.push(0.0);
+                count.push(0);
             }
-            AggState::SumFloat(acc) => {
-                *acc += value.expect("SUM has an argument").as_f64()?;
-            }
-            AggState::Avg { sum, count } => {
-                *sum += value.expect("AVG has an argument").as_f64()?;
-                *count += 1;
-            }
-            AggState::Min(cur) => {
-                let v = value.expect("MIN has an argument");
-                if cur.as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Less) {
-                    *cur = Some(v.clone());
+            Accumulator::MinInt(v) => v.push(i64::MAX),
+            Accumulator::MaxInt(v) => v.push(i64::MIN),
+            Accumulator::MinFloat(v) => v.push(TOTAL_ORD_MAX),
+            Accumulator::MaxFloat(v) => v.push(TOTAL_ORD_MIN),
+            Accumulator::MinVal(v) | Accumulator::MaxVal(v) => v.push(None),
+        }
+    }
+
+    /// Fold one batch into the slots: `gids[i]` is the group of row `i` of
+    /// `arg`. Each arm is a tight loop over the typed column slice.
+    fn update_batch(&mut self, gids: &[u32], arg: Option<&ColumnVector>) -> Result<()> {
+        match self {
+            Accumulator::Count(n) => {
+                for &g in gids {
+                    n[g as usize] += 1;
                 }
             }
-            AggState::Max(cur) => {
-                let v = value.expect("MAX has an argument");
-                if cur.as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Greater) {
-                    *cur = Some(v.clone());
+            Accumulator::SumInt(acc) => match arg.expect("SUM has an argument") {
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        acc[g as usize] += x;
+                    }
+                }
+                ColumnVector::Float(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        acc[g as usize] += x as i64;
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        acc[g as usize] += other.value(i).as_i64()?;
+                    }
+                }
+            },
+            Accumulator::SumFloat(acc) => match arg.expect("SUM has an argument") {
+                ColumnVector::Float(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        acc[g as usize] += x;
+                    }
+                }
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        acc[g as usize] += x as f64;
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        acc[g as usize] += other.value(i).as_f64()?;
+                    }
+                }
+            },
+            Accumulator::Avg { sum, count } => match arg.expect("AVG has an argument") {
+                ColumnVector::Float(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        sum[g as usize] += x;
+                        count[g as usize] += 1;
+                    }
+                }
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        sum[g as usize] += x as f64;
+                        count[g as usize] += 1;
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        sum[g as usize] += other.value(i).as_f64()?;
+                        count[g as usize] += 1;
+                    }
+                }
+            },
+            Accumulator::MinInt(acc) => match arg.expect("MIN has an argument") {
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        let slot = &mut acc[g as usize];
+                        *slot = (*slot).min(x);
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let x = other.value(i).as_i64()?;
+                        let slot = &mut acc[g as usize];
+                        *slot = (*slot).min(x);
+                    }
+                }
+            },
+            Accumulator::MaxInt(acc) => match arg.expect("MAX has an argument") {
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        let slot = &mut acc[g as usize];
+                        *slot = (*slot).max(x);
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let x = other.value(i).as_i64()?;
+                        let slot = &mut acc[g as usize];
+                        *slot = (*slot).max(x);
+                    }
+                }
+            },
+            Accumulator::MinFloat(acc) => match arg.expect("MIN has an argument") {
+                ColumnVector::Float(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        let slot = &mut acc[g as usize];
+                        if x.total_cmp(slot) == Ordering::Less {
+                            *slot = x;
+                        }
+                    }
+                }
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        let slot = &mut acc[g as usize];
+                        if (x as f64).total_cmp(slot) == Ordering::Less {
+                            *slot = x as f64;
+                        }
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let x = other.value(i).as_f64()?;
+                        let slot = &mut acc[g as usize];
+                        if x.total_cmp(slot) == Ordering::Less {
+                            *slot = x;
+                        }
+                    }
+                }
+            },
+            Accumulator::MaxFloat(acc) => match arg.expect("MAX has an argument") {
+                ColumnVector::Float(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        let slot = &mut acc[g as usize];
+                        if x.total_cmp(slot) == Ordering::Greater {
+                            *slot = x;
+                        }
+                    }
+                }
+                ColumnVector::Int(v) => {
+                    for (&g, &x) in gids.iter().zip(v) {
+                        let slot = &mut acc[g as usize];
+                        if (x as f64).total_cmp(slot) == Ordering::Greater {
+                            *slot = x as f64;
+                        }
+                    }
+                }
+                other => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let x = other.value(i).as_f64()?;
+                        let slot = &mut acc[g as usize];
+                        if x.total_cmp(slot) == Ordering::Greater {
+                            *slot = x;
+                        }
+                    }
+                }
+            },
+            Accumulator::MinVal(acc) => {
+                let col = arg.expect("MIN has an argument");
+                for (i, &g) in gids.iter().enumerate() {
+                    let v = col.value(i);
+                    let slot = &mut acc[g as usize];
+                    if slot.as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Less) {
+                        *slot = Some(v);
+                    }
+                }
+            }
+            Accumulator::MaxVal(acc) => {
+                let col = arg.expect("MAX has an argument");
+                for (i, &g) in gids.iter().enumerate() {
+                    let v = col.value(i);
+                    let slot = &mut acc[g as usize];
+                    if slot.as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Greater) {
+                        *slot = Some(v);
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    fn finalize(self) -> Result<Value> {
+    /// Merge slot `src` of a partial aggregate into slot `dst` of `self`.
+    fn merge_slot(&mut self, dst: usize, other: &Accumulator, src: usize) {
+        match (self, other) {
+            (Accumulator::SumInt(a), Accumulator::SumInt(b)) => a[dst] += b[src],
+            (Accumulator::SumFloat(a), Accumulator::SumFloat(b)) => a[dst] += b[src],
+            (Accumulator::Count(a), Accumulator::Count(b)) => a[dst] += b[src],
+            (Accumulator::Avg { sum: s, count: c }, Accumulator::Avg { sum: os, count: oc }) => {
+                s[dst] += os[src];
+                c[dst] += oc[src];
+            }
+            (Accumulator::MinInt(a), Accumulator::MinInt(b)) => a[dst] = a[dst].min(b[src]),
+            (Accumulator::MaxInt(a), Accumulator::MaxInt(b)) => a[dst] = a[dst].max(b[src]),
+            (Accumulator::MinFloat(a), Accumulator::MinFloat(b)) => {
+                if b[src].total_cmp(&a[dst]) == Ordering::Less {
+                    a[dst] = b[src];
+                }
+            }
+            (Accumulator::MaxFloat(a), Accumulator::MaxFloat(b)) => {
+                if b[src].total_cmp(&a[dst]) == Ordering::Greater {
+                    a[dst] = b[src];
+                }
+            }
+            (Accumulator::MinVal(a), Accumulator::MinVal(b)) => {
+                if let Some(v) = &b[src] {
+                    if a[dst].as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Less) {
+                        a[dst] = Some(v.clone());
+                    }
+                }
+            }
+            (Accumulator::MaxVal(a), Accumulator::MaxVal(b)) => {
+                if let Some(v) = &b[src] {
+                    if a[dst].as_ref().is_none_or(|c| v.total_cmp(c) == Ordering::Greater) {
+                        a[dst] = Some(v.clone());
+                    }
+                }
+            }
+            _ => unreachable!("partial aggregates built from one plan share variants"),
+        }
+    }
+
+    /// Turn the slot arrays into the output column. `empty_global` marks the
+    /// one synthesized group of a global aggregate over empty input, where
+    /// MIN/MAX have no value to produce.
+    fn finalize_column(self, empty_global: bool) -> Result<ColumnVector> {
+        let no_input = |func: &str| {
+            EngineError::Execution(format!("{func} over empty input requires NULL support"))
+        };
         Ok(match self {
-            AggState::Count(n) => Value::Int(n),
-            AggState::SumInt(v) => Value::Int(v),
-            AggState::SumFloat(v) => Value::Float(v),
+            Accumulator::SumInt(v) | Accumulator::Count(v) => ColumnVector::Int(v),
+            Accumulator::SumFloat(v) => ColumnVector::Float(v),
             // SQL's AVG over an empty group is NULL; in the NULL-free engine
             // the global empty case surfaces as 0.0 (documented).
-            AggState::Avg { sum, count } => {
-                Value::Float(if count == 0 { 0.0 } else { sum / count as f64 })
+            Accumulator::Avg { sum, count } => ColumnVector::Float(
+                sum.iter()
+                    .zip(&count)
+                    .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect(),
+            ),
+            Accumulator::MinInt(v) => {
+                if empty_global {
+                    return Err(no_input("MIN"));
+                }
+                ColumnVector::Int(v)
             }
-            AggState::Min(v) => v.ok_or_else(|| {
-                EngineError::Execution("MIN over empty input requires NULL support".into())
-            })?,
-            AggState::Max(v) => v.ok_or_else(|| {
-                EngineError::Execution("MAX over empty input requires NULL support".into())
-            })?,
+            Accumulator::MaxInt(v) => {
+                if empty_global {
+                    return Err(no_input("MAX"));
+                }
+                ColumnVector::Int(v)
+            }
+            Accumulator::MinFloat(v) => {
+                if empty_global {
+                    return Err(no_input("MIN"));
+                }
+                ColumnVector::Float(v)
+            }
+            Accumulator::MaxFloat(v) => {
+                if empty_global {
+                    return Err(no_input("MAX"));
+                }
+                ColumnVector::Float(v)
+            }
+            Accumulator::MinVal(v) => {
+                let mut out: Option<ColumnVector> = None;
+                for slot in v {
+                    let val = slot.ok_or_else(|| no_input("MIN"))?;
+                    let col = out.get_or_insert_with(|| ColumnVector::empty(val.data_type()));
+                    col.push(val)?;
+                }
+                // Zero groups: the declared-type cast downstream fixes the
+                // placeholder type of the empty column.
+                out.unwrap_or_else(|| ColumnVector::empty(DataType::Str))
+            }
+            Accumulator::MaxVal(v) => {
+                let mut out: Option<ColumnVector> = None;
+                for slot in v {
+                    let val = slot.ok_or_else(|| no_input("MAX"))?;
+                    let col = out.get_or_insert_with(|| ColumnVector::empty(val.data_type()));
+                    col.push(val)?;
+                }
+                out.unwrap_or_else(|| ColumnVector::empty(DataType::Str))
+            }
         })
+    }
+}
+
+/// The vectorized grouping core: retained typed group-key columns, a
+/// [`KeyTable`] mapping key hashes to dense group ids, and one
+/// [`Accumulator`] per aggregate. Groups are numbered in first-seen order,
+/// which keeps results deterministic and lets partial aggregates merge in
+/// partition order.
+pub struct GroupedAggState {
+    /// Evaluated group-key columns of every distinct group, in first-seen
+    /// order. `None` until the first batch fixes the key column types.
+    group_cols: Option<Vec<ColumnVector>>,
+    table: KeyTable,
+    accs: Vec<Accumulator>,
+    /// Reused per-batch scratch: row hashes and dense group ids.
+    hashes: Vec<u64>,
+    gids: Vec<u32>,
+}
+
+impl GroupedAggState {
+    pub fn new(aggs: &[AggSpec], agg_types: &[DataType]) -> GroupedAggState {
+        GroupedAggState {
+            group_cols: None,
+            table: KeyTable::with_capacity(0),
+            accs: aggs.iter().zip(agg_types).map(|(s, t)| Accumulator::new(s, *t)).collect(),
+            hashes: Vec::new(),
+            gids: Vec::new(),
+        }
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evaluate the group and aggregate expressions over `batch` and fold
+    /// the rows in.
+    pub fn absorb_batch(&mut self, batch: &Batch, group: &[Expr], aggs: &[AggSpec]) -> Result<()> {
+        let key_cols: Result<Vec<ColumnVector>> = group.iter().map(|e| e.eval(batch)).collect();
+        let arg_cols: Result<Vec<Option<ColumnVector>>> =
+            aggs.iter().map(|s| s.arg.as_ref().map(|a| a.eval(batch)).transpose()).collect();
+        self.absorb(&key_cols?, &arg_cols?, batch.num_rows())
+    }
+
+    /// Fold `rows` rows of evaluated key and argument columns in: assign a
+    /// dense group id per row (creating groups on first sight), then run
+    /// each accumulator's batch kernel.
+    pub fn absorb(
+        &mut self,
+        key_cols: &[ColumnVector],
+        arg_cols: &[Option<ColumnVector>],
+        rows: usize,
+    ) -> Result<()> {
+        if rows == 0 {
+            return Ok(());
+        }
+        hash_key_columns(key_cols, rows, &mut self.hashes);
+        let group_cols = self.group_cols.get_or_insert_with(|| {
+            key_cols.iter().map(|c| ColumnVector::empty(c.data_type())).collect()
+        });
+        self.gids.clear();
+        self.gids.reserve(rows);
+        for (row, &h) in self.hashes.iter().enumerate() {
+            let mut gid = None;
+            for cand in self.table.candidates(h) {
+                if keys_equal(group_cols, cand, key_cols, row) {
+                    gid = Some(cand as u32);
+                    break;
+                }
+            }
+            let gid = match gid {
+                Some(g) => g,
+                None => {
+                    let g = self.table.len() as u32;
+                    self.table.insert(h);
+                    for (gc, kc) in group_cols.iter_mut().zip(key_cols) {
+                        gc.push_from(kc, row);
+                    }
+                    for acc in &mut self.accs {
+                        acc.push_group();
+                    }
+                    g
+                }
+            };
+            self.gids.push(gid);
+        }
+        for (acc, arg) in self.accs.iter_mut().zip(arg_cols) {
+            acc.update_batch(&self.gids, arg.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Merge a partial aggregate (same plan, disjoint input rows) into
+    /// `self`. Unknown groups are appended in `other`'s first-seen order, so
+    /// merging partials in partition order reproduces the serial group
+    /// order of a partition-ordered scan.
+    pub fn merge(&mut self, other: GroupedAggState) -> Result<()> {
+        let Some(other_cols) = &other.group_cols else {
+            return Ok(());
+        };
+        let groups = other.num_groups();
+        let mut hashes = Vec::new();
+        hash_key_columns(other_cols, groups, &mut hashes);
+        let group_cols = self.group_cols.get_or_insert_with(|| {
+            other_cols.iter().map(|c| ColumnVector::empty(c.data_type())).collect()
+        });
+        for (src, &h) in hashes.iter().enumerate() {
+            let mut gid = None;
+            for cand in self.table.candidates(h) {
+                if keys_equal(group_cols, cand, other_cols, src) {
+                    gid = Some(cand);
+                    break;
+                }
+            }
+            let dst = match gid {
+                Some(g) => g,
+                None => {
+                    let g = self.table.len();
+                    self.table.insert(h);
+                    for (gc, oc) in group_cols.iter_mut().zip(other_cols) {
+                        gc.push_from(oc, src);
+                    }
+                    for acc in &mut self.accs {
+                        acc.push_group();
+                    }
+                    g
+                }
+            };
+            for (acc, oacc) in self.accs.iter_mut().zip(&other.accs) {
+                acc.merge_slot(dst, oacc, src);
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the result batch: group columns then aggregate columns, cast
+    /// to the declared output types. `ngroup` is the number of group
+    /// columns; a global aggregate (`ngroup == 0`) emits exactly one row
+    /// even for empty input.
+    pub fn finalize(mut self, ngroup: usize, output_types: &[DataType]) -> Result<Batch> {
+        let empty_global = ngroup == 0 && self.num_groups() == 0;
+        if empty_global {
+            for acc in &mut self.accs {
+                acc.push_group();
+            }
+        }
+        let mut cols: Vec<ColumnVector> = Vec::with_capacity(output_types.len());
+        let group_cols = self.group_cols.take().unwrap_or_default();
+        for (i, gc) in group_cols.into_iter().enumerate() {
+            // Group values can be INT where the schema says FLOAT
+            // (promotion); cast handles the widening.
+            cols.push(gc.cast(output_types[i])?);
+        }
+        // No input batches at all: emit the typed empty columns.
+        while cols.len() < ngroup {
+            cols.push(ColumnVector::empty(output_types[cols.len()]));
+        }
+        for (i, acc) in self.accs.into_iter().enumerate() {
+            let col = acc.finalize_column(empty_global)?;
+            cols.push(col.cast(output_types[ngroup + i])?);
+        }
+        Ok(Batch::new(cols))
     }
 }
 
@@ -123,76 +564,15 @@ impl HashAggExec {
 
     fn compute(&mut self) -> Result<()> {
         let ngroup = self.group.len();
-        let agg_types: Vec<DataType> = self.output_types[ngroup..].to_vec();
-
-        // group key -> index into `groups`
-        let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
-        // first-seen group values + accumulator states
-        let mut group_rows: Vec<Vec<Value>> = Vec::new();
-        let mut states: Vec<Vec<AggState>> = Vec::new();
-
+        let agg_types = &self.output_types[ngroup..];
+        let mut state = GroupedAggState::new(&self.aggs, agg_types);
         while let Some(batch) = self.input.next()? {
             if batch.num_rows() == 0 {
                 continue;
             }
-            let key_cols: Result<Vec<ColumnVector>> =
-                self.group.iter().map(|e| e.eval(&batch)).collect();
-            let key_cols = key_cols?;
-            let arg_cols: Result<Vec<Option<ColumnVector>>> = self
-                .aggs
-                .iter()
-                .map(|s| s.arg.as_ref().map(|a| a.eval(&batch)).transpose())
-                .collect();
-            let arg_cols = arg_cols?;
-            for row in 0..batch.num_rows() {
-                let key = row_key(&key_cols, row);
-                let gi = match index.get(&key) {
-                    Some(&gi) => gi,
-                    None => {
-                        let gi = group_rows.len();
-                        index.insert(key, gi);
-                        group_rows.push(key_cols.iter().map(|c| c.value(row)).collect());
-                        states.push(
-                            self.aggs
-                                .iter()
-                                .zip(&agg_types)
-                                .map(|(s, t)| AggState::new(s, *t))
-                                .collect(),
-                        );
-                        gi
-                    }
-                };
-                for (ai, state) in states[gi].iter_mut().enumerate() {
-                    let arg = arg_cols[ai].as_ref().map(|c| c.value(row));
-                    state.update(arg.as_ref())?;
-                }
-            }
+            state.absorb_batch(&batch, &self.group, &self.aggs)?;
         }
-
-        // A global aggregate (no GROUP BY) emits exactly one row even for
-        // empty input.
-        if ngroup == 0 && group_rows.is_empty() {
-            group_rows.push(Vec::new());
-            states.push(
-                self.aggs.iter().zip(&agg_types).map(|(s, t)| AggState::new(s, *t)).collect(),
-            );
-        }
-
-        let mut cols: Vec<ColumnVector> =
-            self.output_types.iter().map(|t| ColumnVector::empty(*t)).collect();
-        for (gvals, gstates) in group_rows.into_iter().zip(states) {
-            for (c, v) in cols.iter_mut().zip(gvals.iter()) {
-                // Group values can be INT where the schema says FLOAT
-                // (promotion); push handles the widening.
-                c.push(v.clone().cast(c.data_type())?)?;
-            }
-            for (ai, state) in gstates.into_iter().enumerate() {
-                let v = state.finalize()?;
-                let col = &mut cols[ngroup + ai];
-                col.push(v.cast(col.data_type())?)?;
-            }
-        }
-        self.result = Some(Batch::new(cols));
+        self.result = Some(state.finalize(ngroup, &self.output_types)?);
         Ok(())
     }
 }
@@ -351,5 +731,65 @@ mod tests {
         let rows = collect_rows(batches);
         assert_eq!(rows[0], vec![Value::Int(0), Value::Float(20.0)]);
         assert_eq!(rows[1], vec![Value::Int(1), Value::Float(25.0)]);
+    }
+
+    #[test]
+    fn string_group_keys_and_min_max() {
+        let rows: Vec<Vec<Value>> = [("b", 2), ("a", 5), ("b", 1), ("a", 9)]
+            .iter()
+            .map(|(s, n)| vec![Value::Str((*s).into()), Value::Int(*n)])
+            .collect();
+        let agg = HashAggExec::new(
+            Box::new(ValuesExec::new(rows, vec![DataType::Str, DataType::Int])),
+            vec![Expr::col(0)],
+            vec![
+                AggSpec { func: AggFunc::Min, arg: Some(Expr::col(0)) },
+                AggSpec { func: AggFunc::Max, arg: Some(Expr::col(1)) },
+            ],
+            vec![DataType::Str, DataType::Str, DataType::Int],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(agg)).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::Str("b".into()), Value::Str("b".into()), Value::Int(2)]);
+        assert_eq!(rows[1], vec![Value::Str("a".into()), Value::Str("a".into()), Value::Int(9)]);
+    }
+
+    #[test]
+    fn partial_aggregates_merge_in_partition_order() {
+        let specs = vec![
+            AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(1)) },
+            AggSpec { func: AggFunc::Count, arg: None },
+            AggSpec { func: AggFunc::Min, arg: Some(Expr::col(1)) },
+        ];
+        let types = [DataType::Float, DataType::Int, DataType::Float];
+        let group = vec![Expr::col(0)];
+        let batch = |rows: Vec<(i64, f64)>| {
+            Batch::new(vec![
+                ColumnVector::Int(rows.iter().map(|r| r.0).collect()),
+                ColumnVector::Float(rows.iter().map(|r| r.1).collect()),
+            ])
+        };
+        let mut a = GroupedAggState::new(&specs, &types);
+        a.absorb_batch(&batch(vec![(1, 1.0), (2, 2.0)]), &group, &specs).unwrap();
+        let mut b = GroupedAggState::new(&specs, &types);
+        b.absorb_batch(&batch(vec![(3, 3.0), (1, 4.0)]), &group, &specs).unwrap();
+        a.merge(b).unwrap();
+        let out = a
+            .finalize(1, &[DataType::Int, DataType::Float, DataType::Int, DataType::Float])
+            .unwrap();
+        // Partition-order merge: groups 1, 2 from the first partial, then 3.
+        assert_eq!(
+            out.row(0),
+            vec![Value::Int(1), Value::Float(5.0), Value::Int(2), Value::Float(1.0)]
+        );
+        assert_eq!(
+            out.row(1),
+            vec![Value::Int(2), Value::Float(2.0), Value::Int(1), Value::Float(2.0)]
+        );
+        assert_eq!(
+            out.row(2),
+            vec![Value::Int(3), Value::Float(3.0), Value::Int(1), Value::Float(3.0)]
+        );
     }
 }

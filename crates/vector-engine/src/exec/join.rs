@@ -1,45 +1,11 @@
-//! Join operators: nested-loop cross join and hash equi-join.
+//! Join operators: nested-loop cross join and vectorized hash equi-join.
 
 use crate::column::{Batch, ColumnVector};
 use crate::error::Result;
+use crate::exec::hash::{hash_key_columns, keys_equal, KeyTable};
 use crate::exec::physical::Operator;
 use crate::exec::simple::concat_batches;
 use crate::expr::Expr;
-use crate::types::Value;
-use std::collections::HashMap;
-
-/// A hashable, type-normalized join/group key component. Numeric values
-/// that represent the same number (e.g. `INT 3` and `FLOAT 3.0`) map to the
-/// same key, matching SQL equality.
-#[derive(Clone, Debug, Hash, PartialEq, Eq)]
-pub enum KeyPart {
-    Int(i64),
-    /// Non-integral float, by bit pattern (`-0.0` normalized to `0.0`).
-    FloatBits(u64),
-    Bool(bool),
-    Str(String),
-}
-
-/// Normalize a value into a [`KeyPart`].
-pub fn key_part(v: &Value) -> KeyPart {
-    match v {
-        Value::Int(i) => KeyPart::Int(*i),
-        Value::Float(f) => {
-            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
-                KeyPart::Int(*f as i64)
-            } else {
-                KeyPart::FloatBits(f.to_bits())
-            }
-        }
-        Value::Bool(b) => KeyPart::Bool(*b),
-        Value::Str(s) => KeyPart::Str(s.clone()),
-    }
-}
-
-/// Extract the composite key of row `row` from evaluated key columns.
-pub fn row_key(cols: &[ColumnVector], row: usize) -> Vec<KeyPart> {
-    cols.iter().map(|c| key_part(&c.value(row))).collect()
-}
 
 fn glue(left: Batch, right: Batch) -> Batch {
     let mut cols = left.into_columns();
@@ -157,6 +123,16 @@ impl Operator for CrossJoinExec {
 /// ModelJoin mirrors (Sec. 5.1): the right side is consumed into a hash
 /// table (build), the left side streams (probe). Key expressions may be
 /// computed (`node - offset`).
+///
+/// Batch-at-a-time and allocation-free on the per-row path: the build side
+/// retains its evaluated key columns and indexes the *distinct* keys
+/// through a [`KeyTable`]; duplicate build rows chain through a `next_row`
+/// array in ascending row order. Each probe batch computes one reusable
+/// hash vector ([`hash_key_columns`]), resolves its key by typed column
+/// comparison ([`keys_equal`]) once per probe row, and then walks the
+/// matching key's row list directly — no composite key, no `Value`, no
+/// string clone, no per-duplicate hash check. Output is produced by
+/// columnar gather (`Batch::take` over selection vectors).
 pub struct HashJoinExec {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
@@ -166,16 +142,37 @@ pub struct HashJoinExec {
     built: Option<BuildSide>,
     /// Carry-over matches of the current probe batch.
     pending: Option<Pending>,
+    /// Reused probe-batch hash vector.
+    probe_hashes: Vec<u64>,
+    /// Recycled selection-vector buffers: once a probe batch's matches are
+    /// fully emitted, its `li`/`ri` allocations come back here, so steady
+    /// state reallocates nothing even at high match fan-out.
+    li_buf: Vec<usize>,
+    ri_buf: Vec<usize>,
 }
 
 struct BuildSide {
     batch: Batch,
-    table: HashMap<Vec<KeyPart>, Vec<usize>>,
+    /// Evaluated key columns, retained for collision resolution.
+    key_cols: Vec<ColumnVector>,
+    /// One entry per distinct key.
+    table: KeyTable,
+    /// Per table entry: first build row carrying that key (also the
+    /// representative row compared by `keys_equal`).
+    first_row: Vec<u32>,
+    /// CSR duplicate lists: entry `e` owns build rows
+    /// `rows_list[offsets[e]..offsets[e + 1]]`, ascending. A contiguous
+    /// slice per key keeps the emit loop free of pointer chasing even at
+    /// high match fan-out.
+    offsets: Vec<u32>,
+    rows_list: Vec<u32>,
 }
 
 struct Pending {
     left_batch: Batch,
-    pairs: Vec<(usize, usize)>,
+    /// Matched (probe, build) row indices as two parallel selection vectors.
+    li: Vec<usize>,
+    ri: Vec<usize>,
     offset: usize,
 }
 
@@ -196,6 +193,9 @@ impl HashJoinExec {
             vector_size: vector_size.max(1),
             built: None,
             pending: None,
+            probe_hashes: Vec::new(),
+            li_buf: Vec::new(),
+            ri_buf: Vec::new(),
         }
     }
 
@@ -205,36 +205,80 @@ impl HashJoinExec {
             batches.push(b);
         }
         let batch = concat_batches(&batches);
-        let mut table: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
-        if batch.num_rows() > 0 {
-            let key_cols: Result<Vec<ColumnVector>> =
+        let rows = batch.num_rows();
+        let mut key_cols = Vec::new();
+        let mut table = KeyTable::with_capacity(rows);
+        let mut first_row: Vec<u32> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut entry_of: Vec<u32> = vec![0; rows];
+        if rows > 0 {
+            let cols: Result<Vec<ColumnVector>> =
                 self.right_keys.iter().map(|e| e.eval(&batch)).collect();
-            let key_cols = key_cols?;
-            for row in 0..batch.num_rows() {
-                table.entry(row_key(&key_cols, row)).or_default().push(row);
+            key_cols = cols?;
+            let mut hashes = Vec::new();
+            hash_key_columns(&key_cols, rows, &mut hashes);
+            for (row, &h) in hashes.iter().enumerate() {
+                let entry = table
+                    .candidates(h)
+                    .find(|&c| keys_equal(&key_cols, first_row[c] as usize, &key_cols, row));
+                let e = match entry {
+                    Some(e) => e,
+                    None => {
+                        table.insert(h);
+                        first_row.push(row as u32);
+                        counts.push(0);
+                        first_row.len() - 1
+                    }
+                };
+                counts[e] += 1;
+                entry_of[row] = e as u32;
             }
         }
-        self.built = Some(BuildSide { batch, table });
+        // Counts → CSR: prefix sums, then scatter rows (ascending scan keeps
+        // each per-key list in build-row order).
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
+        let mut rows_list = vec![0u32; rows];
+        for (row, &e) in entry_of.iter().enumerate() {
+            rows_list[cursor[e as usize] as usize] = row as u32;
+            cursor[e as usize] += 1;
+        }
+        self.built = Some(BuildSide { batch, key_cols, table, first_row, offsets, rows_list });
         Ok(())
     }
 
     fn emit(&mut self) -> Option<Batch> {
         let build = self.built.as_ref().expect("built");
         let pending = self.pending.as_mut()?;
-        if pending.offset >= pending.pairs.len() {
-            self.pending = None;
+        if pending.offset >= pending.li.len() {
+            self.recycle();
             return None;
         }
-        let end = (pending.offset + self.vector_size).min(pending.pairs.len());
-        let chunk = &pending.pairs[pending.offset..end];
-        let li: Vec<usize> = chunk.iter().map(|p| p.0).collect();
-        let ri: Vec<usize> = chunk.iter().map(|p| p.1).collect();
-        let out = glue(pending.left_batch.take(&li), build.batch.take(&ri));
+        let end = (pending.offset + self.vector_size).min(pending.li.len());
+        let li = &pending.li[pending.offset..end];
+        let ri = &pending.ri[pending.offset..end];
+        // Build rows matching one probe key are usually consecutive (tables
+        // laid out grouped by key), so the build-side gather is run-copied.
+        let out = glue(pending.left_batch.take(li), build.batch.take_runs(ri));
         pending.offset = end;
-        if pending.offset >= pending.pairs.len() {
-            self.pending = None;
+        if pending.offset >= pending.li.len() {
+            self.recycle();
         }
         Some(out)
+    }
+
+    /// Reclaim a finished probe batch's selection-vector allocations.
+    fn recycle(&mut self) {
+        if let Some(p) = self.pending.take() {
+            self.li_buf = p.li;
+            self.ri_buf = p.ri;
+        }
     }
 }
 
@@ -263,18 +307,30 @@ impl Operator for HashJoinExec {
                 self.left_keys.iter().map(|e| e.eval(&left_batch)).collect();
             let key_cols = key_cols?;
             let build = self.built.as_ref().expect("built");
-            let mut pairs = Vec::new();
-            for row in 0..left_batch.num_rows() {
-                if let Some(matches) = build.table.get(&row_key(&key_cols, row)) {
-                    for &r in matches {
-                        pairs.push((row, r));
-                    }
+            hash_key_columns(&key_cols, left_batch.num_rows(), &mut self.probe_hashes);
+            let mut li = std::mem::take(&mut self.li_buf);
+            let mut ri = std::mem::take(&mut self.ri_buf);
+            li.clear();
+            ri.clear();
+            for (row, &h) in self.probe_hashes.iter().enumerate() {
+                // Entries are distinct keys, so at most one candidate can
+                // pass `keys_equal`; its CSR row list is already in
+                // ascending build-row order (the seed operator's
+                // deterministic order).
+                let entry = build.table.candidates(h).find(|&c| {
+                    keys_equal(&build.key_cols, build.first_row[c] as usize, &key_cols, row)
+                });
+                if let Some(e) = entry {
+                    let matches =
+                        &build.rows_list[build.offsets[e] as usize..build.offsets[e + 1] as usize];
+                    li.resize(li.len() + matches.len(), row);
+                    ri.extend(matches.iter().map(|&r| r as usize));
                 }
             }
-            if pairs.is_empty() {
+            if li.is_empty() {
                 continue;
             }
-            self.pending = Some(Pending { left_batch, pairs, offset: 0 });
+            self.pending = Some(Pending { left_batch, li, ri, offset: 0 });
         }
     }
 
@@ -292,7 +348,7 @@ mod tests {
     use crate::exec::physical::drain;
     use crate::exec::simple::ValuesExec;
     use crate::expr::BinaryOp;
-    use crate::types::DataType;
+    use crate::types::{DataType, Value};
 
     fn ints(name_rows: Vec<i64>) -> Box<dyn Operator> {
         let rows = name_rows.into_iter().map(|n| vec![Value::Int(n)]).collect();
@@ -350,6 +406,9 @@ mod tests {
         let rows = collect_rows(drain(Box::new(j)).unwrap());
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r[0] == r[1]));
+        // Duplicate build matches come out in build-row order.
+        assert_eq!(rows[0][2], Value::Float(0.1));
+        assert_eq!(rows[1][2], Value::Float(0.2));
     }
 
     #[test]
@@ -382,6 +441,24 @@ mod tests {
     }
 
     #[test]
+    fn hash_join_string_keys_without_probe_allocation() {
+        let strs = |ss: Vec<&str>| -> Box<dyn Operator> {
+            let rows = ss.into_iter().map(|s| vec![Value::Str(s.into())]).collect();
+            Box::new(ValuesExec::new(rows, vec![DataType::Str]))
+        };
+        let j = HashJoinExec::new(
+            strs(vec!["a", "b", "c", "b"]),
+            strs(vec!["b", "x"]),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            1024,
+        );
+        let rows = collect_rows(drain(Box::new(j)).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[0] == Value::Str("b".into())));
+    }
+
+    #[test]
     fn hash_join_empty_build_is_empty() {
         let j = HashJoinExec::new(
             ints(vec![1, 2]),
@@ -391,14 +468,6 @@ mod tests {
             1024,
         );
         assert!(drain(Box::new(j)).unwrap().is_empty());
-    }
-
-    #[test]
-    fn key_part_normalization() {
-        assert_eq!(key_part(&Value::Int(3)), key_part(&Value::Float(3.0)));
-        assert_ne!(key_part(&Value::Float(3.5)), key_part(&Value::Int(3)));
-        assert_eq!(key_part(&Value::Float(0.0)), key_part(&Value::Float(-0.0)));
-        assert_eq!(key_part(&Value::Str("a".into())), KeyPart::Str("a".into()));
     }
 
     #[test]
@@ -415,5 +484,18 @@ mod tests {
         let rows = collect_rows(drain(Box::new(j)).unwrap());
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn vector_size_bounds_output_batches() {
+        // 4 probe rows each matching 3 build rows → 12 output rows in
+        // batches of ≤ 5.
+        let left = ints(vec![7, 7, 7, 7]);
+        let right = ints(vec![7, 7, 7]);
+        let j = HashJoinExec::new(left, right, vec![Expr::col(0)], vec![Expr::col(0)], 5);
+        let batches = drain(Box::new(j)).unwrap();
+        assert!(batches.iter().all(|b| b.num_rows() <= 5));
+        let total: usize = batches.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, 12);
     }
 }

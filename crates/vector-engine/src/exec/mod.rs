@@ -3,9 +3,11 @@
 //! the partition-parallel driver.
 
 pub mod agg;
+pub mod hash;
 pub mod join;
 pub mod parallel;
 pub mod physical;
+pub mod rowwise;
 pub mod scan;
 pub mod simple;
 

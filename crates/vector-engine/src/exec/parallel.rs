@@ -12,17 +12,30 @@
 //!   the paper's "no repartitioning is necessary" argument), and
 //! * the parallel section contains no `LIMIT`.
 //!
+//! When the top-level node is an aggregation whose *group key does not*
+//! satisfy the unique-column rule but whose input is otherwise partition-
+//! safe, the driver falls back to a **partial-aggregate** plan instead of
+//! serial execution: each worker folds its partitions into a typed
+//! [`GroupedAggState`] and the partials are merged in partition order — the
+//! classic local/global aggregation split, enabled by the vectorized
+//! accumulators (`EngineConfig::rowwise_ops` disables it together with the
+//! vectorized operators). Group order stays deterministic (first seen in
+//! partition order); floating-point sums may differ from serial execution
+//! in the last bits because partials reassociate the additions.
+//!
 //! Top-level `ORDER BY` / `LIMIT` are peeled off and applied serially over
 //! the gathered partition results.
 
 use crate::column::Batch;
 use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
+use crate::exec::agg::GroupedAggState;
 use crate::exec::physical::{batches_operator, build_operator, drain, ExecContext, Operator};
 use crate::exec::simple::{LimitExec, SortExec};
 use crate::expr::Expr;
-use crate::plan::logical::LogicalPlan;
+use crate::plan::logical::{AggSpec, LogicalPlan};
 use crate::storage::Table;
+use crate::types::DataType;
 use std::sync::Arc;
 
 /// Execute a plan to completion, using partition parallelism when safe.
@@ -48,7 +61,12 @@ pub fn execute(plan: &LogicalPlan, config: &EngineConfig) -> Result<Vec<Batch>> 
 
     let batches = match target {
         Some(table) => execute_partitioned(core, &table, config)?,
-        None => drain(build_operator(core, &ExecContext::from_config(config))?)?,
+        None => match partial_agg_target(core, config) {
+            Some((table, input, group, aggs, types)) => {
+                execute_partial_agg(input, group, aggs, &types, &table, config)?
+            }
+            None => drain(build_operator(core, &ExecContext::from_config(config))?)?,
+        },
     };
 
     // Apply the peeled tail serially (innermost first).
@@ -65,6 +83,102 @@ pub fn execute(plan: &LogicalPlan, config: &EngineConfig) -> Result<Vec<Batch>> 
 enum PostOp {
     Sort(Vec<(Expr, bool)>),
     Limit(u64),
+}
+
+/// If `core` is an aggregation that the group-on-unique-key rule rejects
+/// but whose input alone is partition-safe, pick the partial-aggregate
+/// plan: the partition table plus the aggregation pieces.
+#[allow(clippy::type_complexity)]
+fn partial_agg_target<'p>(
+    core: &'p LogicalPlan,
+    config: &EngineConfig,
+) -> Option<(Arc<Table>, &'p LogicalPlan, &'p [Expr], &'p [AggSpec], Vec<DataType>)> {
+    if config.parallelism <= 1 || config.rowwise_ops {
+        return None;
+    }
+    let LogicalPlan::Aggregate { input, group, aggs, schema } = core else {
+        return None;
+    };
+    let table = choose_partition_table(input)?;
+    Some((table, input, group, aggs, schema.types()))
+}
+
+/// Run `input` once per partition, folding each partition into a typed
+/// [`GroupedAggState`]; merge the partials in partition order and finalize.
+fn execute_partial_agg(
+    input: &LogicalPlan,
+    group: &[Expr],
+    aggs: &[AggSpec],
+    output_types: &[DataType],
+    table: &Arc<Table>,
+    config: &EngineConfig,
+) -> Result<Vec<Batch>> {
+    let partitions = table.partition_count();
+    let workers = config.parallelism.min(partitions).max(1);
+    let ngroup = group.len();
+    let agg_types = &output_types[ngroup..];
+    let mut slots: Vec<Option<Result<GroupedAggState>>> = (0..partitions).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let table = Arc::clone(table);
+            handles.push(scope.spawn(move || -> Vec<(usize, Result<GroupedAggState>)> {
+                let mut out = Vec::new();
+                let mut p = w;
+                while p < partitions {
+                    let ctx = ExecContext::for_partition(config, Arc::clone(&table), p);
+                    out.push((p, partition_state(input, group, aggs, agg_types, &ctx)));
+                    p += workers;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            let results =
+                h.join().map_err(|_| EngineError::Execution("parallel worker panicked".into()))?;
+            for (p, r) in results {
+                slots[p] = Some(r);
+            }
+        }
+        Ok(())
+    })?;
+
+    let mut merged = GroupedAggState::new(aggs, agg_types);
+    for slot in slots {
+        merged.merge(slot.expect("every partition was assigned to a worker")?)?;
+    }
+    let result = merged.finalize(ngroup, output_types)?;
+
+    let mut out = Vec::new();
+    let (rows, step) = (result.num_rows(), config.vector_size.max(1));
+    let mut off = 0;
+    while off < rows {
+        let end = (off + step).min(rows);
+        out.push(result.slice(off, end));
+        off = end;
+    }
+    Ok(out)
+}
+
+/// One worker's partial aggregate over one partition.
+fn partition_state(
+    input: &LogicalPlan,
+    group: &[Expr],
+    aggs: &[AggSpec],
+    agg_types: &[DataType],
+    ctx: &ExecContext,
+) -> Result<GroupedAggState> {
+    let mut op = build_operator(input, ctx)?;
+    op.open()?;
+    let mut state = GroupedAggState::new(aggs, agg_types);
+    while let Some(batch) = op.next()? {
+        if batch.num_rows() > 0 {
+            state.absorb_batch(&batch, group, aggs)?;
+        }
+    }
+    op.close();
+    Ok(state)
 }
 
 fn execute_partitioned(
@@ -281,11 +395,12 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_group_by_falls_back_to_serial_but_stays_correct() {
+    fn non_unique_group_key_takes_partial_aggregate_path_and_stays_correct() {
         let cfg =
             EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
         let cat = setup(&cfg);
-        // Group key id % 5 spans partitions: must not be parallelized.
+        // Group key id % 5 spans partitions: the gather path is unsafe, so
+        // this runs through merged partial aggregates.
         let rows = run(
             "SELECT id % 5 AS g, COUNT(*) AS n FROM facts GROUP BY id % 5 ORDER BY 1",
             &cfg,
@@ -293,6 +408,56 @@ mod tests {
         );
         assert_eq!(rows.len(), 5);
         assert!(rows.iter().all(|r| r[1] == Value::Int(10)));
+    }
+
+    #[test]
+    fn partial_aggregates_match_serial_across_agg_functions() {
+        let par =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let ser =
+            EngineConfig { vector_size: 8, partitions: 1, parallelism: 1, ..Default::default() };
+        // v = 0.5 * id is exact in binary, so even SUM/AVG agree bitwise.
+        let sql = "SELECT id % 3 AS g, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, \
+                   MAX(v) AS hi, AVG(v) AS m FROM facts GROUP BY id % 3 ORDER BY 1";
+        let a = run(sql, &par, &setup(&par));
+        let b = run(sql, &ser, &setup(&ser));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn global_aggregate_takes_partial_path() {
+        let par =
+            EngineConfig { vector_size: 8, partitions: 4, parallelism: 4, ..Default::default() };
+        let ser =
+            EngineConfig { vector_size: 8, partitions: 1, parallelism: 1, ..Default::default() };
+        let sql = "SELECT COUNT(*) AS n, SUM(v) AS s FROM facts";
+        let a = run(sql, &par, &setup(&par));
+        let b = run(sql, &ser, &setup(&ser));
+        assert_eq!(a, b);
+        assert_eq!(a[0][0], Value::Int(50));
+    }
+
+    #[test]
+    fn rowwise_ops_config_stays_correct() {
+        let cfg = EngineConfig {
+            vector_size: 8,
+            partitions: 4,
+            parallelism: 4,
+            rowwise_ops: true,
+            ..Default::default()
+        };
+        let cat = setup(&cfg);
+        let rows = run(
+            "SELECT id % 5 AS g, COUNT(*) AS n FROM facts GROUP BY id % 5 ORDER BY 1",
+            &cfg,
+            &cat,
+        );
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[1] == Value::Int(10)));
+        let rows =
+            run("SELECT a.id FROM facts a, facts b WHERE a.id = b.id ORDER BY 1", &cfg, &cat);
+        assert_eq!(rows.len(), 50);
     }
 
     #[test]

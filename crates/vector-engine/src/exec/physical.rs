@@ -4,6 +4,7 @@ use crate::column::Batch;
 use crate::error::Result;
 use crate::exec::agg::HashAggExec;
 use crate::exec::join::{CrossJoinExec, HashJoinExec};
+use crate::exec::rowwise::{RowHashAggExec, RowHashJoinExec};
 use crate::exec::scan::ScanExec;
 use crate::exec::simple::{BatchesExec, FilterExec, LimitExec, ProjectExec, SortExec, ValuesExec};
 use crate::plan::logical::LogicalPlan;
@@ -55,11 +56,14 @@ pub struct ExecContext {
     /// spawns these threads; consumers (the ModelJoin crate) hand the value
     /// to the tensor worker pool.
     pub kernel_threads: usize,
+    /// Build the seed value-at-a-time join/agg operators instead of the
+    /// vectorized ones (`EngineConfig::rowwise_ops`).
+    pub rowwise_ops: bool,
 }
 
 impl ExecContext {
     pub fn new(vector_size: usize) -> ExecContext {
-        ExecContext { vector_size, scan_restrict: None, kernel_threads: 1 }
+        ExecContext { vector_size, scan_restrict: None, kernel_threads: 1, rowwise_ops: false }
     }
 
     /// Context for a full (non-partitioned) execution under `config`.
@@ -68,6 +72,7 @@ impl ExecContext {
             vector_size: config.vector_size,
             scan_restrict: None,
             kernel_threads: config.kernel_threads.max(1),
+            rowwise_ops: config.rowwise_ops,
         }
     }
 
@@ -80,6 +85,7 @@ impl ExecContext {
             vector_size: config.vector_size,
             scan_restrict: Some((table, partition)),
             kernel_threads: config.kernel_threads.max(1),
+            rowwise_ops: config.rowwise_ops,
         }
     }
 }
@@ -106,21 +112,34 @@ pub fn build_operator(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn O
             ctx.vector_size,
         )),
         LogicalPlan::HashJoin { left, right, left_keys, right_keys, .. } => {
-            Box::new(HashJoinExec::new(
-                build_operator(left, ctx)?,
-                build_operator(right, ctx)?,
-                left_keys.clone(),
-                right_keys.clone(),
-                ctx.vector_size,
-            ))
+            let (l, r) = (build_operator(left, ctx)?, build_operator(right, ctx)?);
+            let (lk, rk) = (left_keys.clone(), right_keys.clone());
+            if ctx.rowwise_ops {
+                Box::new(RowHashJoinExec::new(l, r, lk, rk, ctx.vector_size))
+            } else {
+                Box::new(HashJoinExec::new(l, r, lk, rk, ctx.vector_size))
+            }
         }
-        LogicalPlan::Aggregate { input, group, aggs, schema } => Box::new(HashAggExec::new(
-            build_operator(input, ctx)?,
-            group.clone(),
-            aggs.clone(),
-            schema.types(),
-            ctx.vector_size,
-        )),
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            let input = build_operator(input, ctx)?;
+            if ctx.rowwise_ops {
+                Box::new(RowHashAggExec::new(
+                    input,
+                    group.clone(),
+                    aggs.clone(),
+                    schema.types(),
+                    ctx.vector_size,
+                ))
+            } else {
+                Box::new(HashAggExec::new(
+                    input,
+                    group.clone(),
+                    aggs.clone(),
+                    schema.types(),
+                    ctx.vector_size,
+                ))
+            }
+        }
         LogicalPlan::Sort { input, keys } => {
             Box::new(SortExec::new(build_operator(input, ctx)?, keys.clone(), ctx.vector_size))
         }

@@ -244,17 +244,23 @@ impl Operator for BatchesExec {
 }
 
 /// Concatenate batches into one (empty input gives a zero-row, zero-column
-/// batch).
+/// batch). Output capacity is reserved up front, so each column is filled
+/// by one append pass without intermediate reallocation.
 pub fn concat_batches(batches: &[Batch]) -> Batch {
     let Some(first) = batches.first() else {
         return Batch::of_rows(0);
     };
+    if batches.len() == 1 {
+        return first.clone();
+    }
     if first.num_columns() == 0 {
         let rows = batches.iter().map(Batch::num_rows).sum();
         return Batch::of_rows(rows);
     }
-    let mut cols: Vec<ColumnVector> = first.columns().to_vec();
-    for b in &batches[1..] {
+    let total: usize = batches.iter().map(Batch::num_rows).sum();
+    let mut cols: Vec<ColumnVector> =
+        first.columns().iter().map(|c| ColumnVector::with_capacity(c.data_type(), total)).collect();
+    for b in batches {
         for (c, src) in cols.iter_mut().zip(b.columns()) {
             c.append(src);
         }

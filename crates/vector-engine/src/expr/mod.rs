@@ -482,10 +482,14 @@ fn eval_case(
     }
     let values: Result<Vec<ColumnVector>> = values.iter().map(|v| v.cast(out_type)).collect();
     let values = values?;
-    let mut out = ColumnVector::empty(out_type);
+    // Extract the branch masks once; the row loop then runs over plain
+    // `&[bool]` slices instead of re-checking the column type per row.
+    let masks: Result<Vec<&[bool]>> = conds.iter().map(ColumnVector::as_bool).collect();
+    let masks = masks?;
+    let mut out = ColumnVector::with_capacity(out_type, rows);
     'rows: for row in 0..rows {
-        for (bi, cond) in conds.iter().enumerate() {
-            if cond.as_bool()?[row] {
+        for (bi, mask) in masks.iter().enumerate() {
+            if mask[row] {
                 out.push_from(&values[bi], row);
                 continue 'rows;
             }

@@ -4,13 +4,15 @@
 //! (Sec. 4.4): predicate pushdown through projections and cross joins,
 //! extraction of hash equi-joins from cross join + equality conjuncts
 //! (including computed keys like `node = model.node - offset`), SMA
-//! block-pruning predicates on scans, and constant folding.
+//! block-pruning predicates on scans, column pruning through joins, and
+//! constant folding.
 
 use crate::column::Batch;
 use crate::config::EngineConfig;
 use crate::expr::{BinaryOp, Expr};
-use crate::plan::logical::{LogicalPlan, PrunePredicate};
+use crate::plan::logical::{LogicalPlan, PlanSchema, PrunePredicate};
 use crate::types::Value;
+use std::collections::BTreeSet;
 
 /// The optimizer; behaviour is controlled by [`EngineConfig`] flags so the
 /// ablation benchmarks can switch individual rules off.
@@ -40,7 +42,20 @@ impl Optimizer {
                 }
             }
             LogicalPlan::Project { input, exprs, schema } => {
-                LogicalPlan::Project { input: Box::new(self.rewrite(*input)), exprs, schema }
+                let input = self.rewrite(*input);
+                let (input, exprs) = if self.config.column_pruning {
+                    match prune_join_inputs(input, cols_of(&exprs)) {
+                        (input, Some(map)) => {
+                            let exprs =
+                                exprs.into_iter().map(|e| e.map_columns(&|i| map[i])).collect();
+                            (input, exprs)
+                        }
+                        (input, None) => (input, exprs),
+                    }
+                } else {
+                    (input, exprs)
+                };
+                LogicalPlan::Project { input: Box::new(input), exprs, schema }
             }
             LogicalPlan::CrossJoin { left, right, schema } => LogicalPlan::CrossJoin {
                 left: Box::new(self.rewrite(*left)),
@@ -56,12 +71,35 @@ impl Optimizer {
                     schema,
                 }
             }
-            LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
-                input: Box::new(self.rewrite(*input)),
-                group,
-                aggs,
-                schema,
-            },
+            LogicalPlan::Aggregate { input, group, aggs, schema } => {
+                let input = self.rewrite(*input);
+                let (input, group, aggs) = if self.config.column_pruning {
+                    let mut used = cols_of(&group);
+                    for a in &aggs {
+                        if let Some(e) = &a.arg {
+                            used.extend(e.columns());
+                        }
+                    }
+                    match prune_join_inputs(input, used) {
+                        (input, Some(map)) => {
+                            let group =
+                                group.into_iter().map(|e| e.map_columns(&|i| map[i])).collect();
+                            let aggs = aggs
+                                .into_iter()
+                                .map(|mut a| {
+                                    a.arg = a.arg.map(|e| e.map_columns(&|i| map[i]));
+                                    a
+                                })
+                                .collect();
+                            (input, group, aggs)
+                        }
+                        (input, None) => (input, group, aggs),
+                    }
+                } else {
+                    (input, group, aggs)
+                };
+                LogicalPlan::Aggregate { input: Box::new(input), group, aggs, schema }
+            }
             LogicalPlan::Sort { input, keys } => {
                 LogicalPlan::Sort { input: Box::new(self.rewrite(*input)), keys }
             }
@@ -168,6 +206,109 @@ impl Optimizer {
             other => wrap_filter(other, conjuncts),
         }
     }
+}
+
+/// Union of the columns referenced by `exprs`.
+fn cols_of(exprs: &[Expr]) -> BTreeSet<usize> {
+    exprs.iter().flat_map(|e| e.columns()).collect()
+}
+
+/// Column pruning through joins (late materialization): when the consumer
+/// of a join reads only `used` output columns, narrow each join input to
+/// the referenced columns (plus its key columns) so the join's per-row
+/// gather materializes only live data. Returns the rewritten plan and, if
+/// anything changed, the old→new output-column map the consumer must remap
+/// its expressions through.
+fn prune_join_inputs(
+    plan: LogicalPlan,
+    used: BTreeSet<usize>,
+) -> (LogicalPlan, Option<Vec<usize>>) {
+    match plan {
+        LogicalPlan::HashJoin { left, right, left_keys, right_keys, schema } => {
+            let nleft = left.schema().len();
+            let mut keep_left: BTreeSet<usize> =
+                used.iter().copied().filter(|&c| c < nleft).collect();
+            keep_left.extend(left_keys.iter().flat_map(|k| k.columns()));
+            let mut keep_right: BTreeSet<usize> =
+                used.iter().copied().filter(|&c| c >= nleft).map(|c| c - nleft).collect();
+            keep_right.extend(right_keys.iter().flat_map(|k| k.columns()));
+            if keep_left.len() == nleft && keep_right.len() == right.schema().len() {
+                return (
+                    LogicalPlan::HashJoin { left, right, left_keys, right_keys, schema },
+                    None,
+                );
+            }
+            let (left, lmap) = narrow(*left, keep_left);
+            let (right, rmap) = narrow(*right, keep_right);
+            let left_keys: Vec<Expr> =
+                left_keys.into_iter().map(|k| k.map_columns(&|i| lmap[i])).collect();
+            let right_keys: Vec<Expr> =
+                right_keys.into_iter().map(|k| k.map_columns(&|i| rmap[i])).collect();
+            let map = join_output_map(&lmap, &rmap, left.schema().len());
+            let schema = PlanSchema::join(left.schema(), right.schema());
+            let join = LogicalPlan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                schema,
+            };
+            (join, Some(map))
+        }
+        LogicalPlan::CrossJoin { left, right, schema } => {
+            let nleft = left.schema().len();
+            let keep_left: BTreeSet<usize> = used.iter().copied().filter(|&c| c < nleft).collect();
+            let keep_right: BTreeSet<usize> =
+                used.iter().copied().filter(|&c| c >= nleft).map(|c| c - nleft).collect();
+            if keep_left.len() == nleft && keep_right.len() == right.schema().len() {
+                return (LogicalPlan::CrossJoin { left, right, schema }, None);
+            }
+            let (left, lmap) = narrow(*left, keep_left);
+            let (right, rmap) = narrow(*right, keep_right);
+            let map = join_output_map(&lmap, &rmap, left.schema().len());
+            let schema = PlanSchema::join(left.schema(), right.schema());
+            let join =
+                LogicalPlan::CrossJoin { left: Box::new(left), right: Box::new(right), schema };
+            (join, Some(map))
+        }
+        other => (other, None),
+    }
+}
+
+/// Narrow `plan` to the `keep` columns via a projection. Returns the
+/// old→new column map (`usize::MAX` for dropped columns, which the caller
+/// never references). At least one column is always kept: a zero-column
+/// projection would lose the row count.
+fn narrow(plan: LogicalPlan, mut keep: BTreeSet<usize>) -> (LogicalPlan, Vec<usize>) {
+    let n = plan.schema().len();
+    if keep.is_empty() && n > 0 {
+        keep.insert(0);
+    }
+    let mut map = vec![usize::MAX; n];
+    for (new, &old) in keep.iter().enumerate() {
+        map[old] = new;
+    }
+    if keep.len() == n {
+        return (plan, map);
+    }
+    let fields = keep.iter().map(|&i| plan.schema().fields[i].clone()).collect();
+    let exprs = keep.iter().map(|&i| Expr::col(i)).collect();
+    let schema = PlanSchema::new(fields);
+    (LogicalPlan::Project { input: Box::new(plan), exprs, schema }, map)
+}
+
+/// Old→new map over a join's concatenated output, from the per-side maps.
+fn join_output_map(lmap: &[usize], rmap: &[usize], new_nleft: usize) -> Vec<usize> {
+    let mut map = vec![usize::MAX; lmap.len() + rmap.len()];
+    for (old, &new) in lmap.iter().enumerate() {
+        map[old] = new;
+    }
+    for (old, &new) in rmap.iter().enumerate() {
+        if new != usize::MAX {
+            map[lmap.len() + old] = new_nleft + new;
+        }
+    }
+    map
 }
 
 fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
