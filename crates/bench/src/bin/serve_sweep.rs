@@ -1,0 +1,243 @@
+//! Serving-layer sweep: closed-loop clients against the inference server
+//! in three modes, isolating what each serving optimization buys.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_sweep [--quick]
+//! ```
+//!
+//! Modes:
+//! * `naive`   — no model cache, no batching: every request rebuilds the
+//!   model from its table and runs a 1-row inference. This is what
+//!   query-scoped model state (the paper's per-query ModelJoin build)
+//!   costs when clients arrive one request at a time.
+//! * `cached`  — model cache on, batching off: the build is amortized
+//!   across requests, inference still runs row-at-a-time.
+//! * `batched` — model cache + dynamic micro-batching: concurrent requests
+//!   coalesce into one vectorized inference (the server-side analogue of
+//!   the paper's vector-at-a-time inference, Sec. 5.4).
+//!
+//! Client counts {1, 2, 4, 8}; at 8 clients a flush-deadline sweep
+//! {50, 200, 1000}us shows the latency/throughput trade of the batcher.
+//! Results go to stdout and `BENCH_serve.json`; `--quick` runs one tiny
+//! cell per mode as a smoke test and leaves the JSON untouched.
+
+use indbml_core::{drive_closed_loop, Experiment, ExperimentConfig, ServeLoadConfig, Workload};
+use serve::ServeConfig;
+use tensor::Device;
+use vector_engine::EngineConfig;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Naive,
+    Cached,
+    Batched,
+}
+
+impl Mode {
+    const ALL: [Mode; 3] = [Mode::Naive, Mode::Cached, Mode::Batched];
+
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Naive => "naive",
+            Mode::Cached => "cached",
+            Mode::Batched => "batched",
+        }
+    }
+
+    fn apply(self, cfg: &mut ServeConfig) {
+        match self {
+            Mode::Naive => {
+                cfg.model_cache = false;
+                cfg.batching = false;
+            }
+            Mode::Cached => {
+                cfg.model_cache = true;
+                cfg.batching = false;
+            }
+            Mode::Batched => {
+                cfg.model_cache = true;
+                cfg.batching = true;
+            }
+        }
+    }
+}
+
+struct Cell {
+    mode: &'static str,
+    clients: usize,
+    flush_us: u64,
+    completed: usize,
+    retries: usize,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    batches: u64,
+    batched_rows: u64,
+}
+
+fn run_cell(
+    ex: &Experiment,
+    mode: Mode,
+    clients: usize,
+    flush_us: u64,
+    requests_per_client: usize,
+) -> Cell {
+    let mut cfg = ServeConfig::from_engine(&ex.config().engine);
+    cfg.workers = ex.config().engine.parallelism;
+    cfg.batch_flush_us = flush_us;
+    cfg.max_batch_rows = cfg.max_batch_rows.min(64);
+    mode.apply(&mut cfg);
+    let server = ex.serve(cfg, Device::cpu());
+
+    let dim = ex.meta.input_dim;
+    let inputs: Vec<Vec<f32>> = (0..256)
+        .map(|i| (0..dim).map(|c| ((i * 31 + c * 7) % 100) as f32 / 100.0).collect())
+        .collect();
+    let load = ServeLoadConfig { clients, requests_per_client, timeout: None };
+    let stats = drive_closed_loop(&server, "model", &inputs, &load);
+    let sstats = server.stats();
+    server.shutdown();
+    Cell {
+        mode: mode.name(),
+        clients,
+        flush_us,
+        completed: stats.completed,
+        retries: stats.overload_retries,
+        throughput_rps: stats.throughput_rps,
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+        batches: sstats.batches,
+        batched_rows: sstats.batched_rows,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let (requests_per_client, client_counts, flushes): (usize, &[usize], &[u64]) =
+        if quick { (10, &[2], &[200]) } else { (150, &[1, 2, 4, 8], &[50, 200, 1000]) };
+
+    // A mid-size dense model: big enough that the per-request build the
+    // naive mode pays is realistic (~13k edges through the build phase),
+    // small enough that a full sweep runs in minutes on the shared host.
+    let config = ExperimentConfig {
+        engine: EngineConfig {
+            vector_size: 256,
+            partitions: 4,
+            parallelism: cores.clamp(2, 4),
+            ..Default::default()
+        },
+        ..ExperimentConfig::new(Workload::Dense { width: 64, depth: 4 }, 64)
+    };
+    let ex = Experiment::build(config).expect("experiment setup");
+
+    println!("# serve_sweep (cores = {cores}, requests/client = {requests_per_client})");
+    println!("mode,clients,flush_us,completed,retries,throughput_rps,p50_us,p99_us,batches");
+
+    // Headline flush deadline: short enough that the closed-loop clients'
+    // arrival gaps don't dominate latency, long enough to coalesce a
+    // concurrent burst (the flush sweep below shows the trade-off).
+    let headline_flush = 50;
+    let mut cells: Vec<Cell> = Vec::new();
+    for mode in Mode::ALL {
+        for &clients in client_counts {
+            let flush = headline_flush;
+            let cell = run_cell(&ex, mode, clients, flush, requests_per_client);
+            println!(
+                "{},{},{},{},{},{:.1},{},{},{}",
+                cell.mode,
+                cell.clients,
+                cell.flush_us,
+                cell.completed,
+                cell.retries,
+                cell.throughput_rps,
+                cell.p50_us,
+                cell.p99_us,
+                cell.batches
+            );
+            cells.push(cell);
+        }
+    }
+    // Flush-deadline sweep at the highest client count, batched mode.
+    let max_clients = *client_counts.last().expect("non-empty");
+    let mut flush_cells: Vec<Cell> = Vec::new();
+    for &flush in flushes {
+        if flush == headline_flush {
+            continue; // already measured above
+        }
+        let cell = run_cell(&ex, Mode::Batched, max_clients, flush, requests_per_client);
+        println!(
+            "{},{},{},{},{},{:.1},{},{},{}",
+            cell.mode,
+            cell.clients,
+            cell.flush_us,
+            cell.completed,
+            cell.retries,
+            cell.throughput_rps,
+            cell.p50_us,
+            cell.p99_us,
+            cell.batches
+        );
+        flush_cells.push(cell);
+    }
+
+    let tput = |mode: &str, clients: usize| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.clients == clients)
+            .map(|c| c.throughput_rps)
+            .unwrap_or(0.0)
+    };
+    let speedup = tput("batched", max_clients) / tput("naive", max_clients).max(1e-9);
+    println!("\nbatched vs naive at {max_clients} clients: {speedup:.1}x");
+
+    // Quick mode is a smoke test; don't clobber recorded full-sweep results.
+    if quick {
+        return;
+    }
+
+    let fmt_cell = |c: &Cell, sep: &str| {
+        format!(
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"flush_us\": {}, \"completed\": {}, \
+             \"retries\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"batches\": {}, \"batched_rows\": {}}}{sep}\n",
+            c.mode,
+            c.clients,
+            c.flush_us,
+            c.completed,
+            c.retries,
+            c.throughput_rps,
+            c.p50_us,
+            c.p99_us,
+            c.batches,
+            c.batched_rows
+        )
+    };
+
+    // Hand-rolled JSON: the repository vendors no serializer.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str("  \"workload\": \"Dense(w=64,d=4), 1-row requests\",\n");
+    json.push_str(&format!("  \"requests_per_client\": {requests_per_client},\n"));
+    json.push_str(&format!(
+        "  \"speedup_batched_vs_naive_at_{max_clients}_clients\": {speedup:.2},\n"
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&fmt_cell(c, if i + 1 < cells.len() { "," } else { "" }));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"flush_sweep\": [\n");
+    for (i, c) in flush_cells.iter().enumerate() {
+        json.push_str(&fmt_cell(c, if i + 1 < flush_cells.len() { "," } else { "" }));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -83,9 +83,11 @@ pub struct RunOutcome {
     pub predictions: Option<Vec<(i64, f64)>>,
 }
 
-/// A stood-up experiment: engine with loaded fact and model tables.
+/// A stood-up experiment: engine with loaded fact and model tables. The
+/// engine is `Arc`'d so a serving front end ([`Experiment::serve`]) can
+/// co-own it with the experiment.
 pub struct Experiment {
-    pub engine: Engine,
+    pub engine: Arc<Engine>,
     pub model: Model,
     pub meta: ModelMeta,
     config: ExperimentConfig,
@@ -99,7 +101,7 @@ impl Experiment {
     /// Create engine, fact table (`facts`: `id INT` + `c0..` FLOAT inputs)
     /// and model table (`model_table`) for the configured workload.
     pub fn build(config: ExperimentConfig) -> Result<Experiment> {
-        let engine = Engine::new(config.engine.clone());
+        let engine = Arc::new(Engine::new(config.engine.clone()));
         let model = config.workload.model(config.seed);
         let dim = model.input_dim();
         let rows: Vec<Vec<f32>> = match config.workload {
@@ -129,6 +131,21 @@ impl Experiment {
 
     pub fn config(&self) -> &ExperimentConfig {
         &self.config
+    }
+
+    /// Stand up a serving front end over this experiment's engine, with
+    /// `"model"` registered against the loaded model table (so DML to
+    /// `model_table` invalidates the server's model cache).
+    pub fn serve(&self, cfg: serve::ServeConfig, device: Device) -> serve::Server {
+        let server = serve::Server::start(Arc::clone(&self.engine), cfg);
+        server.register_model(
+            "model",
+            "model_table",
+            self.meta.clone(),
+            self.config.opt.layout(),
+            device,
+        );
+        server
     }
 
     fn input_refs(&self) -> Vec<&str> {

@@ -13,6 +13,8 @@ pub mod data;
 pub mod experiment;
 pub mod memtrack;
 pub mod qualitative;
+pub mod served;
 
 pub use approach::Approach;
 pub use experiment::{Experiment, ExperimentConfig, RunOutcome, Workload};
+pub use served::{drive_closed_loop, ServeLoadConfig, ServeLoadStats};

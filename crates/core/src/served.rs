@@ -1,0 +1,176 @@
+//! Closed-loop load generation against a serving front end.
+//!
+//! `serve_sweep` (and the served-mode tests) drive a [`Server`] with N
+//! concurrent clients, each submitting its next request only after the
+//! previous one completed — the classic closed-loop model, so offered load
+//! scales with client count and the server's admission control is
+//! exercised by bursts rather than by an unbounded open arrival stream.
+//! Rejected submissions ([`ServeError::Overloaded`]) are retried after a
+//! short backoff and counted, so the measured throughput is goodput.
+
+use serve::{Response, ServeError, Server};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Parameters of one closed-loop measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeLoadConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues before stopping.
+    pub requests_per_client: usize,
+    /// Per-request deadline handed to the server (None = no deadline).
+    pub timeout: Option<Duration>,
+}
+
+/// Outcome of one closed-loop measurement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeLoadStats {
+    /// Requests that completed with a prediction.
+    pub completed: usize,
+    /// Requests that completed with [`ServeError::Timeout`].
+    pub timeouts: usize,
+    /// Overload rejections that were retried (admission-control pressure).
+    pub overload_retries: usize,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median submit-to-response latency.
+    pub p50_us: u64,
+    /// 99th-percentile submit-to-response latency.
+    pub p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run `load.clients` closed-loop clients against `server`, cycling
+/// through `inputs` for request payloads. Panics on unexpected serving
+/// errors (the load driver is test/bench infrastructure: anything but
+/// overload, timeout, or shutdown is a bug worth failing loudly on).
+pub fn drive_closed_loop(
+    server: &Server,
+    model: &str,
+    inputs: &[Vec<f32>],
+    load: &ServeLoadConfig,
+) -> ServeLoadStats {
+    assert!(!inputs.is_empty(), "need at least one input row");
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let timeouts = Mutex::new(0usize);
+    let retries = Mutex::new(0usize);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..load.clients {
+            let latencies = &latencies;
+            let timeouts = &timeouts;
+            let retries = &retries;
+            scope.spawn(move || {
+                let mut my_lat = Vec::with_capacity(load.requests_per_client);
+                let mut my_timeouts = 0usize;
+                let mut my_retries = 0usize;
+                for r in 0..load.requests_per_client {
+                    let input = &inputs[(client + r * load.clients) % inputs.len()];
+                    let t0 = Instant::now();
+                    let handle = loop {
+                        match server.submit_predict_with_timeout(model, input.clone(), load.timeout)
+                        {
+                            Ok(h) => break h,
+                            Err(ServeError::Overloaded { .. }) => {
+                                my_retries += 1;
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                            Err(e) => panic!("client {client}: submit failed: {e}"),
+                        }
+                    };
+                    match handle.wait() {
+                        Ok(Response::Prediction(_)) => {
+                            my_lat.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Ok(other) => panic!("client {client}: unexpected response {other:?}"),
+                        Err(ServeError::Timeout) => my_timeouts += 1,
+                        Err(e) => panic!("client {client}: request failed: {e}"),
+                    }
+                }
+                latencies.lock().expect("latency lock").extend(my_lat);
+                *timeouts.lock().expect("timeout lock") += my_timeouts;
+                *retries.lock().expect("retry lock") += my_retries;
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let mut lat = latencies.into_inner().expect("latency lock");
+    lat.sort_unstable();
+    ServeLoadStats {
+        completed: lat.len(),
+        timeouts: timeouts.into_inner().expect("timeout lock"),
+        overload_retries: retries.into_inner().expect("retry lock"),
+        wall,
+        throughput_rps: lat.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentConfig, Workload};
+    use serve::ServeConfig;
+    use tensor::Device;
+    use vector_engine::EngineConfig;
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let config = ExperimentConfig {
+            engine: EngineConfig {
+                vector_size: 32,
+                partitions: 2,
+                parallelism: 2,
+                ..Default::default()
+            },
+            ..ExperimentConfig::new(Workload::Dense { width: 4, depth: 2 }, 8)
+        };
+        let ex = Experiment::build(config).unwrap();
+        let server = ex.serve(
+            ServeConfig {
+                workers: 2,
+                queue_depth: 8,
+                batch_flush_us: 100,
+                max_batch_rows: 8,
+                ..ServeConfig::from_engine(&ex.config().engine)
+            },
+            Device::cpu(),
+        );
+        let inputs: Vec<Vec<f32>> =
+            (0..16).map(|i| vec![0.1 * i as f32; ex.meta.input_dim]).collect();
+        let load = ServeLoadConfig { clients: 4, requests_per_client: 25, timeout: None };
+        let stats = drive_closed_loop(&server, "model", &inputs, &load);
+        assert_eq!(stats.completed, 100, "{stats:?}");
+        assert_eq!(stats.timeouts, 0);
+        assert!(stats.throughput_rps > 0.0);
+        assert!(stats.p50_us <= stats.p99_us);
+        // The small queue (depth 8 vs 4 clients) must never deadlock;
+        // retries are allowed, drops are not.
+        let sstats = server.stats();
+        assert_eq!(sstats.completed, 100);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 100);
+        // Nearest-rank on 0-based index: (99 * 0.5).round() = 50 → value 51.
+        assert_eq!(percentile(&v, 0.5), 51);
+    }
+}

@@ -1,6 +1,7 @@
 //! The parallel model build phase (paper Sec. 5.2).
 
 use model_repr::{Layout, ModelMeta, SlotKind};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use tensor::blas::Transpose;
 use tensor::{Activation, Device, Matrix};
@@ -441,6 +442,16 @@ fn fill_from_batch(batch: &Batch, router: &Router, slabs: &SlabPtrs) -> Result<(
     Ok(())
 }
 
+/// Process-wide count of [`build_parallel`] invocations. The hook the
+/// model-cache tests and serving stats use to prove that an unchanged
+/// model table is built exactly once across queries.
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of model build phases this process has run.
+pub fn build_count() -> u64 {
+    BUILD_COUNT.load(Ordering::Relaxed)
+}
+
 /// Run the parallel build phase: allocate shared storage single-threaded,
 /// fill it from the model-table partitions in parallel, then assemble the
 /// [`BuiltModel`] (bias replication + one-shot GPU upload).
@@ -460,6 +471,7 @@ pub fn build_parallel(
             layout.column_count()
         )));
     }
+    BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
     let router = Router::new(meta, layout);
     // Phase 1: single-threaded allocation (paper: "memory allocation ...
     // is performed single-threaded to a shared memory location").
@@ -607,6 +619,32 @@ impl SharedModel {
         })
     }
 
+    /// A `SharedModel` whose build phase already happened elsewhere — the
+    /// constructor the serving layer's model cache uses so a query reuses
+    /// the cached `Arc<BuiltModel>` instead of re-running the build on its
+    /// first `next()` call.
+    pub fn with_built(
+        table: Arc<Table>,
+        meta: ModelMeta,
+        layout: Layout,
+        device: Device,
+        built: Arc<BuiltModel>,
+    ) -> Arc<SharedModel> {
+        let vector_size = built.vector_size();
+        let shared = SharedModel {
+            table,
+            meta,
+            layout,
+            device,
+            vector_size,
+            build_threads: 1,
+            built: OnceLock::new(),
+        };
+        let set = shared.built.set(Ok(built));
+        debug_assert!(set.is_ok(), "fresh OnceLock cannot be set already");
+        Arc::new(shared)
+    }
+
     pub fn meta(&self) -> &ModelMeta {
         &self.meta
     }
@@ -617,6 +655,12 @@ impl SharedModel {
 
     pub fn vector_size(&self) -> usize {
         self.vector_size
+    }
+
+    /// The built model, if the build phase has run (or was injected via
+    /// [`SharedModel::with_built`]) — without triggering a build.
+    pub fn built(&self) -> Option<Arc<BuiltModel>> {
+        self.built.get().and_then(|r| r.as_ref().ok().cloned())
     }
 
     /// Get (building on first use) the shared built model.

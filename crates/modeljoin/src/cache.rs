@@ -1,0 +1,211 @@
+//! The cross-query model cache.
+//!
+//! The paper's headline finding — the ModelJoin wins because the model is
+//! built once and tuples then stream through it — only survives real
+//! traffic if the built model outlives a single query. This cache keys an
+//! `Arc<BuiltModel>` by **(model table name, table data version)**: any DML
+//! to the model table bumps [`Table::version`] and the next lookup rebuilds
+//! (the stale entry is replaced in place). Unrelated catalog activity does
+//! not invalidate entries, so a busy serving engine keeps its models hot.
+
+use crate::build::{build_parallel, BuiltModel};
+use model_repr::{Layout, ModelMeta};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tensor::Device;
+use vector_engine::{Result, Table};
+
+struct CacheEntry {
+    /// [`Table::version`] of the model table at build time.
+    version: u64,
+    built: Arc<BuiltModel>,
+}
+
+/// A thread-safe map from model table name to its built model, invalidated
+/// by the table's data version. Model counts are small (one entry per
+/// registered model), so there is no eviction policy — DML replaces
+/// entries in place.
+#[derive(Default)]
+pub struct ModelCache {
+    entries: Mutex<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    pub fn new() -> ModelCache {
+        ModelCache::default()
+    }
+
+    /// The cached model for `table` if its data version still matches,
+    /// else run the parallel build phase and cache the result.
+    ///
+    /// The build runs outside the map lock: a long build must not block
+    /// hits on other models. Two threads racing on the same cold entry may
+    /// both build (identical results; last writer wins) — the serving
+    /// layer's batcher makes this window rare, and correctness never
+    /// depends on single construction.
+    pub fn get_or_build(
+        &self,
+        table: &Arc<Table>,
+        meta: &ModelMeta,
+        layout: Layout,
+        device: &Device,
+        vector_size: usize,
+        threads: usize,
+    ) -> Result<Arc<BuiltModel>> {
+        let version = table.version();
+        if let Some(entry) = self.entries.lock().get(table.name()) {
+            if entry.version == version {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.built));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build_parallel(table, meta, layout, device, vector_size, threads)?);
+        self.entries
+            .lock()
+            .insert(table.name().to_string(), CacheEntry { version, built: Arc::clone(&built) });
+        Ok(built)
+    }
+
+    /// Drop the entry for a model table (explicit invalidation; version
+    /// mismatches already invalidate implicitly).
+    pub fn invalidate(&self, table_name: &str) {
+        self.entries.lock().remove(&table_name.to_ascii_lowercase());
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran a build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_count;
+    use crate::operator::execute_model_join;
+    use crate::SharedModel;
+    use model_repr::load_into_engine;
+    use nn::paper;
+    use vector_engine::{ColumnVector, Engine, EngineConfig};
+
+    fn engine_with_model() -> (Engine, Arc<Table>, ModelMeta) {
+        let engine = Engine::new(EngineConfig {
+            vector_size: 16,
+            partitions: 2,
+            parallelism: 2,
+            ..Default::default()
+        });
+        let model = paper::dense_model(4, 2, 11);
+        let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
+        (engine, table, meta)
+    }
+
+    #[test]
+    fn unchanged_table_builds_exactly_once() {
+        let (_engine, table, meta) = engine_with_model();
+        let cache = ModelCache::new();
+        let before = build_count();
+        let a = cache.get_or_build(&table, &meta, Layout::NodeId, &Device::cpu(), 16, 1).unwrap();
+        let b = cache.get_or_build(&table, &meta, Layout::NodeId, &Device::cpu(), 16, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the Arc");
+        assert_eq!(build_count() - before, 1, "exactly one build phase ran");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn dml_to_model_table_invalidates() {
+        let (_engine, table, meta) = engine_with_model();
+        let cache = ModelCache::new();
+        let a = cache.get_or_build(&table, &meta, Layout::NodeId, &Device::cpu(), 16, 1).unwrap();
+        // Append a row that routes nowhere harmful (an input-distribution
+        // edge): the version bump alone must force a rebuild.
+        let zeros = vec![ColumnVector::Float(vec![0.0]); table.schema().len() - 2];
+        let mut cols = vec![ColumnVector::Int(vec![0]), ColumnVector::Int(vec![0])];
+        cols.extend(zeros);
+        table.append(cols).unwrap();
+        let b = cache.get_or_build(&table, &meta, Layout::NodeId, &Device::cpu(), 16, 1).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "stale model must be rebuilt after DML");
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn explicit_invalidate_drops_entry() {
+        let (_engine, table, meta) = engine_with_model();
+        let cache = ModelCache::new();
+        cache.get_or_build(&table, &meta, Layout::NodeId, &Device::cpu(), 16, 1).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.invalidate("M");
+        assert!(cache.is_empty());
+    }
+
+    /// The satellite's end-to-end shape: two *queries* against an
+    /// unchanged model table share one build via the cache +
+    /// [`SharedModel::with_built`].
+    #[test]
+    fn two_queries_one_build() {
+        let engine = Engine::new(EngineConfig {
+            vector_size: 16,
+            partitions: 2,
+            parallelism: 2,
+            ..Default::default()
+        });
+        let model = paper::dense_model(4, 2, 3);
+        engine
+            .execute("CREATE TABLE facts (id INT, c0 FLOAT, c1 FLOAT, c2 FLOAT, c3 FLOAT)")
+            .unwrap();
+        engine
+            .execute("INSERT INTO facts VALUES (1, 0.1, 0.2, 0.3, 0.4), (2, 0.5, 0.6, 0.7, 0.8)")
+            .unwrap();
+        let (table, meta) = load_into_engine(&engine, "m", &model, Layout::NodeId).unwrap();
+
+        let cache = ModelCache::new();
+        let before = build_count();
+        let mut first: Option<Vec<f64>> = None;
+        for _ in 0..2 {
+            let built =
+                cache.get_or_build(&table, &meta, Layout::NodeId, &Device::cpu(), 16, 2).unwrap();
+            let shared = SharedModel::with_built(
+                Arc::clone(&table),
+                meta.clone(),
+                Layout::NodeId,
+                Device::cpu(),
+                built,
+            );
+            let batches = execute_model_join(
+                &engine,
+                "facts",
+                &["c0", "c1", "c2", "c3"],
+                &["id"],
+                &shared,
+                2,
+            )
+            .unwrap();
+            let preds: Vec<f64> =
+                batches.iter().flat_map(|b| b.column(1).as_float().unwrap().to_vec()).collect();
+            match &first {
+                None => first = Some(preds),
+                Some(expected) => assert_eq!(expected, &preds, "cached build changes results"),
+            }
+        }
+        assert_eq!(build_count() - before, 1, "two queries, one build phase");
+    }
+}

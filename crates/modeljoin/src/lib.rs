@@ -25,9 +25,11 @@
 //! paying the columnar → row-major → columnar conversion at the boundary.
 
 pub mod build;
+pub mod cache;
 pub mod capi_op;
 pub mod operator;
 
-pub use build::{build_parallel, BuiltModel, InferScratch, SharedModel};
+pub use build::{build_count, build_parallel, BuiltModel, InferScratch, SharedModel};
+pub use cache::ModelCache;
 pub use capi_op::CapiInferenceOp;
 pub use operator::ModelJoinOp;

@@ -1,0 +1,73 @@
+//! Serving-layer configuration.
+
+use vector_engine::EngineConfig;
+
+/// Knobs of the serving layer. [`ServeConfig::from_engine`] derives the
+/// queue/batch knobs from the engine's own [`EngineConfig`] so one config
+/// file drives both layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads consuming the request queue. Zero is legal (useful
+    /// for deterministic admission-control tests): requests queue until
+    /// shutdown drains them.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `Overloaded`.
+    pub queue_depth: usize,
+    /// Max time a worker waits for a batch to fill before flushing it.
+    pub batch_flush_us: u64,
+    /// Rows per coalesced inference batch (the engine's vector size is the
+    /// natural choice: one batch is one vector through the kernels).
+    pub max_batch_rows: usize,
+    /// Coalesce same-model requests into one vectorized inference. Off =
+    /// one engine call per request (the naive baseline `serve_sweep`
+    /// measures against).
+    pub batching: bool,
+    /// Reuse built models across requests until model-table DML
+    /// invalidates them. Off = rebuild per batch.
+    pub model_cache: bool,
+    /// Default per-request deadline in milliseconds; 0 disables it.
+    pub default_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig::from_engine(&EngineConfig::default())
+    }
+}
+
+impl ServeConfig {
+    /// Derive the serving knobs from an engine config: `serve_queue_depth`,
+    /// `batch_flush_us` and `vector_size` (as the batch size) come from
+    /// the engine; `workers` defaults to the engine's parallelism.
+    pub fn from_engine(cfg: &EngineConfig) -> ServeConfig {
+        ServeConfig {
+            workers: cfg.parallelism,
+            queue_depth: cfg.serve_queue_depth,
+            batch_flush_us: cfg.batch_flush_us,
+            max_batch_rows: cfg.vector_size,
+            batching: true,
+            model_cache: true,
+            default_timeout_ms: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_from_engine_config() {
+        let e = EngineConfig {
+            vector_size: 256,
+            parallelism: 3,
+            serve_queue_depth: 9,
+            batch_flush_us: 77,
+            ..Default::default()
+        };
+        let s = ServeConfig::from_engine(&e);
+        assert_eq!((s.workers, s.queue_depth, s.batch_flush_us, s.max_batch_rows), (3, 9, 77, 256));
+        assert!(s.batching && s.model_cache);
+        assert_eq!(s.default_timeout_ms, 0);
+    }
+}

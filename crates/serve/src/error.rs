@@ -1,0 +1,50 @@
+//! Serving-layer errors. Every failure mode is explicit: an overloaded
+//! server rejects at submission, a timed-out request completes with
+//! [`ServeError::Timeout`], a draining server refuses new work — requests
+//! are never silently dropped.
+
+use std::fmt;
+use vector_engine::EngineError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue already
+    /// holds `depth` requests. The caller decides whether to retry,
+    /// back off, or shed the request.
+    Overloaded { depth: usize },
+    /// The server is draining; no new work is admitted, and requests still
+    /// queued when the drain finishes complete with this error.
+    ShuttingDown,
+    /// The request's deadline passed before a worker could execute it.
+    Timeout,
+    /// No model registered under that name.
+    UnknownModel(String),
+    /// The request was malformed (e.g. input width does not match the
+    /// model's input dimension) — rejected at submission.
+    BadRequest(String),
+    /// The underlying engine failed while executing the request.
+    Engine(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "server overloaded: queue is at capacity ({depth})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Timeout => write!(f, "request timed out before execution"),
+            ServeError::UnknownModel(name) => write!(f, "no model registered as {name:?}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError::Engine(e.to_string())
+    }
+}

@@ -1,0 +1,664 @@
+//! The multi-threaded inference server.
+//!
+//! A [`Server`] owns an `Arc<Engine>` plus a pool of worker threads fed by
+//! one bounded request queue. Callers submit work with
+//! [`Server::submit_predict`] / [`Server::submit_sql`] and get back a
+//! [`RequestHandle`] — a future-like completion slot they can block on.
+//!
+//! Workers run the dynamic micro-batcher: a worker that dequeues a predict
+//! request keeps collecting further requests **for the same model** until
+//! the batch reaches `max_batch_rows` or the flush deadline
+//! (`batch_flush_us`) passes, then runs one vectorized inference over the
+//! coalesced `rows x input_dim` matrix and distributes the output rows
+//! back to the per-request slots. SQL requests bypass the batcher and go
+//! through the engine's plan cache ([`Engine::execute_cached`]).
+//!
+//! Admission control is strict: a full queue rejects with
+//! [`ServeError::Overloaded`] at submission (never blocking the client and
+//! never dropping silently), per-request deadlines are enforced both at
+//! dequeue and at drain, and shutdown drains the queue gracefully —
+//! workers finish what is queued, and anything left after the workers exit
+//! (possible only with zero workers) completes with
+//! [`ServeError::ShuttingDown`].
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use model_repr::{Layout, ModelMeta};
+use modeljoin::{build_parallel, ModelCache};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tensor::{Device, Matrix};
+use vector_engine::{Engine, QueryResult};
+
+/// A completed request's payload.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// One output row of the model (width = the model's output dimension).
+    Prediction(Vec<f32>),
+    /// Result of a SQL request.
+    Rows(QueryResult),
+}
+
+/// The work item carried by the queue.
+enum Work {
+    Predict { model: String, input: Vec<f32> },
+    Sql(String),
+}
+
+/// One-shot completion slot shared by the queue entry and the client's
+/// [`RequestHandle`].
+struct Slot {
+    done: Mutex<Option<Result<Response, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn complete(&self, result: Result<Response, ServeError>) {
+        let mut guard = self.done.lock().expect("slot lock poisoned");
+        if guard.is_none() {
+            *guard = Some(result);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// The client side of a submitted request. Block on [`RequestHandle::wait`]
+/// to retrieve the response (or the explicit serving error).
+pub struct RequestHandle {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self.slot.done.lock().expect("slot lock poisoned").is_some();
+        f.debug_struct("RequestHandle").field("done", &done).finish()
+    }
+}
+
+impl RequestHandle {
+    /// Block until the server completes the request.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut guard = self.slot.done.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.slot.cv.wait(guard).expect("slot lock poisoned");
+        }
+    }
+
+    /// Block for at most `timeout`; `None` means the request is still in
+    /// flight and the handle remains usable.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.slot.done.lock().expect("slot lock poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) =
+                self.slot.cv.wait_timeout(guard, deadline - now).expect("slot lock poisoned");
+            guard = g;
+        }
+    }
+}
+
+struct Queued {
+    work: Work,
+    slot: Arc<Slot>,
+    deadline: Option<Instant>,
+}
+
+struct QueueState {
+    queue: VecDeque<Queued>,
+    accepting: bool,
+}
+
+/// A registered model: where its table lives plus everything needed to
+/// (re)build it.
+#[derive(Clone)]
+struct ModelEntry {
+    table: String,
+    meta: ModelMeta,
+    layout: Layout,
+    device: Device,
+}
+
+/// Monotonic serving counters (all relaxed; read via [`Server::stats`]).
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    batches: AtomicU64,
+    batched_rows: AtomicU64,
+}
+
+/// Snapshot of the serving counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests completed (any outcome other than admission rejection).
+    pub completed: u64,
+    /// Requests rejected by admission control (`Overloaded`).
+    pub rejected: u64,
+    /// Requests that missed their deadline before execution.
+    pub timeouts: u64,
+    /// Inference batches executed.
+    pub batches: u64,
+    /// Total rows across all inference batches (`batched_rows / batches`
+    /// is the effective batch size).
+    pub batched_rows: u64,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+    state: Mutex<QueueState>,
+    /// Workers wait here for work; submitters notify.
+    work_cv: Condvar,
+    models: Mutex<HashMap<String, ModelEntry>>,
+    model_cache: ModelCache,
+    counters: Counters,
+}
+
+/// The serving front end. See the module docs for the architecture.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start a server over `engine` with `cfg.workers` worker threads.
+    pub fn start(engine: Arc<Engine>, cfg: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            state: Mutex::new(QueueState { queue: VecDeque::new(), accepting: true }),
+            work_cv: Condvar::new(),
+            models: Mutex::new(HashMap::new()),
+            model_cache: ModelCache::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Make `name` servable: requests against it will read the model from
+    /// `table` in the engine's catalog (through the model cache, so the
+    /// build phase runs once until DML to `table` bumps its version).
+    pub fn register_model(
+        &self,
+        name: &str,
+        table: &str,
+        meta: ModelMeta,
+        layout: Layout,
+        device: Device,
+    ) {
+        self.shared.models.lock().expect("models lock poisoned").insert(
+            name.to_string(),
+            ModelEntry { table: table.to_string(), meta, layout, device },
+        );
+    }
+
+    /// Submit an inference request for one input row against a registered
+    /// model, with the configured default timeout.
+    pub fn submit_predict(
+        &self,
+        model: &str,
+        input: Vec<f32>,
+    ) -> Result<RequestHandle, ServeError> {
+        let timeout = match self.shared.cfg.default_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        self.submit_predict_with_timeout(model, input, timeout)
+    }
+
+    /// Submit an inference request with an explicit deadline (`None` means
+    /// no deadline).
+    pub fn submit_predict_with_timeout(
+        &self,
+        model: &str,
+        input: Vec<f32>,
+        timeout: Option<Duration>,
+    ) -> Result<RequestHandle, ServeError> {
+        // Validate at submission so malformed requests fail fast instead
+        // of poisoning a coalesced batch.
+        {
+            let models = self.shared.models.lock().expect("models lock poisoned");
+            let entry =
+                models.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+            if input.len() != entry.meta.input_dim {
+                return Err(ServeError::BadRequest(format!(
+                    "model {model:?} takes {} inputs, got {}",
+                    entry.meta.input_dim,
+                    input.len()
+                )));
+            }
+        }
+        self.enqueue(Work::Predict { model: model.to_string(), input }, timeout)
+    }
+
+    /// Submit a SQL statement; executes through the engine's plan cache.
+    pub fn submit_sql(&self, sql: &str) -> Result<RequestHandle, ServeError> {
+        let timeout = match self.shared.cfg.default_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        self.enqueue(Work::Sql(sql.to_string()), timeout)
+    }
+
+    fn enqueue(&self, work: Work, timeout: Option<Duration>) -> Result<RequestHandle, ServeError> {
+        let slot = Slot::new();
+        let queued =
+            Queued { work, slot: Arc::clone(&slot), deadline: timeout.map(|t| Instant::now() + t) };
+        {
+            let mut state = self.shared.state.lock().expect("state lock poisoned");
+            if !state.accepting {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.cfg.queue_depth {
+                self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { depth: self.shared.cfg.queue_depth });
+            }
+            state.queue.push_back(queued);
+        }
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        // notify_all: a worker parked in its flush-deadline wait must also
+        // see new arrivals, not only idle workers.
+        self.shared.work_cv.notify_all();
+        Ok(RequestHandle { slot })
+    }
+
+    /// Stop admitting work, let the workers drain the queue, and join
+    /// them. Requests still queued after the workers exit (possible only
+    /// with zero workers) complete with [`ServeError::ShuttingDown`] —
+    /// nothing is ever silently dropped. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("state lock poisoned");
+            state.accepting = false;
+        }
+        self.shared.work_cv.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+        let leftovers: Vec<Queued> = {
+            let mut state = self.shared.state.lock().expect("state lock poisoned");
+            state.queue.drain(..).collect()
+        };
+        let now = Instant::now();
+        for q in leftovers {
+            self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            match q.deadline {
+                Some(d) if now >= d => {
+                    self.shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    q.slot.complete(Err(ServeError::Timeout));
+                }
+                _ => q.slot.complete(Err(ServeError::ShuttingDown)),
+            }
+        }
+    }
+
+    /// Snapshot the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_rows: c.batched_rows.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hits/misses of the cross-query model cache.
+    pub fn model_cache_stats(&self) -> (u64, u64) {
+        (self.shared.model_cache.hits(), self.shared.model_cache.misses())
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut state = shared.state.lock().expect("state lock poisoned");
+        let head = loop {
+            if let Some(q) = state.queue.pop_front() {
+                break q;
+            }
+            if !state.accepting {
+                return;
+            }
+            state = shared.work_cv.wait(state).expect("state lock poisoned");
+        };
+
+        match head.work {
+            Work::Sql(_) => {
+                drop(state);
+                execute_sql(shared, head);
+            }
+            Work::Predict { ref model, .. } => {
+                let model_name = model.clone();
+                let mut batch = vec![head];
+                if shared.cfg.batching {
+                    let flush_at =
+                        Instant::now() + Duration::from_micros(shared.cfg.batch_flush_us);
+                    // Collect same-model requests until the batch is full
+                    // or the flush deadline passes. Requests for other
+                    // models / SQL stay queued for the other workers.
+                    loop {
+                        let mut i = 0;
+                        while i < state.queue.len() && batch.len() < shared.cfg.max_batch_rows {
+                            let same = matches!(
+                                &state.queue[i].work,
+                                Work::Predict { model, .. } if *model == model_name
+                            );
+                            if same {
+                                batch.push(state.queue.remove(i).expect("index in bounds"));
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        if batch.len() >= shared.cfg.max_batch_rows || !state.accepting {
+                            break;
+                        }
+                        let now = Instant::now();
+                        if now >= flush_at {
+                            break;
+                        }
+                        let (s, _) = shared
+                            .work_cv
+                            .wait_timeout(state, flush_at - now)
+                            .expect("state lock poisoned");
+                        state = s;
+                    }
+                }
+                drop(state);
+                execute_predict_batch(shared, &model_name, batch);
+            }
+        }
+    }
+}
+
+fn execute_sql(shared: &Shared, q: Queued) {
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    if expired(shared, &q) {
+        return;
+    }
+    let Work::Sql(sql) = &q.work else { unreachable!("routed as SQL") };
+    let result = shared.engine.execute_cached(sql).map(Response::Rows).map_err(Into::into);
+    q.slot.complete(result);
+}
+
+/// Deadline check at dequeue: completes the slot with `Timeout` and
+/// returns true if the request's deadline already passed.
+fn expired(shared: &Shared, q: &Queued) -> bool {
+    match q.deadline {
+        Some(d) if Instant::now() >= d => {
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            q.slot.complete(Err(ServeError::Timeout));
+            true
+        }
+        _ => false,
+    }
+}
+
+fn execute_predict_batch(shared: &Shared, model_name: &str, batch: Vec<Queued>) {
+    shared.counters.completed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let live: Vec<Queued> = batch.into_iter().filter(|q| !expired(shared, q)).collect();
+    if live.is_empty() {
+        return;
+    }
+    let fail = |err: ServeError| {
+        for q in &live {
+            q.slot.complete(Err(err.clone()));
+        }
+    };
+
+    let Some(entry) = shared.models.lock().expect("models lock poisoned").get(model_name).cloned()
+    else {
+        // Registered at submission; a concurrent re-registration map would
+        // be needed to remove entries, so this is unreachable today.
+        fail(ServeError::UnknownModel(model_name.to_string()));
+        return;
+    };
+    let table = match shared.engine.table(&entry.table) {
+        Ok(t) => t,
+        Err(e) => return fail(e.into()),
+    };
+    // The model's vector size must cover the largest batch we coalesce.
+    let vector_size = shared.cfg.max_batch_rows.max(shared.engine.config().vector_size);
+    let built = if shared.cfg.model_cache {
+        shared.model_cache.get_or_build(
+            &table,
+            &entry.meta,
+            entry.layout,
+            &entry.device,
+            vector_size,
+            shared.engine.config().parallelism,
+        )
+    } else {
+        // Naive mode (the serve_sweep baseline): rebuild per batch, the
+        // cost every request pays when the built model is query-scoped.
+        build_parallel(
+            &table,
+            &entry.meta,
+            entry.layout,
+            &entry.device,
+            vector_size,
+            shared.engine.config().parallelism,
+        )
+        .map(Arc::new)
+    };
+    let built = match built {
+        Ok(b) => b,
+        Err(e) => return fail(e.into()),
+    };
+
+    let rows = live.len();
+    let packed = Matrix::from_fn(rows, entry.meta.input_dim, |r, c| {
+        let Work::Predict { input, .. } = &live[r].work else {
+            unreachable!("predict batches hold only predict work")
+        };
+        input[c]
+    });
+    let output = built.infer(&packed, &entry.device);
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared.counters.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    for (r, q) in live.iter().enumerate() {
+        q.slot.complete(Ok(Response::Prediction(output.row(r).to_vec())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use model_repr::load_into_engine;
+    use nn::paper;
+    use vector_engine::{EngineConfig, Value};
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            vector_size: 16,
+            partitions: 2,
+            parallelism: 2,
+            ..Default::default()
+        }))
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            batch_flush_us: 200,
+            max_batch_rows: 16,
+            batching: true,
+            model_cache: true,
+            default_timeout_ms: 0,
+        }
+    }
+
+    fn register_dense(server: &Server, e: &Engine, name: &str) -> usize {
+        let model = paper::dense_model(4, 2, 7);
+        let (_, meta) =
+            load_into_engine(e, &format!("{name}_table"), &model, Layout::NodeId).unwrap();
+        let dim = meta.input_dim;
+        server.register_model(name, &format!("{name}_table"), meta, Layout::NodeId, Device::cpu());
+        dim
+    }
+
+    #[test]
+    fn overload_is_rejected_never_dropped() {
+        // Zero workers: the queue can only fill, so admission control is
+        // exercised deterministically.
+        let e = engine();
+        let server =
+            Server::start(Arc::clone(&e), ServeConfig { workers: 0, queue_depth: 2, ..config() });
+        register_dense(&server, &e, "m");
+
+        let h1 = server.submit_predict("m", vec![0.0; 4]).unwrap();
+        let h2 = server.submit_predict("m", vec![0.0; 4]).unwrap();
+        let err = server.submit_predict("m", vec![0.0; 4]).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { depth: 2 });
+        assert_eq!(server.stats().rejected, 1);
+
+        // Graceful drain: the queued requests complete explicitly.
+        server.shutdown();
+        assert_eq!(h1.wait().unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(h2.wait().unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(server.submit_sql("SELECT 1 AS x").unwrap_err(), ServeError::ShuttingDown);
+        let stats = server.stats();
+        assert_eq!((stats.submitted, stats.completed), (2, 2));
+    }
+
+    #[test]
+    fn expired_deadlines_time_out_explicitly() {
+        let e = engine();
+        let server = Server::start(Arc::clone(&e), ServeConfig { workers: 0, ..config() });
+        register_dense(&server, &e, "m");
+        let timed =
+            server.submit_predict_with_timeout("m", vec![0.0; 4], Some(Duration::ZERO)).unwrap();
+        let untimed = server.submit_predict("m", vec![0.0; 4]).unwrap();
+        assert!(timed.wait_timeout(Duration::from_millis(1)).is_none(), "still queued");
+        server.shutdown();
+        assert_eq!(timed.wait().unwrap_err(), ServeError::Timeout);
+        assert_eq!(untimed.wait().unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(server.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn submission_validates_model_and_arity() {
+        let e = engine();
+        let server = Server::start(Arc::clone(&e), config());
+        register_dense(&server, &e, "m");
+        assert_eq!(
+            server.submit_predict("nope", vec![0.0; 4]).unwrap_err(),
+            ServeError::UnknownModel("nope".into())
+        );
+        assert!(matches!(
+            server.submit_predict("m", vec![0.0; 3]).unwrap_err(),
+            ServeError::BadRequest(_)
+        ));
+    }
+
+    #[test]
+    fn sql_requests_run_through_the_plan_cache() {
+        let e = engine();
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let server = Server::start(Arc::clone(&e), config());
+        for _ in 0..3 {
+            let Response::Rows(q) =
+                server.submit_sql("SELECT COUNT(*) AS n FROM t").unwrap().wait().unwrap()
+            else {
+                panic!("SQL must return rows")
+            };
+            assert_eq!(q.row(0)[0], Value::Int(2));
+        }
+        assert!(e.plan_cache_stats().hits >= 2, "repeat SQL must hit the plan cache");
+    }
+
+    #[test]
+    fn same_model_requests_coalesce_into_one_batch() {
+        const REQUESTS: usize = 8;
+        let e = engine();
+        // A generous flush window: all 8 requests are submitted within it,
+        // so the single worker must coalesce them into one full batch.
+        let server = Server::start(
+            Arc::clone(&e),
+            ServeConfig {
+                workers: 1,
+                batch_flush_us: 200_000,
+                max_batch_rows: REQUESTS,
+                ..config()
+            },
+        );
+        register_dense(&server, &e, "m");
+        let handles: Vec<RequestHandle> = (0..REQUESTS)
+            .map(|i| server.submit_predict("m", vec![i as f32 * 0.1; 4]).unwrap())
+            .collect();
+        for h in handles {
+            let Response::Prediction(row) = h.wait().unwrap() else { panic!("prediction") };
+            assert_eq!(row.len(), 1);
+            assert!(row[0].is_finite());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1, "requests must coalesce: {stats:?}");
+        assert_eq!(stats.batched_rows, REQUESTS as u64);
+        // One batch, one (cached) model build.
+        assert_eq!(server.model_cache_stats().1, 1);
+    }
+
+    #[test]
+    fn model_cache_survives_requests_but_not_dml() {
+        let e = engine();
+        // Batching off: every request is its own batch, so cache hits are
+        // observable per request.
+        let server =
+            Server::start(Arc::clone(&e), ServeConfig { workers: 1, batching: false, ..config() });
+        register_dense(&server, &e, "m");
+        for _ in 0..3 {
+            server.submit_predict("m", vec![0.1; 4]).unwrap().wait().unwrap();
+        }
+        let (hits, misses) = server.model_cache_stats();
+        assert_eq!((hits, misses), (2, 1), "one build, then cache hits");
+
+        // DML to the model table invalidates: the next request rebuilds.
+        let zeros: Vec<String> = (0..12).map(|_| "0.0".into()).collect();
+        e.execute(&format!("INSERT INTO m_table VALUES (0, 0, {})", zeros.join(", "))).unwrap();
+        server.submit_predict("m", vec![0.1; 4]).unwrap().wait().unwrap();
+        assert_eq!(server.model_cache_stats().1, 2, "DML must force a rebuild");
+    }
+}

@@ -5,17 +5,36 @@ use crate::error::{EngineError, Result};
 use crate::storage::{Schema, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A thread-safe registry of tables. Table names are case-insensitive.
-#[derive(Default)]
+///
+/// The catalog carries a monotonic **epoch** counter ([`Catalog::version`])
+/// bumped on every CREATE, DROP, and — because the counter is threaded into
+/// each [`Table`] it creates — every INSERT. The epoch is the invalidation
+/// primitive of the engine's plan cache: a cached plan stamped with epoch
+/// `v` is replayed only while `version() == v`, so a plan can never outlive
+/// a drop (or miss data changes) of any table it references.
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    epoch: Arc<AtomicU64>,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog { tables: RwLock::new(HashMap::new()), epoch: Arc::new(AtomicU64::new(0)) }
+    }
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The catalog epoch: monotonic, bumped on CREATE / DROP / INSERT.
+    pub fn version(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Create a table; errors if the name is taken.
@@ -30,8 +49,9 @@ impl Catalog {
         if tables.contains_key(&key) {
             return Err(EngineError::Catalog(format!("table {key:?} already exists")));
         }
-        let table = Arc::new(Table::new(&key, schema, config));
+        let table = Arc::new(Table::with_epoch(&key, schema, config, Arc::clone(&self.epoch)));
         tables.insert(key, Arc::clone(&table));
+        self.epoch.fetch_add(1, Ordering::Release);
         Ok(table)
     }
 
@@ -48,7 +68,14 @@ impl Catalog {
     /// Drop a table; errors if missing unless `if_exists`.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
         let key = name.to_ascii_lowercase();
-        let removed = self.tables.write().remove(&key).is_some();
+        let removed = {
+            let mut tables = self.tables.write();
+            let removed = tables.remove(&key).is_some();
+            if removed {
+                self.epoch.fetch_add(1, Ordering::Release);
+            }
+            removed
+        };
         if !removed && !if_exists {
             return Err(EngineError::Catalog(format!("unknown table {key:?}")));
         }
@@ -66,6 +93,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::ColumnVector;
     use crate::storage::ColumnDef;
     use crate::types::DataType;
 
@@ -85,5 +113,22 @@ mod tests {
         assert!(cat.table("facts").is_err());
         assert!(cat.drop_table("facts", false).is_err());
         cat.drop_table("facts", true).unwrap();
+    }
+
+    #[test]
+    fn version_bumps_on_create_drop_insert() {
+        let cat = Catalog::new();
+        let cfg = EngineConfig::test_small();
+        assert_eq!(cat.version(), 0);
+        let t = cat.create_table("t", schema(), &cfg).unwrap();
+        assert_eq!(cat.version(), 1);
+        t.append(vec![ColumnVector::Int(vec![1, 2])]).unwrap();
+        assert_eq!(cat.version(), 2, "DML through a catalog table bumps the epoch");
+        cat.drop_table("t", false).unwrap();
+        assert_eq!(cat.version(), 3);
+        // Failed operations leave the epoch untouched.
+        assert!(cat.drop_table("t", false).is_err());
+        cat.drop_table("t", true).unwrap(); // if_exists no-op
+        assert_eq!(cat.version(), 3);
     }
 }

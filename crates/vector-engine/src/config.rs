@@ -1,10 +1,12 @@
 //! Engine configuration.
 
+use crate::error::{EngineError, Result};
+
 /// Engine tuning knobs. Defaults reproduce the paper's evaluation setup
 /// (Sec. 6.1): "the batch size is equal to the database engine's vector size
 /// of 1024. Tables are partitioned into 12 partitions and the engine runs
 /// with a parallelism level of 12."
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EngineConfig {
     /// Rows per column vector / storage block.
     pub vector_size: usize,
@@ -35,6 +37,20 @@ pub struct EngineConfig {
     /// baseline in-process. Also disables the partial-aggregate parallel
     /// path, which only the vectorized accumulators support.
     pub rowwise_ops: bool,
+    /// Capacity of the per-engine prepared-plan cache used by
+    /// [`crate::Engine::execute_cached`]: SELECT statements are parsed,
+    /// bound and optimized once and replayed until the catalog epoch moves.
+    /// 0 disables caching entirely (every call re-plans).
+    pub plan_cache_entries: usize,
+    /// Depth of the serving layer's admission queue: requests submitted
+    /// while this many are already waiting are rejected with an explicit
+    /// overload error instead of queuing without bound. (Consumed by the
+    /// `serve` crate; carried here so one config describes the stack.)
+    pub serve_queue_depth: usize,
+    /// Maximum extra latency, in microseconds, the serving layer's dynamic
+    /// micro-batcher may add while coalescing point inference requests into
+    /// a full vector before flushing a partial batch.
+    pub batch_flush_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +65,9 @@ impl Default for EngineConfig {
             column_pruning: true,
             kernel_threads: 1,
             rowwise_ops: false,
+            plan_cache_entries: 128,
+            serve_queue_depth: 1024,
+            batch_flush_us: 200,
         }
     }
 }
@@ -63,6 +82,79 @@ impl EngineConfig {
     /// parallelism ablation.
     pub fn serial() -> Self {
         EngineConfig { partitions: 1, parallelism: 1, ..Default::default() }
+    }
+
+    /// Serialize every knob as `key=value` lines (stable order). The
+    /// inverse of [`EngineConfig::from_kv`]; used by benchmark drivers to
+    /// record the exact engine setup next to their results.
+    pub fn to_kv(&self) -> String {
+        format!(
+            "vector_size={}\npartitions={}\nparallelism={}\nsma_pruning={}\nhash_join={}\n\
+             predicate_pushdown={}\ncolumn_pruning={}\nkernel_threads={}\nrowwise_ops={}\n\
+             plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\n",
+            self.vector_size,
+            self.partitions,
+            self.parallelism,
+            self.sma_pruning,
+            self.hash_join,
+            self.predicate_pushdown,
+            self.column_pruning,
+            self.kernel_threads,
+            self.rowwise_ops,
+            self.plan_cache_entries,
+            self.serve_queue_depth,
+            self.batch_flush_us,
+        )
+    }
+
+    /// Parse `key=value` lines (blank lines and `#` comments allowed) on
+    /// top of the defaults. Unknown keys and malformed values are errors —
+    /// a typo in a knob name must not silently run the default.
+    pub fn from_kv(text: &str) -> Result<EngineConfig> {
+        fn bad(key: &str, value: &str) -> EngineError {
+            EngineError::Unsupported(format!("config: bad value {value:?} for {key}"))
+        }
+        let mut cfg = EngineConfig::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| EngineError::Unsupported(format!("config: no '=' in {line:?}")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "vector_size" => cfg.vector_size = value.parse().map_err(|_| bad(key, value))?,
+                "partitions" => cfg.partitions = value.parse().map_err(|_| bad(key, value))?,
+                "parallelism" => cfg.parallelism = value.parse().map_err(|_| bad(key, value))?,
+                "sma_pruning" => cfg.sma_pruning = value.parse().map_err(|_| bad(key, value))?,
+                "hash_join" => cfg.hash_join = value.parse().map_err(|_| bad(key, value))?,
+                "predicate_pushdown" => {
+                    cfg.predicate_pushdown = value.parse().map_err(|_| bad(key, value))?
+                }
+                "column_pruning" => {
+                    cfg.column_pruning = value.parse().map_err(|_| bad(key, value))?
+                }
+                "kernel_threads" => {
+                    cfg.kernel_threads = value.parse().map_err(|_| bad(key, value))?
+                }
+                "rowwise_ops" => cfg.rowwise_ops = value.parse().map_err(|_| bad(key, value))?,
+                "plan_cache_entries" => {
+                    cfg.plan_cache_entries = value.parse().map_err(|_| bad(key, value))?
+                }
+                "serve_queue_depth" => {
+                    cfg.serve_queue_depth = value.parse().map_err(|_| bad(key, value))?
+                }
+                "batch_flush_us" => {
+                    cfg.batch_flush_us = value.parse().map_err(|_| bad(key, value))?
+                }
+                other => {
+                    return Err(EngineError::Unsupported(format!("config: unknown knob {other:?}")))
+                }
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -79,5 +171,38 @@ mod tests {
         assert!(c.sma_pruning && c.hash_join && c.predicate_pushdown && c.column_pruning);
         assert_eq!(c.kernel_threads, 1, "kernels stay single-threaded by default");
         assert!(!c.rowwise_ops, "vectorized operators are the default");
+        assert_eq!(c.plan_cache_entries, 128);
+        assert_eq!(c.serve_queue_depth, 1024);
+        assert_eq!(c.batch_flush_us, 200);
+    }
+
+    #[test]
+    fn kv_round_trips_default_and_modified() {
+        let default = EngineConfig::default();
+        assert_eq!(EngineConfig::from_kv(&default.to_kv()).unwrap(), default);
+
+        let modified = EngineConfig {
+            vector_size: 64,
+            rowwise_ops: true,
+            plan_cache_entries: 0,
+            serve_queue_depth: 7,
+            batch_flush_us: 12345,
+            ..EngineConfig::default()
+        };
+        assert_eq!(EngineConfig::from_kv(&modified.to_kv()).unwrap(), modified);
+    }
+
+    #[test]
+    fn kv_accepts_comments_and_partial_overrides() {
+        let cfg = EngineConfig::from_kv("# comment\n\n  batch_flush_us = 9\n").unwrap();
+        assert_eq!(cfg.batch_flush_us, 9);
+        assert_eq!(cfg.vector_size, 1024, "unset knobs keep defaults");
+    }
+
+    #[test]
+    fn kv_rejects_unknown_keys_and_bad_values() {
+        assert!(EngineConfig::from_kv("no_such_knob=1").is_err());
+        assert!(EngineConfig::from_kv("vector_size=banana").is_err());
+        assert!(EngineConfig::from_kv("just a line").is_err());
     }
 }

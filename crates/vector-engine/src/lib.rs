@@ -35,6 +35,6 @@ pub use catalog::Catalog;
 pub use column::{Batch, ColumnVector};
 pub use config::EngineConfig;
 pub use error::{EngineError, Result};
-pub use session::{Engine, QueryResult};
+pub use session::{Engine, PlanCacheStats, QueryResult};
 pub use storage::{ColumnDef, Schema, Table};
 pub use types::{DataType, Value};

@@ -14,6 +14,8 @@ use crate::plan::optimizer::Optimizer;
 use crate::sql::{parse_statement, Statement};
 use crate::storage::{ColumnDef, Schema, Table};
 use crate::types::{DataType, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A materialized query result.
@@ -61,16 +63,99 @@ impl QueryResult {
     }
 }
 
+/// One cached, fully optimized SELECT plan, stamped with the catalog epoch
+/// it was planned under.
+struct PlanEntry {
+    /// Catalog epoch at planning time; the entry is replayed only while
+    /// `catalog.version()` still equals it.
+    version: u64,
+    plan: Arc<LogicalPlan>,
+    /// LRU tick of the last lookup that returned this entry.
+    last_used: u64,
+}
+
+/// The prepared-statement / plan cache behind [`Engine::execute_cached`]:
+/// SQL text → optimized [`LogicalPlan`], invalidated by catalog epoch.
+#[derive(Default)]
+struct PlanCache {
+    entries: HashMap<String, PlanEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Counters of the plan cache (observability / tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan from scratch (including never-seen SQL).
+    pub misses: u64,
+    /// Entries discarded because the catalog epoch had moved.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl PlanCache {
+    /// A valid entry for `sql` at catalog epoch `version`, else `None`.
+    /// Stale entries are evicted (and counted) on the way.
+    fn lookup(&mut self, sql: &str, version: u64) -> Option<Arc<LogicalPlan>> {
+        match self.entries.get_mut(sql) {
+            Some(entry) if entry.version == version => {
+                self.tick += 1;
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            Some(_) => {
+                self.entries.remove(sql);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly planned entry, evicting the least-recently-used one
+    /// when at capacity. Capacity is small (an `EngineConfig` knob), so the
+    /// O(n) eviction scan is noise next to planning cost.
+    fn store(&mut self, capacity: usize, sql: &str, version: u64, plan: Arc<LogicalPlan>) {
+        if capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= capacity && !self.entries.contains_key(sql) {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(sql.to_string(), PlanEntry { version, plan, last_used: self.tick });
+    }
+}
+
 /// The database engine: a catalog plus a configuration. This is the
 /// "Actian Vector" stand-in every approach in the repository runs against.
 pub struct Engine {
     catalog: Arc<Catalog>,
     config: EngineConfig,
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
-        Engine { catalog: Arc::new(Catalog::new()), config }
+        Engine {
+            catalog: Arc::new(Catalog::new()),
+            config,
+            plan_cache: Mutex::new(PlanCache::default()),
+        }
     }
 
     /// Engine with the paper's evaluation configuration.
@@ -88,7 +173,58 @@ impl Engine {
 
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_statement(parse_statement(sql)?)
+    }
+
+    /// Execute one SQL statement through the plan cache: SELECTs are
+    /// parsed, bound and optimized once and the resulting plan replayed on
+    /// every later call with the same SQL text, until any catalog change
+    /// (CREATE / DROP / INSERT) moves the epoch and invalidates the entry.
+    /// Non-SELECT statements are never cached and behave exactly like
+    /// [`Engine::execute`]. With `plan_cache_entries == 0` this *is*
+    /// `execute`.
+    pub fn execute_cached(&self, sql: &str) -> Result<QueryResult> {
+        if self.config.plan_cache_entries == 0 {
+            return self.execute(sql);
+        }
+        // The epoch is read before planning: if the catalog moves while we
+        // plan, the entry is stamped with the older epoch and can never be
+        // returned by a later lookup (epochs are monotonic) — a wasted
+        // cache slot, never a stale result.
+        let version = self.catalog.version();
+        if let Some(plan) = self.plan_cache.lock().lookup(sql, version) {
+            return self.execute_plan(&plan);
+        }
         match parse_statement(sql)? {
+            Statement::Select(stmt) => {
+                let binder = Binder::new(&self.catalog);
+                let plan = binder.bind_select(&stmt)?;
+                let plan = Arc::new(Optimizer::new(self.config.clone()).optimize(plan));
+                self.plan_cache.lock().store(
+                    self.config.plan_cache_entries,
+                    sql,
+                    version,
+                    Arc::clone(&plan),
+                );
+                self.execute_plan(&plan)
+            }
+            other => self.execute_statement(other),
+        }
+    }
+
+    /// Plan cache counters (hits / misses / invalidations / residency).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let cache = self.plan_cache.lock();
+        PlanCacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            invalidations: cache.invalidations,
+            entries: cache.entries.len(),
+        }
+    }
+
+    fn execute_statement(&self, statement: Statement) -> Result<QueryResult> {
+        match statement {
             Statement::Select(stmt) => {
                 let binder = Binder::new(&self.catalog);
                 let plan = binder.bind_select(&stmt)?;
@@ -364,5 +500,72 @@ mod tests {
         e.execute("CREATE TABLE t (a INT)").unwrap();
         assert!(e.scan_partition("t", 99).is_err());
         assert!(e.scan_partition("t", 0).is_ok());
+    }
+
+    #[test]
+    fn plan_cache_replays_selects() {
+        let e = engine();
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let sql = "SELECT id FROM t ORDER BY id";
+        let a = e.execute_cached(sql).unwrap();
+        let b = e.execute_cached(sql).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        let stats = e.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_insert_and_sees_new_rows() {
+        let e = engine();
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1)").unwrap();
+        let sql = "SELECT COUNT(*) AS n FROM t";
+        assert_eq!(e.execute_cached(sql).unwrap().rows(), vec![vec![Value::Int(1)]]);
+        e.execute_cached("INSERT INTO t VALUES (2)").unwrap();
+        assert_eq!(e.execute_cached(sql).unwrap().rows(), vec![vec![Value::Int(2)]]);
+        assert_eq!(e.plan_cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn plan_cache_never_reads_dropped_tables() {
+        let e = engine();
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (7)").unwrap();
+        let sql = "SELECT id FROM t";
+        assert_eq!(e.execute_cached(sql).unwrap().num_rows(), 1);
+        e.execute("DROP TABLE t").unwrap();
+        // The cached plan still holds the old table alive via Arc; the
+        // epoch check must prevent it from ever being replayed.
+        assert!(e.execute_cached(sql).is_err());
+        // Recreate with different content: the cache must re-plan against
+        // the new table, not resurrect the old plan.
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (8), (9)").unwrap();
+        let q = e.execute_cached(sql).unwrap();
+        assert_eq!(q.num_rows(), 2);
+    }
+
+    #[test]
+    fn plan_cache_lru_eviction_and_disable() {
+        let e = Engine::new(EngineConfig {
+            vector_size: 4,
+            partitions: 2,
+            parallelism: 1,
+            plan_cache_entries: 2,
+            ..Default::default()
+        });
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1)").unwrap();
+        for sql in ["SELECT id FROM t", "SELECT id + 1 AS a FROM t", "SELECT id + 2 AS b FROM t"] {
+            e.execute_cached(sql).unwrap();
+        }
+        assert_eq!(e.plan_cache_stats().entries, 2, "capacity bound holds");
+
+        let off = Engine::new(EngineConfig { plan_cache_entries: 0, ..EngineConfig::test_small() });
+        off.execute("CREATE TABLE t (id INT)").unwrap();
+        off.execute_cached("SELECT id FROM t").unwrap();
+        off.execute_cached("SELECT id FROM t").unwrap();
+        assert_eq!(off.plan_cache_stats(), PlanCacheStats::default(), "0 disables the cache");
     }
 }

@@ -13,7 +13,8 @@ use crate::error::{EngineError, Result};
 use crate::types::{DataType, Value};
 use parking_lot::RwLock;
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// A column definition: name and type.
 #[derive(Clone, Debug, PartialEq)]
@@ -175,10 +176,30 @@ pub struct Table {
     /// "the grouping key (ID, Node) ... can be derived from a partitioning
     /// based on ID, no repartitioning is necessary").
     unique_columns: RwLock<Vec<usize>>,
+    /// Monotonic data version, bumped on every non-empty append. The
+    /// invalidation primitive the serving-layer caches key on: a cache
+    /// entry built at version `v` is valid exactly while `version() == v`.
+    data_version: AtomicU64,
+    /// The owning catalog's epoch counter (shared when the table was
+    /// created through a [`crate::catalog::Catalog`]); appends bump it so
+    /// epoch-keyed caches — the engine's plan cache — also observe DML.
+    catalog_epoch: Arc<AtomicU64>,
 }
 
 impl Table {
     pub fn new(name: impl Into<String>, schema: Schema, config: &EngineConfig) -> Table {
+        Table::with_epoch(name, schema, config, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// A table whose appends also bump `catalog_epoch` — the constructor
+    /// the [`crate::catalog::Catalog`] uses to thread its version counter
+    /// through to DML.
+    pub fn with_epoch(
+        name: impl Into<String>,
+        schema: Schema,
+        config: &EngineConfig,
+        catalog_epoch: Arc<AtomicU64>,
+    ) -> Table {
         let width = schema.len();
         Table {
             name: name.into().to_ascii_lowercase(),
@@ -189,7 +210,14 @@ impl Table {
             vector_size: config.vector_size.max(1),
             next_partition: AtomicUsize::new(0),
             unique_columns: RwLock::new(Vec::new()),
+            data_version: AtomicU64::new(0),
+            catalog_epoch,
         }
+    }
+
+    /// Monotonic data version: 0 at creation, +1 per non-empty append.
+    pub fn version(&self) -> u64 {
+        self.data_version.load(AtomicOrdering::Acquire)
     }
 
     /// Declare a column as unique (a key). This is a loader-supplied hint;
@@ -273,6 +301,11 @@ impl Table {
             parts[p].append_chunk(&chunk);
             start = end;
         }
+        // Version bumps happen while the partition write lock is still
+        // held, so a reader that observes the old version has not yet seen
+        // any of the new blocks either.
+        self.data_version.fetch_add(1, AtomicOrdering::Release);
+        self.catalog_epoch.fetch_add(1, AtomicOrdering::Release);
         Ok(())
     }
 
@@ -441,5 +474,28 @@ mod tests {
         t.append(vec![ColumnVector::Int(vec![]), ColumnVector::Float(vec![])]).unwrap();
         assert_eq!(t.row_count(), 0);
         assert!(t.all_batches().is_empty());
+    }
+
+    #[test]
+    fn version_bumps_on_append_only() {
+        let t = Table::new("t", int_schema(), &config());
+        assert_eq!(t.version(), 0);
+        // Empty and failed appends leave the version untouched.
+        t.append(vec![ColumnVector::Int(vec![]), ColumnVector::Float(vec![])]).unwrap();
+        assert!(t.append(vec![ColumnVector::Int(vec![1])]).is_err());
+        assert_eq!(t.version(), 0);
+        t.append(vec![ColumnVector::Int(vec![1]), ColumnVector::Float(vec![0.1])]).unwrap();
+        assert_eq!(t.version(), 1);
+        t.append_rows(&[vec![Value::Int(2), Value::Float(0.2)]]).unwrap();
+        assert_eq!(t.version(), 2);
+    }
+
+    #[test]
+    fn appends_bump_shared_epoch() {
+        let epoch = Arc::new(AtomicU64::new(7));
+        let t = Table::with_epoch("t", int_schema(), &config(), Arc::clone(&epoch));
+        t.append(vec![ColumnVector::Int(vec![1]), ColumnVector::Float(vec![0.1])]).unwrap();
+        assert_eq!(epoch.load(AtomicOrdering::Acquire), 8);
+        assert_eq!(t.version(), 1, "table-local version independent of epoch base");
     }
 }

@@ -1,0 +1,157 @@
+//! Concurrency stress tests for the `RwLock`ed catalog and the plan cache:
+//! the invariants the serving layer leans on. N threads mix SELECTs and
+//! INSERTs (and DDL) against one engine; the tests assert that no update is
+//! lost, that cached plans are invalidated by the catalog epoch (stale
+//! plans never read dropped tables), and that per-thread reads through the
+//! plan cache are monotonic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vector_engine::{Engine, EngineConfig, EngineError, Value};
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(EngineConfig {
+        vector_size: 8,
+        partitions: 4,
+        parallelism: 2,
+        ..Default::default()
+    }))
+}
+
+/// 8 threads × 100 single-row INSERTs into one shared table, with cached
+/// COUNT(*) SELECTs interleaved: the final count must equal the number of
+/// inserts (no lost updates under the catalog/table RwLocks), and each
+/// thread's observed counts must be non-decreasing (an INSERT is never
+/// hidden by a stale cached plan).
+#[test]
+fn concurrent_inserts_and_cached_selects_lose_nothing() {
+    const THREADS: usize = 8;
+    const INSERTS: usize = 100;
+    let e = engine();
+    e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+
+    std::thread::scope(|scope| {
+        for w in 0..THREADS {
+            let e = Arc::clone(&e);
+            scope.spawn(move || {
+                let mut last_count = 0i64;
+                for i in 0..INSERTS {
+                    let id = (w * INSERTS + i) as i64;
+                    e.execute(&format!("INSERT INTO t VALUES ({id}, 0.5)")).unwrap();
+                    if i % 7 == 0 {
+                        let q = e.execute_cached("SELECT COUNT(*) AS n FROM t").unwrap();
+                        let Value::Int(n) = q.row(0)[0] else { panic!("count type") };
+                        assert!(n >= last_count, "cached count went backwards: {n} < {last_count}");
+                        last_count = n;
+                    }
+                }
+            });
+        }
+    });
+
+    let q = e.execute("SELECT COUNT(*) AS n FROM t").unwrap();
+    assert_eq!(q.row(0)[0], Value::Int((THREADS * INSERTS) as i64), "lost updates");
+    // Every insert moved the epoch, so interleaved lookups mostly miss;
+    // what matters is that the counters are consistent.
+    let stats = e.plan_cache_stats();
+    assert_eq!(stats.hits + stats.misses, (THREADS * (INSERTS / 7 + 1)) as u64);
+}
+
+/// One writer thread cycles table `t` through generations — DROP, CREATE,
+/// INSERT rows tagged with the generation number — while reader threads
+/// run the same SELECT through the plan cache. Correctness: a reader sees
+/// either a catalog error (table mid-recreate) or rows from a single valid
+/// generation, and the generations each reader observes never go backwards
+/// (a cached plan pinned to a dropped table's data would violate this,
+/// because its Arc'd table snapshot stays frozen while the catalog moves
+/// on).
+#[test]
+fn cached_plans_never_read_dropped_tables_under_churn() {
+    const GENERATIONS: u64 = 60;
+    const READERS: usize = 4;
+    let e = engine();
+    let current_gen = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        {
+            let e = Arc::clone(&e);
+            let current_gen = Arc::clone(&current_gen);
+            scope.spawn(move || {
+                for g in 1..=GENERATIONS {
+                    e.execute("DROP TABLE IF EXISTS t").unwrap();
+                    e.execute("CREATE TABLE t (g INT)").unwrap();
+                    e.execute(&format!("INSERT INTO t VALUES ({g}), ({g}), ({g})")).unwrap();
+                    current_gen.store(g, Ordering::Release);
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let e = Arc::clone(&e);
+            let current_gen = Arc::clone(&current_gen);
+            scope.spawn(move || {
+                let mut last_seen = 0i64;
+                let mut reads = 0usize;
+                while (current_gen.load(Ordering::Acquire)) < GENERATIONS || reads == 0 {
+                    reads += 1;
+                    match e.execute_cached("SELECT g FROM t") {
+                        Err(EngineError::Catalog(_)) => {} // table mid-recreate
+                        Err(other) => panic!("unexpected error under churn: {other}"),
+                        Ok(q) => {
+                            let floor = last_seen;
+                            for row in q.rows() {
+                                let Value::Int(g) = row[0] else { panic!("g type") };
+                                assert!(
+                                    (1..=GENERATIONS as i64).contains(&g),
+                                    "impossible generation {g}"
+                                );
+                                assert!(
+                                    g >= floor,
+                                    "stale read: generation {g} after seeing {floor}"
+                                );
+                                last_seen = last_seen.max(g);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // After the churn settles, the cache must serve exactly the final
+    // generation.
+    let q = e.execute_cached("SELECT g FROM t").unwrap();
+    assert!(q.num_rows() == 3 && q.rows().iter().all(|r| r[0] == Value::Int(GENERATIONS as i64)));
+}
+
+/// Concurrent cached SELECTs over a static table: all hits after the first
+/// plan, no spurious invalidations, identical results.
+#[test]
+fn concurrent_cached_selects_share_one_plan() {
+    const THREADS: usize = 6;
+    const READS: usize = 50;
+    let e = engine();
+    e.execute("CREATE TABLE t (id INT)").unwrap();
+    e.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    let sql = "SELECT id FROM t ORDER BY id";
+    let expected = e.execute(sql).unwrap().rows();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let e = Arc::clone(&e);
+            let expected = expected.clone();
+            scope.spawn(move || {
+                for _ in 0..READS {
+                    assert_eq!(e.execute_cached(sql).unwrap().rows(), expected);
+                }
+            });
+        }
+    });
+
+    let stats = e.plan_cache_stats();
+    assert_eq!(stats.invalidations, 0);
+    assert_eq!(stats.hits + stats.misses, (THREADS * READS) as u64);
+    // At least one miss (the first planning); racing first calls may plan
+    // more than once, but the steady state must be hits.
+    assert!(stats.hits >= (THREADS * READS - THREADS) as u64, "stats: {stats:?}");
+    assert_eq!(stats.entries, 1);
+}

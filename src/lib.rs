@@ -13,6 +13,8 @@
 //! - [`modeljoin`] — the native ModelJoin operator (and the C-API operator)
 //! - [`mlruntime`] — the external ML runtime stand-in with a C-API interface
 //! - [`pybridge`] — the client-Python and Python-UDF baselines
+//! - [`serve`] — the concurrent inference serving layer (batching, caches,
+//!   admission control)
 //! - [`core`] — approaches, datasets, measurement harness
 
 pub use indbml_core as core;
@@ -22,5 +24,6 @@ pub use model_repr;
 pub use modeljoin;
 pub use nn;
 pub use pybridge;
+pub use serve;
 pub use tensor;
 pub use vector_engine as engine;
