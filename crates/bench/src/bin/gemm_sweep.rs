@@ -173,7 +173,11 @@ fn main() {
             r.width, r.rows, r.seconds
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Per-stage observability snapshot of the whole sweep: pack vs gemm
+    // time, pool utilization, operator row counts.
+    json.push_str(&format!("  \"metrics\": {}\n", obs::snapshot().render_json("  ")));
+    json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
     match std::fs::write(path, &json) {

@@ -34,8 +34,17 @@ struct SweepRow {
 /// Best-of-`reps` ML-To-SQL runtime under the given operator mode. The
 /// minimum is robust against scheduler interference on the shared
 /// single-core host; both modes are timed the same way.
-fn time_ml2sql(workload: Workload, rows: usize, rowwise_ops: bool, reps: usize) -> Option<f64> {
-    let engine = EngineConfig { rowwise_ops, ..Default::default() };
+///
+/// `obs_spans` goes through the engine config (not the global flag
+/// directly) because `Engine::new` re-applies its config's value.
+fn time_ml2sql(
+    workload: Workload,
+    rows: usize,
+    rowwise_ops: bool,
+    obs_spans: bool,
+    reps: usize,
+) -> Option<f64> {
+    let engine = EngineConfig { rowwise_ops, obs_spans, ..Default::default() };
     let config = ExperimentConfig { engine, ..ExperimentConfig::new(workload, rows) };
     let experiment = match Experiment::build(config) {
         Ok(e) => e,
@@ -71,10 +80,10 @@ fn main() {
             let edges = ml2sql_cost(1, &workload.model(0));
             let rows = ((budget / edges.max(1)) as usize).clamp(24, 200_000);
             let work = ml2sql_cost(rows, &workload.model(0));
-            let Some(rowwise_s) = time_ml2sql(workload, rows, true, reps) else {
+            let Some(rowwise_s) = time_ml2sql(workload, rows, true, true, reps) else {
                 continue;
             };
-            let Some(vectorized_s) = time_ml2sql(workload, rows, false, reps) else {
+            let Some(vectorized_s) = time_ml2sql(workload, rows, false, true, reps) else {
                 continue;
             };
             println!(
@@ -85,8 +94,28 @@ fn main() {
         }
     }
 
-    // Quick mode is a smoke test; don't clobber recorded full-sweep results.
+    // Quick mode is a smoke test; don't clobber recorded full-sweep
+    // results. It does measure what full mode cannot isolate: the cost of
+    // the always-on observability spans, by re-running the quick cell with
+    // spans off vs on. Interleaved min-of-reps so scheduler noise hits
+    // both sides equally; budget is < 2% overhead.
     if quick {
+        let workload = Workload::Dense { width: widths[0], depth: depths[0] };
+        let edges = ml2sql_cost(1, &workload.model(0));
+        let rows = ((budget / edges.max(1)) as usize).clamp(24, 200_000);
+        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            if let Some(t) = time_ml2sql(workload, rows, false, false, 1) {
+                off = off.min(t);
+            }
+            if let Some(t) = time_ml2sql(workload, rows, false, true, 1) {
+                on = on.min(t);
+            }
+        }
+        if off.is_finite() && on.is_finite() {
+            let overhead = (on / off - 1.0) * 100.0;
+            println!("\nobs spans overhead: {overhead:+.2}% (spans on {on:.4}s, off {off:.4}s)");
+        }
         return;
     }
 
@@ -112,7 +141,11 @@ fn main() {
             r.rowwise_s / r.vectorized_s
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Per-stage observability snapshot of the whole sweep: join/agg rows
+    // and wall time, plan-cache traffic, GEMM counts.
+    json.push_str(&format!("  \"metrics\": {}\n", obs::snapshot().render_json("  ")));
+    json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ml2sql.json");
     match std::fs::write(path, &json) {

@@ -233,7 +233,11 @@ fn main() {
     for (i, c) in flush_cells.iter().enumerate() {
         json.push_str(&fmt_cell(c, if i + 1 < flush_cells.len() { "," } else { "" }));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Serving-layer observability snapshot of the whole sweep: batch-size
+    // histogram, queue depth, flush-deadline fires, end-to-end latency.
+    json.push_str(&format!("  \"metrics\": {}\n", obs::snapshot().render_json("  ")));
+    json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     match std::fs::write(path, &json) {

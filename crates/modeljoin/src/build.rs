@@ -93,6 +93,10 @@ impl BuiltModel {
     ) -> &'s Matrix {
         assert!(input.rows() <= self.vector_size, "batch exceeds vector size");
         assert_eq!(input.cols(), self.input_dim, "input width mismatch");
+        let probe = &obs::metrics::MODELJOIN_PROBE;
+        probe.batches.add(1);
+        probe.rows.add(input.rows() as u64);
+        let _span = obs::span(&probe.time_us);
         device.transfer_h2d(input.byte_len());
         let rows = input.rows();
         let InferScratch { ping, pong, lstm } = scratch;
@@ -472,6 +476,8 @@ pub fn build_parallel(
         )));
     }
     BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
+    obs::metrics::MODELJOIN_BUILD_COUNT.add(1);
+    let _span = obs::span(&obs::metrics::MODELJOIN_BUILD_US);
     let router = Router::new(meta, layout);
     // Phase 1: single-threaded allocation (paper: "memory allocation ...
     // is performed single-threaded to a shared memory location").

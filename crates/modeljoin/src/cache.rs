@@ -60,10 +60,12 @@ impl ModelCache {
         if let Some(entry) = self.entries.lock().get(table.name()) {
             if entry.version == version {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::metrics::MODELJOIN_CACHE_HITS.add(1);
                 return Ok(Arc::clone(&entry.built));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::metrics::MODELJOIN_CACHE_MISSES.add(1);
         let built = Arc::new(build_parallel(table, meta, layout, device, vector_size, threads)?);
         self.entries
             .lock()

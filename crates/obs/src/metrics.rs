@@ -1,0 +1,179 @@
+//! The process-wide metric catalog.
+//!
+//! Every metric in the system is a `static` here, referenced directly by
+//! the instrumented crates — no registration step, no lookup on the hot
+//! path, and [`crate::snapshot`] can walk a fixed list. The naming
+//! convention is `layer.subject.unit`: `_us` histograms hold
+//! microseconds; [`crate::StageMetrics`] entries are listed under their
+//! `.rows` name and expand to `.rows` / `.batches` / `.time_us` in
+//! snapshots.
+
+use crate::{Counter, Gauge, Histogram, StageMetrics};
+
+// --- tensor: kernel layer ------------------------------------------------
+
+/// `sgemm` invocations (any dispatch path).
+pub static TENSOR_GEMM_CALLS: Counter = Counter::new();
+/// Floating-point operations issued to `sgemm` (2·m·k·n per call).
+pub static TENSOR_GEMM_FLOPS: Counter = Counter::new();
+/// Jobs pushed to the persistent kernel worker pool.
+pub static TENSOR_POOL_JOBS: Counter = Counter::new();
+/// Worker threads currently spawned in the kernel pool.
+pub static TENSOR_POOL_WORKERS: Gauge = Gauge::new();
+/// Wall time of each `sgemm` call, µs (span-gated).
+pub static TENSOR_GEMM_US: Histogram = Histogram::new();
+/// Time spent packing A/B panels into kernel scratch, µs (span-gated).
+pub static TENSOR_PACK_US: Histogram = Histogram::new();
+
+// --- vector-engine: executor + plan cache --------------------------------
+
+/// Plan-cache lookups that returned a cached plan at the current epoch.
+pub static EXEC_PLAN_CACHE_HITS: Counter = Counter::new();
+/// Plan-cache lookups that found nothing for the SQL text.
+pub static EXEC_PLAN_CACHE_MISSES: Counter = Counter::new();
+/// Cached plans discarded because the catalog epoch moved.
+pub static EXEC_PLAN_CACHE_INVALIDATIONS: Counter = Counter::new();
+/// Catalog epoch bumps (CREATE/DROP/append).
+pub static EXEC_CATALOG_EPOCH_BUMPS: Counter = Counter::new();
+
+pub static EXEC_SCAN: StageMetrics = StageMetrics::new();
+pub static EXEC_FILTER: StageMetrics = StageMetrics::new();
+pub static EXEC_PROJECT: StageMetrics = StageMetrics::new();
+pub static EXEC_JOIN: StageMetrics = StageMetrics::new();
+pub static EXEC_AGG: StageMetrics = StageMetrics::new();
+pub static EXEC_SORT: StageMetrics = StageMetrics::new();
+pub static EXEC_OTHER: StageMetrics = StageMetrics::new();
+
+// --- modeljoin: model build + probe --------------------------------------
+
+/// Models assembled from relational slabs (`build_parallel` completions).
+pub static MODELJOIN_BUILD_COUNT: Counter = Counter::new();
+/// ModelCache lookups served from cache.
+pub static MODELJOIN_CACHE_HITS: Counter = Counter::new();
+/// ModelCache lookups that had to build.
+pub static MODELJOIN_CACHE_MISSES: Counter = Counter::new();
+/// Wall time of each model build, µs (span-gated).
+pub static MODELJOIN_BUILD_US: Histogram = Histogram::new();
+/// Probe-side inference throughput and time (rows/batches/µs).
+pub static MODELJOIN_PROBE: StageMetrics = StageMetrics::new();
+
+// --- serve: concurrent inference server ----------------------------------
+
+/// Requests rejected at admission (queue full).
+pub static SERVE_REJECTED: Counter = Counter::new();
+/// Requests completed with `ServeError::Timeout`.
+pub static SERVE_TIMEOUTS: Counter = Counter::new();
+/// Requests whose deadline had already passed at submit.
+pub static SERVE_DEADLINE_MISSED_AT_SUBMIT: Counter = Counter::new();
+/// Batches flushed because the flush deadline fired (vs. filling up).
+pub static SERVE_FLUSH_DEADLINE_FIRES: Counter = Counter::new();
+/// Inference panics caught and converted to `ServeError::Internal`.
+pub static SERVE_PANICS_CAUGHT: Counter = Counter::new();
+/// Poisoned locks recovered via `into_inner` after a caught panic.
+pub static SERVE_LOCKS_RECOVERED: Counter = Counter::new();
+/// Current depth of the admission queue.
+pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new();
+/// Rows per executed inference batch.
+pub static SERVE_BATCH_ROWS: Histogram = Histogram::new();
+/// End-to-end request latency, submit → completion, µs.
+pub static SERVE_E2E_US: Histogram = Histogram::new();
+
+// --- catalog walked by `crate::snapshot` ---------------------------------
+
+pub static COUNTERS: &[(&str, &Counter)] = &[
+    ("tensor.gemm.calls", &TENSOR_GEMM_CALLS),
+    ("tensor.gemm.flops", &TENSOR_GEMM_FLOPS),
+    ("tensor.pool.jobs", &TENSOR_POOL_JOBS),
+    ("exec.plan_cache.hits", &EXEC_PLAN_CACHE_HITS),
+    ("exec.plan_cache.misses", &EXEC_PLAN_CACHE_MISSES),
+    ("exec.plan_cache.invalidations", &EXEC_PLAN_CACHE_INVALIDATIONS),
+    ("exec.catalog.epoch_bumps", &EXEC_CATALOG_EPOCH_BUMPS),
+    ("modeljoin.build.count", &MODELJOIN_BUILD_COUNT),
+    ("modeljoin.cache.hits", &MODELJOIN_CACHE_HITS),
+    ("modeljoin.cache.misses", &MODELJOIN_CACHE_MISSES),
+    ("serve.rejected", &SERVE_REJECTED),
+    ("serve.timeouts", &SERVE_TIMEOUTS),
+    ("serve.deadline.missed_at_submit", &SERVE_DEADLINE_MISSED_AT_SUBMIT),
+    ("serve.flush.deadline_fires", &SERVE_FLUSH_DEADLINE_FIRES),
+    ("serve.panics_caught", &SERVE_PANICS_CAUGHT),
+    ("serve.locks_recovered", &SERVE_LOCKS_RECOVERED),
+];
+
+pub static GAUGES: &[(&str, &Gauge)] =
+    &[("tensor.pool.workers", &TENSOR_POOL_WORKERS), ("serve.queue.depth", &SERVE_QUEUE_DEPTH)];
+
+pub static HISTOGRAMS: &[(&str, &Histogram)] = &[
+    ("tensor.gemm.us", &TENSOR_GEMM_US),
+    ("tensor.pack.us", &TENSOR_PACK_US),
+    ("modeljoin.build.us", &MODELJOIN_BUILD_US),
+    ("serve.batch.rows", &SERVE_BATCH_ROWS),
+    ("serve.request.e2e_us", &SERVE_E2E_US),
+];
+
+/// Stage entries are named by their `.rows` counter; snapshots derive the
+/// sibling `.batches` and `.time_us` names via [`stage_batches_name`] /
+/// [`stage_time_name`].
+pub static STAGES: &[(&str, &StageMetrics)] = &[
+    ("exec.scan.rows", &EXEC_SCAN),
+    ("exec.filter.rows", &EXEC_FILTER),
+    ("exec.project.rows", &EXEC_PROJECT),
+    ("exec.join.rows", &EXEC_JOIN),
+    ("exec.agg.rows", &EXEC_AGG),
+    ("exec.sort.rows", &EXEC_SORT),
+    ("exec.other.rows", &EXEC_OTHER),
+    ("modeljoin.probe.rows", &MODELJOIN_PROBE),
+];
+
+/// `.batches` metric name for a stage base name (leaks nothing: the set
+/// of bases is fixed, so the interned strings below cover them all).
+pub fn stage_batches_name(base: &str) -> &'static str {
+    match base {
+        "exec.scan" => "exec.scan.batches",
+        "exec.filter" => "exec.filter.batches",
+        "exec.project" => "exec.project.batches",
+        "exec.join" => "exec.join.batches",
+        "exec.agg" => "exec.agg.batches",
+        "exec.sort" => "exec.sort.batches",
+        "exec.other" => "exec.other.batches",
+        "modeljoin.probe" => "modeljoin.probe.batches",
+        _ => "unknown.batches",
+    }
+}
+
+/// `.time_us` metric name for a stage base name.
+pub fn stage_time_name(base: &str) -> &'static str {
+    match base {
+        "exec.scan" => "exec.scan.time_us",
+        "exec.filter" => "exec.filter.time_us",
+        "exec.project" => "exec.project.time_us",
+        "exec.join" => "exec.join.time_us",
+        "exec.agg" => "exec.agg.time_us",
+        "exec.sort" => "exec.sort.time_us",
+        "exec.other" => "exec.other.time_us",
+        "modeljoin.probe" => "modeljoin.probe.time_us",
+        _ => "unknown.time_us",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut names: Vec<&str> = COUNTERS.iter().map(|(n, _)| *n).collect();
+        names.extend(GAUGES.iter().map(|(n, _)| *n));
+        names.extend(HISTOGRAMS.iter().map(|(n, _)| *n));
+        for (n, _) in STAGES {
+            let base = n.strip_suffix(".rows").expect("stage names end in .rows");
+            names.push(n);
+            names.push(stage_batches_name(base));
+            names.push(stage_time_name(base));
+        }
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate metric name in catalog");
+        assert!(!names.iter().any(|n| n.starts_with("unknown.")));
+    }
+}

@@ -24,6 +24,11 @@ pub enum ServeError {
     BadRequest(String),
     /// The underlying engine failed while executing the request.
     Engine(String),
+    /// Inference panicked inside a worker. The panic is caught per
+    /// request (the batch it rode in completes with this error) and the
+    /// server keeps serving — one poisoned model never takes down the
+    /// queue. Counted under `serve.panics_caught`.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -37,6 +42,7 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel(name) => write!(f, "no model registered as {name:?}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }
     }
 }

@@ -25,13 +25,51 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use model_repr::{Layout, ModelMeta};
 use modeljoin::{build_parallel, ModelCache};
+use obs::metrics as om;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tensor::{Device, Matrix};
 use vector_engine::{Engine, QueryResult};
+
+/// Lock a mutex, recovering from poisoning instead of cascading the
+/// failure. Every mutex in this module protects state that is valid at
+/// each point a panic can unwind through it (queue, model map, completion
+/// slots — all updated atomically under the guard), so after a caught
+/// inference panic the data is safe to keep using. Each recovery is
+/// counted under `serve.locks_recovered`.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| {
+        om::SERVE_LOCKS_RECOVERED.add(1);
+        e.into_inner()
+    })
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| {
+        om::SERVE_LOCKS_RECOVERED.add(1);
+        e.into_inner()
+    })
+}
+
+/// `Condvar::wait_timeout` with the same poison recovery.
+fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(e) => {
+            om::SERVE_LOCKS_RECOVERED.add(1);
+            e.into_inner().0
+        }
+    }
+}
 
 /// A completed request's payload.
 #[derive(Clone, Debug)]
@@ -53,17 +91,21 @@ enum Work {
 struct Slot {
     done: Mutex<Option<Result<Response, ServeError>>>,
     cv: Condvar,
+    /// When the request entered the server; completion records the
+    /// submit-to-completion latency under `serve.request.e2e_us`.
+    submitted: Instant,
 }
 
 impl Slot {
     fn new() -> Arc<Slot> {
-        Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new() })
+        Arc::new(Slot { done: Mutex::new(None), cv: Condvar::new(), submitted: Instant::now() })
     }
 
     fn complete(&self, result: Result<Response, ServeError>) {
-        let mut guard = self.done.lock().expect("slot lock poisoned");
+        let mut guard = lock_recover(&self.done);
         if guard.is_none() {
             *guard = Some(result);
+            om::SERVE_E2E_US.record_duration(self.submitted.elapsed());
         }
         self.cv.notify_all();
     }
@@ -77,7 +119,7 @@ pub struct RequestHandle {
 
 impl std::fmt::Debug for RequestHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let done = self.slot.done.lock().expect("slot lock poisoned").is_some();
+        let done = lock_recover(&self.slot.done).is_some();
         f.debug_struct("RequestHandle").field("done", &done).finish()
     }
 }
@@ -85,12 +127,12 @@ impl std::fmt::Debug for RequestHandle {
 impl RequestHandle {
     /// Block until the server completes the request.
     pub fn wait(self) -> Result<Response, ServeError> {
-        let mut guard = self.slot.done.lock().expect("slot lock poisoned");
+        let mut guard = lock_recover(&self.slot.done);
         loop {
             if let Some(result) = guard.take() {
                 return result;
             }
-            guard = self.slot.cv.wait(guard).expect("slot lock poisoned");
+            guard = wait_recover(&self.slot.cv, guard);
         }
     }
 
@@ -98,7 +140,7 @@ impl RequestHandle {
     /// flight and the handle remains usable.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
         let deadline = Instant::now() + timeout;
-        let mut guard = self.slot.done.lock().expect("slot lock poisoned");
+        let mut guard = lock_recover(&self.slot.done);
         loop {
             if let Some(result) = guard.take() {
                 return Some(result);
@@ -107,9 +149,7 @@ impl RequestHandle {
             if now >= deadline {
                 return None;
             }
-            let (g, _) =
-                self.slot.cv.wait_timeout(guard, deadline - now).expect("slot lock poisoned");
-            guard = g;
+            guard = wait_timeout_recover(&self.slot.cv, guard, deadline - now);
         }
     }
 }
@@ -213,7 +253,7 @@ impl Server {
         layout: Layout,
         device: Device,
     ) {
-        self.shared.models.lock().expect("models lock poisoned").insert(
+        lock_recover(&self.shared.models).insert(
             name.to_string(),
             ModelEntry { table: table.to_string(), meta, layout, device },
         );
@@ -244,7 +284,7 @@ impl Server {
         // Validate at submission so malformed requests fail fast instead
         // of poisoning a coalesced batch.
         {
-            let models = self.shared.models.lock().expect("models lock poisoned");
+            let models = lock_recover(&self.shared.models);
             let entry =
                 models.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
             if input.len() != entry.meta.input_dim {
@@ -269,18 +309,34 @@ impl Server {
 
     fn enqueue(&self, work: Work, timeout: Option<Duration>) -> Result<RequestHandle, ServeError> {
         let slot = Slot::new();
-        let queued =
-            Queued { work, slot: Arc::clone(&slot), deadline: timeout.map(|t| Instant::now() + t) };
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // A deadline already in the past completes with `Timeout` here,
+        // deterministically, instead of racing whether a worker dequeues
+        // the request before noticing the expiry.
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                om::SERVE_TIMEOUTS.add(1);
+                om::SERVE_DEADLINE_MISSED_AT_SUBMIT.add(1);
+                slot.complete(Err(ServeError::Timeout));
+                return Ok(RequestHandle { slot });
+            }
+        }
+        let queued = Queued { work, slot: Arc::clone(&slot), deadline };
         {
-            let mut state = self.shared.state.lock().expect("state lock poisoned");
+            let mut state = lock_recover(&self.shared.state);
             if !state.accepting {
                 return Err(ServeError::ShuttingDown);
             }
             if state.queue.len() >= self.shared.cfg.queue_depth {
                 self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                om::SERVE_REJECTED.add(1);
                 return Err(ServeError::Overloaded { depth: self.shared.cfg.queue_depth });
             }
             state.queue.push_back(queued);
+            om::SERVE_QUEUE_DEPTH.set(state.queue.len() as i64);
         }
         self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         // notify_all: a worker parked in its flush-deadline wait must also
@@ -295,16 +351,17 @@ impl Server {
     /// nothing is ever silently dropped. Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut state = self.shared.state.lock().expect("state lock poisoned");
+            let mut state = lock_recover(&self.shared.state);
             state.accepting = false;
         }
         self.shared.work_cv.notify_all();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock poisoned"));
+        let workers = std::mem::take(&mut *lock_recover(&self.workers));
         for w in workers {
             let _ = w.join();
         }
         let leftovers: Vec<Queued> = {
-            let mut state = self.shared.state.lock().expect("state lock poisoned");
+            let mut state = lock_recover(&self.shared.state);
+            om::SERVE_QUEUE_DEPTH.set(0);
             state.queue.drain(..).collect()
         };
         let now = Instant::now();
@@ -313,11 +370,19 @@ impl Server {
             match q.deadline {
                 Some(d) if now >= d => {
                     self.shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    om::SERVE_TIMEOUTS.add(1);
                     q.slot.complete(Err(ServeError::Timeout));
                 }
                 _ => q.slot.complete(Err(ServeError::ShuttingDown)),
             }
         }
+    }
+
+    /// Text report of the process-wide metric catalog (see the `obs`
+    /// crate): serving queue/batch/latency metrics alongside the engine,
+    /// kernel, and ModelJoin stage breakdowns.
+    pub fn metrics_report(&self) -> String {
+        obs::snapshot().render()
     }
 
     /// Snapshot the serving counters.
@@ -352,15 +417,16 @@ impl Drop for Server {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let mut state = shared.state.lock().expect("state lock poisoned");
+        let mut state = lock_recover(&shared.state);
         let head = loop {
             if let Some(q) = state.queue.pop_front() {
+                om::SERVE_QUEUE_DEPTH.set(state.queue.len() as i64);
                 break q;
             }
             if !state.accepting {
                 return;
             }
-            state = shared.work_cv.wait(state).expect("state lock poisoned");
+            state = wait_recover(&shared.work_cv, state);
         };
 
         match head.work {
@@ -390,18 +456,16 @@ fn worker_loop(shared: &Shared) {
                                 i += 1;
                             }
                         }
+                        om::SERVE_QUEUE_DEPTH.set(state.queue.len() as i64);
                         if batch.len() >= shared.cfg.max_batch_rows || !state.accepting {
                             break;
                         }
                         let now = Instant::now();
                         if now >= flush_at {
+                            om::SERVE_FLUSH_DEADLINE_FIRES.add(1);
                             break;
                         }
-                        let (s, _) = shared
-                            .work_cv
-                            .wait_timeout(state, flush_at - now)
-                            .expect("state lock poisoned");
-                        state = s;
+                        state = wait_timeout_recover(&shared.work_cv, state, flush_at - now);
                     }
                 }
                 drop(state);
@@ -427,10 +491,22 @@ fn expired(shared: &Shared, q: &Queued) -> bool {
     match q.deadline {
         Some(d) if Instant::now() >= d => {
             shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            om::SERVE_TIMEOUTS.add(1);
             q.slot.complete(Err(ServeError::Timeout));
             true
         }
         _ => false,
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "inference panicked".to_string()
     }
 }
 
@@ -446,8 +522,7 @@ fn execute_predict_batch(shared: &Shared, model_name: &str, batch: Vec<Queued>) 
         }
     };
 
-    let Some(entry) = shared.models.lock().expect("models lock poisoned").get(model_name).cloned()
-    else {
+    let Some(entry) = lock_recover(&shared.models).get(model_name).cloned() else {
         // Registered at submission; a concurrent re-registration map would
         // be needed to remove entries, so this is unreachable today.
         fail(ServeError::UnknownModel(model_name.to_string()));
@@ -493,9 +568,20 @@ fn execute_predict_batch(shared: &Shared, model_name: &str, batch: Vec<Queued>) 
         };
         input[c]
     });
-    let output = built.infer(&packed, &entry.device);
+    // Catch inference panics per batch: the affected requests complete
+    // with `Internal` and the worker (plus every lock it may hold above
+    // this frame) survives to serve the next request.
+    let output = match catch_unwind(AssertUnwindSafe(|| built.infer(&packed, &entry.device))) {
+        Ok(output) => output,
+        Err(payload) => {
+            om::SERVE_PANICS_CAUGHT.add(1);
+            let msg = panic_message(payload.as_ref());
+            return fail(ServeError::Internal(msg));
+        }
+    };
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
     shared.counters.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    om::SERVE_BATCH_ROWS.record(rows as u64);
     for (r, q) in live.iter().enumerate() {
         q.slot.complete(Ok(Response::Prediction(output.row(r).to_vec())));
     }
@@ -565,17 +651,26 @@ mod tests {
 
     #[test]
     fn expired_deadlines_time_out_explicitly() {
+        // Zero workers: if submit-time expiry did not complete the slot,
+        // the expired request would sit queued indefinitely, completing
+        // only at shutdown (the old racy behavior — with workers, whether
+        // it timed out depended on who dequeued first). The deadline
+        // check at submit makes the Timeout deterministic and immediate.
         let e = engine();
         let server = Server::start(Arc::clone(&e), ServeConfig { workers: 0, ..config() });
         register_dense(&server, &e, "m");
         let timed =
             server.submit_predict_with_timeout("m", vec![0.0; 4], Some(Duration::ZERO)).unwrap();
+        match timed.wait_timeout(Duration::ZERO) {
+            Some(Err(ServeError::Timeout)) => {} // complete at submit, no waiting
+            other => panic!("expected immediate Timeout, got {other:?}"),
+        }
         let untimed = server.submit_predict("m", vec![0.0; 4]).unwrap();
-        assert!(timed.wait_timeout(Duration::from_millis(1)).is_none(), "still queued");
         server.shutdown();
-        assert_eq!(timed.wait().unwrap_err(), ServeError::Timeout);
         assert_eq!(untimed.wait().unwrap_err(), ServeError::ShuttingDown);
-        assert_eq!(server.stats().timeouts, 1);
+        let stats = server.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!((stats.submitted, stats.completed), (2, 2));
     }
 
     #[test]

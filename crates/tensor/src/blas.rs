@@ -88,6 +88,9 @@ pub fn sgemm(
     }
 
     let flops = gemm_flops(m, k, n);
+    obs::metrics::TENSOR_GEMM_CALLS.add(1);
+    obs::metrics::TENSOR_GEMM_FLOPS.add(flops);
+    let _span = obs::span(&obs::metrics::TENSOR_GEMM_US);
     if m == 1 || n == 1 || flops < BLOCKED_MIN_FLOPS {
         sgemm_unblocked_inner(trans_a, trans_b, alpha, a, b, c, m, n, k);
         return;
@@ -299,7 +302,10 @@ fn sgemm_blocked(
                 if bbuf.len() < blen {
                     bbuf.resize(blen, 0.0);
                 }
-                pack_b(&vb, pc, kc, jc, nc, bbuf);
+                {
+                    let _pack = obs::span(&obs::metrics::TENSOR_PACK_US);
+                    pack_b(&vb, pc, kc, jc, nc, bbuf);
+                }
                 let bbuf: &[f32] = bbuf;
 
                 let m_blocks = m.div_ceil(MC);
@@ -353,7 +359,10 @@ fn m_block_range(
         while block < m_blocks {
             let ic = block * MC;
             let mc = MC.min(m - ic);
-            pack_a(va, ic, mc, pc, kc, abuf);
+            {
+                let _pack = obs::span(&obs::metrics::TENSOR_PACK_US);
+                pack_a(va, ic, mc, pc, kc, abuf);
+            }
             for q in 0..nc.div_ceil(NR) {
                 let nr_eff = NR.min(nc - q * NR);
                 let bp = &bbuf[q * kc * NR..(q + 1) * kc * NR];

@@ -67,9 +67,11 @@ impl Pool {
                 .expect("spawn kernel worker");
             *spawned += 1;
         }
+        obs::metrics::TENSOR_POOL_WORKERS.set(*spawned as i64);
     }
 
     fn push(&self, job: Job) {
+        obs::metrics::TENSOR_POOL_JOBS.add(1);
         self.shared.queue.lock().unwrap().push_back(job);
         self.shared.available.notify_one();
     }

@@ -52,6 +52,7 @@ impl Catalog {
         let table = Arc::new(Table::with_epoch(&key, schema, config, Arc::clone(&self.epoch)));
         tables.insert(key, Arc::clone(&table));
         self.epoch.fetch_add(1, Ordering::Release);
+        obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
         Ok(table)
     }
 
@@ -73,6 +74,7 @@ impl Catalog {
             let removed = tables.remove(&key).is_some();
             if removed {
                 self.epoch.fetch_add(1, Ordering::Release);
+                obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
             }
             removed
         };

@@ -51,6 +51,12 @@ pub struct EngineConfig {
     /// micro-batcher may add while coalescing point inference requests into
     /// a full vector before flushing a partial batch.
     pub batch_flush_us: u64,
+    /// Enable the observability span timers (per-operator and kernel wall
+    /// clocks in the `obs` crate). Counters and gauges are always on;
+    /// spans read the monotonic clock, so this knob exists to measure and
+    /// bound their overhead. The flag is process-global — constructing an
+    /// engine stores it, and the last engine constructed wins.
+    pub obs_spans: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +74,7 @@ impl Default for EngineConfig {
             plan_cache_entries: 128,
             serve_queue_depth: 1024,
             batch_flush_us: 200,
+            obs_spans: true,
         }
     }
 }
@@ -91,7 +98,7 @@ impl EngineConfig {
         format!(
             "vector_size={}\npartitions={}\nparallelism={}\nsma_pruning={}\nhash_join={}\n\
              predicate_pushdown={}\ncolumn_pruning={}\nkernel_threads={}\nrowwise_ops={}\n\
-             plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\n",
+             plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\nobs_spans={}\n",
             self.vector_size,
             self.partitions,
             self.parallelism,
@@ -104,6 +111,7 @@ impl EngineConfig {
             self.plan_cache_entries,
             self.serve_queue_depth,
             self.batch_flush_us,
+            self.obs_spans,
         )
     }
 
@@ -149,6 +157,7 @@ impl EngineConfig {
                 "batch_flush_us" => {
                     cfg.batch_flush_us = value.parse().map_err(|_| bad(key, value))?
                 }
+                "obs_spans" => cfg.obs_spans = value.parse().map_err(|_| bad(key, value))?,
                 other => {
                     return Err(EngineError::Unsupported(format!("config: unknown knob {other:?}")))
                 }
@@ -174,6 +183,7 @@ mod tests {
         assert_eq!(c.plan_cache_entries, 128);
         assert_eq!(c.serve_queue_depth, 1024);
         assert_eq!(c.batch_flush_us, 200);
+        assert!(c.obs_spans, "span timers default on (counters are unconditional)");
     }
 
     #[test]
@@ -187,6 +197,7 @@ mod tests {
             plan_cache_entries: 0,
             serve_queue_depth: 7,
             batch_flush_us: 12345,
+            obs_spans: false,
             ..EngineConfig::default()
         };
         assert_eq!(EngineConfig::from_kv(&modified.to_kv()).unwrap(), modified);

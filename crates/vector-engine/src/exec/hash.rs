@@ -41,7 +41,13 @@ fn combine(h: u64, code: u64) -> u64 {
 /// normalizes to `0.0`; everything else hashes by bit pattern.
 #[inline]
 fn float_code(f: f64) -> u64 {
-    if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+    // Upper bound is exclusive: `i64::MAX as f64` rounds up to 2^63,
+    // which is NOT representable as i64 — an inclusive check would let
+    // the float 2^63 saturate onto i64::MAX's code and collide with the
+    // genuine INT i64::MAX key. The lower bound stays inclusive because
+    // -2^63 == i64::MIN exactly. NaN fails `fract() == 0.0` and ±inf
+    // fails the range check, so both hash by bit pattern.
+    if f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 {
         (f as i64) as u64
     } else {
         f.to_bits()
@@ -115,7 +121,10 @@ fn col_equal(a: &ColumnVector, ai: usize, b: &ColumnVector, bi: usize) -> bool {
 
 #[inline]
 fn int_eq_float(i: i64, f: f64) -> bool {
-    f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 && f as i64 == i
+    // Exclusive upper bound for the same reason as `float_code`: the
+    // float 2^63 saturates to i64::MAX under `as i64`, which would make
+    // it spuriously equal to INT i64::MAX.
+    f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 && f as i64 == i
 }
 
 /// Composite-key equality of row `ai` of `a` against row `bi` of `b`.
@@ -294,5 +303,28 @@ mod tests {
         let b = [ColumnVector::Float(vec![f64::NAN])];
         assert!(keys_equal(&a, 0, &b, 0));
         assert_eq!(hash_one(&a), hash_one(&b));
+    }
+
+    #[test]
+    fn out_of_range_floats_do_not_saturate_onto_int_extremes() {
+        // 2^63 is integral but not representable as i64; before the
+        // exclusive-bound fix it saturated to i64::MAX and both grouped
+        // and compared equal to INT i64::MAX.
+        let two_63 = 9_223_372_036_854_775_808.0_f64;
+        let int_max = [ColumnVector::Int(vec![i64::MAX])];
+        let f = [ColumnVector::Float(vec![two_63])];
+        assert!(!keys_equal(&int_max, 0, &f, 0));
+        assert!(!int_eq_float(i64::MAX, two_63));
+        assert_eq!(float_code(two_63), two_63.to_bits());
+        // -2^63 IS exactly i64::MIN — that pairing must keep unifying.
+        let min_f = i64::MIN as f64;
+        let int_min = [ColumnVector::Int(vec![i64::MIN])];
+        let g = [ColumnVector::Float(vec![min_f])];
+        assert!(keys_equal(&int_min, 0, &g, 0));
+        assert_eq!(hash_one(&int_min), hash_one(&g));
+        // Infinities and huge finite floats stay distinct bit-pattern keys.
+        assert!(!int_eq_float(i64::MAX, f64::INFINITY));
+        assert_ne!(float_code(1e300), float_code(f64::INFINITY));
+        assert_ne!(float_code(f64::INFINITY), float_code(f64::NEG_INFINITY));
     }
 }

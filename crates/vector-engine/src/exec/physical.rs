@@ -59,11 +59,20 @@ pub struct ExecContext {
     /// Build the seed value-at-a-time join/agg operators instead of the
     /// vectorized ones (`EngineConfig::rowwise_ops`).
     pub rowwise_ops: bool,
+    /// Time each operator's `next()` into the per-stage histograms
+    /// (`EngineConfig::obs_spans`). Row/batch counters stay on regardless.
+    pub obs_spans: bool,
 }
 
 impl ExecContext {
     pub fn new(vector_size: usize) -> ExecContext {
-        ExecContext { vector_size, scan_restrict: None, kernel_threads: 1, rowwise_ops: false }
+        ExecContext {
+            vector_size,
+            scan_restrict: None,
+            kernel_threads: 1,
+            rowwise_ops: false,
+            obs_spans: true,
+        }
     }
 
     /// Context for a full (non-partitioned) execution under `config`.
@@ -73,6 +82,7 @@ impl ExecContext {
             scan_restrict: None,
             kernel_threads: config.kernel_threads.max(1),
             rowwise_ops: config.rowwise_ops,
+            obs_spans: config.obs_spans,
         }
     }
 
@@ -86,12 +96,68 @@ impl ExecContext {
             scan_restrict: Some((table, partition)),
             kernel_threads: config.kernel_threads.max(1),
             rowwise_ops: config.rowwise_ops,
+            obs_spans: config.obs_spans,
         }
     }
 }
 
-/// Translate a logical plan into an operator tree.
+/// Instruments an operator with the stage metrics of its plan kind: every
+/// `next()` counts the produced batch and rows, and (when spans are on)
+/// records its wall time. The timing is *inclusive* — an operator's
+/// `next()` pulls from its children inside the measured window — so stage
+/// times overlap and must be read as "time spent with this stage on top
+/// of the iterator stack's call path", not a disjoint breakdown.
+struct MeteredOp {
+    inner: Box<dyn Operator>,
+    stage: &'static obs::StageMetrics,
+    spans: bool,
+}
+
+impl Operator for MeteredOp {
+    fn open(&mut self) -> Result<()> {
+        self.inner.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let result = if self.spans {
+            let _span = obs::span(&self.stage.time_us);
+            self.inner.next()
+        } else {
+            self.inner.next()
+        };
+        if let Ok(Some(batch)) = &result {
+            self.stage.batches.add(1);
+            self.stage.rows.add(batch.num_rows() as u64);
+        }
+        result
+    }
+
+    fn close(&mut self) {
+        self.inner.close()
+    }
+}
+
+/// The stage-metric bundle a plan node reports under.
+fn stage_of(plan: &LogicalPlan) -> &'static obs::StageMetrics {
+    match plan {
+        LogicalPlan::Scan { .. } => &obs::metrics::EXEC_SCAN,
+        LogicalPlan::Filter { .. } => &obs::metrics::EXEC_FILTER,
+        LogicalPlan::Project { .. } => &obs::metrics::EXEC_PROJECT,
+        LogicalPlan::CrossJoin { .. } | LogicalPlan::HashJoin { .. } => &obs::metrics::EXEC_JOIN,
+        LogicalPlan::Aggregate { .. } => &obs::metrics::EXEC_AGG,
+        LogicalPlan::Sort { .. } => &obs::metrics::EXEC_SORT,
+        LogicalPlan::Limit { .. } | LogicalPlan::Values { .. } => &obs::metrics::EXEC_OTHER,
+    }
+}
+
+/// Translate a logical plan into an operator tree. Every operator is
+/// wrapped in a [`MeteredOp`] reporting into its stage's metrics.
 pub fn build_operator(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
+    let inner = build_operator_inner(plan, ctx)?;
+    Ok(Box::new(MeteredOp { inner, stage: stage_of(plan), spans: ctx.obs_spans }))
+}
+
+fn build_operator_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
     Ok(match plan {
         LogicalPlan::Scan { table, pruning, .. } => {
             let partition = match &ctx.scan_restrict {

@@ -41,7 +41,10 @@ pub fn key_part(v: &Value) -> KeyPart {
     match v {
         Value::Int(i) => KeyPart::Int(*i),
         Value::Float(f) => {
-            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+            // Exclusive upper bound: `i64::MAX as f64` rounds up to 2^63,
+            // so an inclusive check would saturate the float 2^63 onto
+            // i64::MAX (see `hash::float_code`, which must stay in sync).
+            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f < i64::MAX as f64 {
                 KeyPart::Int(*f as i64)
             } else {
                 KeyPart::FloatBits(f.to_bits())
@@ -418,6 +421,19 @@ mod tests {
         assert_ne!(key_part(&Value::Float(3.5)), key_part(&Value::Int(3)));
         assert_eq!(key_part(&Value::Float(0.0)), key_part(&Value::Float(-0.0)));
         assert_eq!(key_part(&Value::Str("a".into())), KeyPart::Str("a".into()));
+    }
+
+    #[test]
+    fn key_part_range_boundaries_match_hash_path() {
+        // 2^63 (integral, > i64::MAX) must NOT normalize onto Int.
+        let two_63 = 9_223_372_036_854_775_808.0_f64;
+        assert_eq!(key_part(&Value::Float(two_63)), KeyPart::FloatBits(two_63.to_bits()));
+        assert_ne!(key_part(&Value::Float(two_63)), key_part(&Value::Int(i64::MAX)));
+        // -2^63 is exactly i64::MIN and keeps unifying.
+        assert_eq!(key_part(&Value::Float(i64::MIN as f64)), KeyPart::Int(i64::MIN));
+        // NaN and infinities stay bit-pattern keys.
+        assert_eq!(key_part(&Value::Float(f64::NAN)), KeyPart::FloatBits(f64::NAN.to_bits()));
+        assert_ne!(key_part(&Value::Float(f64::INFINITY)), key_part(&Value::Float(1e300)));
     }
 
     #[test]

@@ -107,16 +107,20 @@ impl PlanCache {
                 self.tick += 1;
                 entry.last_used = self.tick;
                 self.hits += 1;
+                obs::metrics::EXEC_PLAN_CACHE_HITS.add(1);
                 Some(Arc::clone(&entry.plan))
             }
             Some(_) => {
                 self.entries.remove(sql);
                 self.invalidations += 1;
                 self.misses += 1;
+                obs::metrics::EXEC_PLAN_CACHE_INVALIDATIONS.add(1);
+                obs::metrics::EXEC_PLAN_CACHE_MISSES.add(1);
                 None
             }
             None => {
                 self.misses += 1;
+                obs::metrics::EXEC_PLAN_CACHE_MISSES.add(1);
                 None
             }
         }
@@ -151,6 +155,9 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
+        // The span gate is process-global (metrics are process-wide, see
+        // the obs crate docs); the last engine constructed wins.
+        obs::set_spans_enabled(config.obs_spans);
         Engine {
             catalog: Arc::new(Catalog::new()),
             config,
@@ -210,6 +217,14 @@ impl Engine {
             }
             other => self.execute_statement(other),
         }
+    }
+
+    /// Text report of the process-wide metric catalog (see the `obs`
+    /// crate): per-operator rows/batches/time, plan-cache and catalog
+    /// counters, kernel-layer GEMM/pack stats, and (when a server runs in
+    /// this process) the serving metrics.
+    pub fn metrics_report(&self) -> String {
+        obs::snapshot().render()
     }
 
     /// Plan cache counters (hits / misses / invalidations / residency).

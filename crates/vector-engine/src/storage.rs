@@ -306,6 +306,7 @@ impl Table {
         // any of the new blocks either.
         self.data_version.fetch_add(1, AtomicOrdering::Release);
         self.catalog_epoch.fetch_add(1, AtomicOrdering::Release);
+        obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
         Ok(())
     }
 

@@ -289,3 +289,138 @@ fn int_float_key_unification_matches_oracle() {
         check_agg(KeyKind::FloatIntegral, 80, 4, 9, 1024, seed).unwrap();
     }
 }
+
+/// The float keys that stressed the normalization bug: NaN, infinities,
+/// 2^63 (integral but above i64::MAX), huge finite values, and signed
+/// zeros. Before the exclusive-bound fix, FLOAT 2^63 saturated onto INT
+/// i64::MAX's code and joined/grouped with it.
+const SPECIAL_FLOATS: [f64; 10] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    1e300,
+    9_223_372_036_854_775_808.0, // 2^63 == i64::MAX as f64 after rounding
+    -9_223_372_036_854_775_808.0, // -2^63 == i64::MIN exactly
+    0.0,
+    -0.0,
+    3.0,
+    3.5,
+];
+
+fn special_float_side(n: usize) -> Vec<ColumnVector> {
+    let keys: Vec<f64> = (0..n).map(|i| SPECIAL_FLOATS[i % SPECIAL_FLOATS.len()]).collect();
+    let payload: Vec<i64> = (0..n as i64).collect();
+    vec![ColumnVector::Float(keys), ColumnVector::Int(payload)]
+}
+
+fn int_extreme_side(n: usize) -> Vec<ColumnVector> {
+    let pool = [i64::MAX, i64::MIN, 0, 3, 7];
+    let keys: Vec<i64> = (0..n).map(|i| pool[i % pool.len()]).collect();
+    let payload: Vec<i64> = (0..n as i64).map(|i| i + 1000).collect();
+    vec![ColumnVector::Int(keys), ColumnVector::Int(payload)]
+}
+
+/// Special-float keys against integer extremes: vectorized join must match
+/// the row-at-a-time oracle, and the semantics must be right — FLOAT 2^63
+/// never meets INT i64::MAX, while FLOAT -2^63 does meet INT i64::MIN.
+#[test]
+fn special_float_keys_join_matches_oracle_and_semantics() {
+    for &(chunk, vs) in &[(1usize, 1usize), (3, 5), (7, 1024), (64, 1024)] {
+        let left = special_float_side(20);
+        let right = int_extreme_side(15);
+        let keys = || (vec![Expr::col(0)], vec![Expr::col(0)]);
+
+        let (lk, rk) = keys();
+        let vec_join = HashJoinExec::new(
+            operator_from(left.clone(), chunk),
+            operator_from(right.clone(), chunk),
+            lk,
+            rk,
+            vs,
+        );
+        let (lk, rk) = keys();
+        let row_join = RowHashJoinExec::new(
+            operator_from(left.clone(), chunk),
+            operator_from(right.clone(), chunk),
+            lk,
+            rk,
+            vs,
+        );
+        let got = collect_rows(drain(Box::new(vec_join)).unwrap());
+        let want = collect_rows(drain(Box::new(row_join)).unwrap());
+        assert_eq!(got, want, "special-float join diverged from oracle (chunk={chunk}, vs={vs})");
+
+        // Direct semantic checks, independent of the (previously wrong)
+        // oracle: exactly three float keys have an integer partner, and
+        // FLOAT 2^63 / INT i64::MAX is NOT one of the pairings.
+        for row in &got {
+            let (f, i) = match (&row[0], &row[2]) {
+                (Value::Float(f), Value::Int(i)) => (*f, *i),
+                other => panic!("unexpected key types {other:?}"),
+            };
+            assert!(
+                (f == i64::MIN as f64 && i == i64::MIN)
+                    || (f == 0.0 && i == 0)
+                    || (f == 3.0 && i == 3),
+                "illegitimate pairing FLOAT {f:?} ~ INT {i} (chunk={chunk}, vs={vs})"
+            );
+        }
+        // -2^63(2x)·MIN(3x) + {0.0,-0.0}(4x)·0(3x) + 3.0(2x)·3(3x) = 24;
+        // before the fix, 2^63(2x)·MAX(3x) added 6 bogus rows.
+        assert_eq!(got.len(), 24, "wrong match count (chunk={chunk}, vs={vs})");
+    }
+}
+
+/// Row equality with floats compared by bit pattern (grouping semantics),
+/// so NaN keys compare equal to themselves across the two engines.
+fn rows_bitwise_equal(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                    _ => va == vb,
+                })
+        })
+}
+
+/// GROUP BY over the special floats: every distinct bit pattern is its own
+/// group (the two NaN-bit-identical keys collapse; 0.0 and -0.0 collapse),
+/// and the vectorized aggregation matches the oracle exactly.
+#[test]
+fn special_float_keys_group_by_matches_oracle_and_semantics() {
+    for &(chunk, vs) in &[(1usize, 1usize), (3, 5), (64, 1024)] {
+        let cols = special_float_side(20);
+        let group = vec![Expr::col(0)];
+        let aggs = vec![
+            AggSpec { func: AggFunc::Count, arg: None },
+            AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(1)) },
+        ];
+        let types = vec![DataType::Float, DataType::Int, DataType::Int];
+
+        let vec_agg = HashAggExec::new(
+            operator_from(cols.clone(), chunk),
+            group.clone(),
+            aggs.clone(),
+            types.clone(),
+            vs,
+        );
+        let row_agg =
+            RowHashAggExec::new(operator_from(cols.clone(), chunk), group, aggs, types, vs);
+        let got = collect_rows(drain(Box::new(vec_agg)).unwrap());
+        let want = collect_rows(drain(Box::new(row_agg)).unwrap());
+        assert!(
+            rows_bitwise_equal(&got, &want),
+            "special-float agg diverged from oracle (chunk={chunk}, vs={vs}): \
+             {got:?} vs {want:?}"
+        );
+
+        // 10 distinct key values, minus {0.0, -0.0} collapsing: 9 groups.
+        // NaN/inf/1e300/2^63 each form their own group — none of them
+        // lands in the 0.0 or extreme-integer-code groups.
+        assert_eq!(got.len(), 9, "expected 9 groups (chunk={chunk}, vs={vs}): {got:?}");
+        let zero_group = got.iter().find(|r| matches!(r[0], Value::Float(f) if f == 0.0)).unwrap();
+        // Rows 6 and 7 of each 10-row block carry keys 0.0 and -0.0.
+        assert_eq!(zero_group[1], Value::Int(4), "0.0/-0.0 group has 4 of 20 rows");
+    }
+}
