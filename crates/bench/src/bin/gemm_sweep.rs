@@ -79,12 +79,12 @@ fn bench_gemm(m: usize, k: usize, n: usize, reps: usize) -> GemmRow {
     GemmRow { m, k, n, unblocked_s, blocked_1t_s, blocked_2t_s }
 }
 
-fn bench_join(width: usize, rows: usize, kernel_threads: usize) -> Option<JoinRow> {
+fn bench_join(width: usize, rows: usize, worker_threads: usize) -> Option<JoinRow> {
     let engine = EngineConfig {
         vector_size: 1024,
         partitions: 4,
         parallelism: 1,
-        kernel_threads,
+        worker_threads,
         ..Default::default()
     };
     let workload = Workload::Dense { width, depth: 3 };

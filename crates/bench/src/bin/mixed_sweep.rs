@@ -1,0 +1,189 @@
+//! Mixed-workload sweep: concurrent SQL scans + inference serving, A/B'ing
+//! the unified work-stealing scheduler against the legacy three-pool
+//! baseline (per-query `thread::scope` operator pools, per-GEMM kernel
+//! pool, per-server worker pool).
+//!
+//! ```text
+//! cargo run --release -p bench --bin mixed_sweep [--quick]
+//! ```
+//!
+//! Half the clients hammer an aggregation scan over the fact table, half
+//! submit single-row predictions, all closed-loop. The scheduler's job is
+//! to (a) stop the three pools from over-subscribing the machine and
+//! (b) let Serve-class batches jump the morsel backlog, so the headline
+//! numbers are total throughput and predict p99 at the highest client
+//! count. Results go to stdout and `BENCH_mixed.json`; `--quick` runs one
+//! tiny cell per mode as a smoke test and leaves the JSON untouched.
+
+use indbml_core::{drive_mixed_loop, Experiment, ExperimentConfig, MixedLoadConfig, Workload};
+use serve::ServeConfig;
+use std::time::Duration;
+use tensor::Device;
+use vector_engine::EngineConfig;
+
+struct Cell {
+    mode: &'static str,
+    clients: usize,
+    sql_completed: usize,
+    predict_completed: usize,
+    total_rps: f64,
+    sql_p50_us: u64,
+    sql_p99_us: u64,
+    predict_p50_us: u64,
+    predict_p99_us: u64,
+}
+
+fn build_experiment(fact_rows: usize, unified: bool) -> Experiment {
+    // Paper-default partitioning and parallelism (12/12): the legacy
+    // baseline spawns `parallelism` scope threads per query and runs
+    // `parallelism` serve workers on top — the three-pool oversubscription
+    // the unified scheduler exists to eliminate. The unified mode sizes
+    // its single pool from `worker_threads` (0 = machine cores).
+    let config = ExperimentConfig {
+        engine: EngineConfig { vector_size: 256, unified_sched: unified, ..Default::default() },
+        ..ExperimentConfig::new(Workload::Dense { width: 64, depth: 4 }, fact_rows)
+    };
+    Experiment::build(config).expect("experiment setup")
+}
+
+fn run_cell(ex: &Experiment, mode: &'static str, clients: usize, window: Duration) -> Cell {
+    // The legacy baseline and the unified mode both get the serving
+    // configuration they would run in production: batching + model cache
+    // on, `parallelism` legacy workers vs one coordinator + shared pool.
+    let mut cfg = ServeConfig::from_engine(&ex.config().engine);
+    cfg.workers = ex.config().engine.parallelism;
+    cfg.batch_flush_us = 50;
+    cfg.max_batch_rows = cfg.max_batch_rows.min(64);
+    let server = ex.serve(cfg, Device::cpu());
+
+    let dim = ex.meta.input_dim;
+    let inputs: Vec<Vec<f32>> = (0..256)
+        .map(|i| (0..dim).map(|c| ((i * 31 + c * 7) % 100) as f32 / 100.0).collect())
+        .collect();
+    let load = MixedLoadConfig {
+        sql_clients: clients / 2,
+        predict_clients: clients - clients / 2,
+        duration: window,
+        sql: "SELECT COUNT(*) AS n, SUM(c0) AS s0, MIN(c1) AS lo, MAX(c2) AS hi \
+              FROM facts WHERE c0 > 0.1"
+            .to_string(),
+    };
+    let stats = drive_mixed_loop(&server, "model", &inputs, &load);
+    server.shutdown();
+    Cell {
+        mode,
+        clients,
+        sql_completed: stats.sql.completed,
+        predict_completed: stats.predict.completed,
+        total_rps: stats.total_rps,
+        sql_p50_us: stats.sql.p50_us,
+        sql_p99_us: stats.sql.p99_us,
+        predict_p50_us: stats.predict.p50_us,
+        predict_p99_us: stats.predict.p99_us,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let (fact_rows, window, client_counts): (usize, Duration, &[usize]) = if quick {
+        (2_000, Duration::from_millis(200), &[2])
+    } else {
+        (10_000, Duration::from_secs(3), &[2, 4, 8])
+    };
+
+    println!("# mixed_sweep (cores = {cores}, fact_rows = {fact_rows}, window = {window:?}/cell)");
+    println!("mode,clients,sql_done,predict_done,total_rps,sql_p50,sql_p99,pred_p50,pred_p99");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    // Baseline first so the unified phase cannot warm it. The legacy mode
+    // also pins the tensor kernel path to its legacy pool so all three
+    // pre-scheduler pools are genuinely in play.
+    for (mode, unified) in [("three-pool", false), ("unified", true)] {
+        tensor::set_unified_scheduler(unified);
+        let ex = build_experiment(fact_rows, unified);
+        for &clients in client_counts {
+            let cell = run_cell(&ex, mode, clients, window);
+            println!(
+                "{},{},{},{},{:.1},{},{},{},{}",
+                cell.mode,
+                cell.clients,
+                cell.sql_completed,
+                cell.predict_completed,
+                cell.total_rps,
+                cell.sql_p50_us,
+                cell.sql_p99_us,
+                cell.predict_p50_us,
+                cell.predict_p99_us
+            );
+            cells.push(cell);
+        }
+    }
+    tensor::set_unified_scheduler(true);
+
+    let max_clients = *client_counts.last().expect("non-empty");
+    let find = |mode: &str| {
+        cells.iter().find(|c| c.mode == mode && c.clients == max_clients).expect("cell measured")
+    };
+    let (base, uni) = (find("three-pool"), find("unified"));
+    let speedup = uni.total_rps / base.total_rps.max(1e-9);
+    let p99_ratio = uni.predict_p99_us as f64 / (base.predict_p99_us as f64).max(1e-9);
+    println!("\nunified vs three-pool at {max_clients} clients: {speedup:.2}x throughput");
+    println!(
+        "predict p99 at {max_clients} clients: {}us (unified) vs {}us (three-pool), ratio {p99_ratio:.2}",
+        uni.predict_p99_us, base.predict_p99_us
+    );
+
+    // Quick mode is a smoke test; don't clobber recorded full-sweep results.
+    if quick {
+        return;
+    }
+
+    let fmt_cell = |c: &Cell, sep: &str| {
+        format!(
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"sql_completed\": {}, \
+             \"predict_completed\": {}, \"total_rps\": {:.1}, \"sql_p50_us\": {}, \
+             \"sql_p99_us\": {}, \"predict_p50_us\": {}, \"predict_p99_us\": {}}}{sep}\n",
+            c.mode,
+            c.clients,
+            c.sql_completed,
+            c.predict_completed,
+            c.total_rps,
+            c.sql_p50_us,
+            c.sql_p99_us,
+            c.predict_p50_us,
+            c.predict_p99_us
+        )
+    };
+
+    // Hand-rolled JSON: the repository vendors no serializer.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"Dense(w=64,d=4) predicts + agg scan over {fact_rows} rows\",\n"
+    ));
+    json.push_str(&format!("  \"window_secs\": {},\n", window.as_secs_f64()));
+    json.push_str(&format!(
+        "  \"speedup_unified_vs_three_pool_at_{max_clients}_clients\": {speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"predict_p99_ratio_unified_vs_three_pool_at_{max_clients}_clients\": {p99_ratio:.2},\n"
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&fmt_cell(c, if i + 1 < cells.len() { "," } else { "" }));
+    }
+    json.push_str("  ],\n");
+    // Scheduler observability snapshot of the whole sweep: queue depth,
+    // steals, parks, per-class task latency histograms.
+    json.push_str(&format!("  \"metrics\": {}\n", obs::snapshot().render_json("  ")));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mixed.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -17,4 +17,7 @@ pub mod served;
 
 pub use approach::Approach;
 pub use experiment::{Experiment, ExperimentConfig, RunOutcome, Workload};
-pub use served::{drive_closed_loop, ServeLoadConfig, ServeLoadStats};
+pub use served::{
+    drive_closed_loop, drive_mixed_loop, ClassStats, MixedLoadConfig, MixedLoadStats,
+    ServeLoadConfig, ServeLoadStats,
+};

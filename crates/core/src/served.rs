@@ -119,6 +119,155 @@ pub fn drive_closed_loop(
     }
 }
 
+/// Parameters of one mixed SQL + inference closed-loop measurement.
+#[derive(Clone, Debug)]
+pub struct MixedLoadConfig {
+    /// Closed-loop clients issuing the analytical SQL query.
+    pub sql_clients: usize,
+    /// Closed-loop clients issuing single-row predictions.
+    pub predict_clients: usize,
+    /// Measurement window: every client issues requests closed-loop until
+    /// it expires. Time-bounded (not count-bounded) so a fast class keeps
+    /// offering load for the whole run and total goodput reflects both
+    /// classes — with fixed counts the faster class finishes early and the
+    /// measurement degenerates to the slow class's completion time.
+    pub duration: Duration,
+    /// The SQL text every SQL client submits (a scan/aggregate — the
+    /// long-running class the scheduler must not let starve serving).
+    pub sql: String,
+}
+
+/// Latency/throughput of one request class within a mixed run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassStats {
+    pub completed: usize,
+    pub overload_retries: usize,
+    pub throughput_rps: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+}
+
+/// Outcome of one mixed closed-loop measurement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MixedLoadStats {
+    pub wall: Duration,
+    /// Completed requests per second across both classes.
+    pub total_rps: f64,
+    pub sql: ClassStats,
+    pub predict: ClassStats,
+}
+
+fn class_stats(mut lat: Vec<u64>, retries: usize, wall: Duration) -> ClassStats {
+    lat.sort_unstable();
+    ClassStats {
+        completed: lat.len(),
+        overload_retries: retries,
+        throughput_rps: lat.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+/// Drive a mixed workload: `sql_clients` closed-loop clients hammer the
+/// server with an analytical query while `predict_clients` submit
+/// single-row inferences, all concurrently. This is the scheduler's
+/// contention case — long scan morsels competing with latency-sensitive
+/// serve batches for the same compute threads — and the measurement the
+/// `mixed_sweep` bench A/Bs with the unified scheduler on and off.
+pub fn drive_mixed_loop(
+    server: &Server,
+    model: &str,
+    inputs: &[Vec<f32>],
+    load: &MixedLoadConfig,
+) -> MixedLoadStats {
+    assert!(!inputs.is_empty(), "need at least one input row");
+    let sql_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let predict_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let sql_retries = Mutex::new(0usize);
+    let predict_retries = Mutex::new(0usize);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..load.sql_clients {
+            let (sql_lat, sql_retries, sql) = (&sql_lat, &sql_retries, load.sql.as_str());
+            scope.spawn(move || {
+                let mut my_lat = Vec::new();
+                let mut my_retries = 0usize;
+                while start.elapsed() < load.duration {
+                    let t0 = Instant::now();
+                    let handle = loop {
+                        match server.submit_sql(sql) {
+                            Ok(h) => break h,
+                            Err(ServeError::Overloaded { .. }) => {
+                                my_retries += 1;
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                            Err(e) => panic!("sql client {client}: submit failed: {e}"),
+                        }
+                    };
+                    match handle.wait() {
+                        Ok(Response::Rows(_)) => my_lat.push(t0.elapsed().as_micros() as u64),
+                        Ok(other) => panic!("sql client {client}: unexpected {other:?}"),
+                        Err(e) => panic!("sql client {client}: request failed: {e}"),
+                    }
+                }
+                sql_lat.lock().expect("sql latency lock").extend(my_lat);
+                *sql_retries.lock().expect("sql retry lock") += my_retries;
+            });
+        }
+        for client in 0..load.predict_clients {
+            let (predict_lat, predict_retries) = (&predict_lat, &predict_retries);
+            scope.spawn(move || {
+                let mut my_lat = Vec::new();
+                let mut my_retries = 0usize;
+                let mut r = 0usize;
+                while start.elapsed() < load.duration {
+                    let input = &inputs[(client + r * load.predict_clients.max(1)) % inputs.len()];
+                    r += 1;
+                    let t0 = Instant::now();
+                    let handle = loop {
+                        match server.submit_predict(model, input.clone()) {
+                            Ok(h) => break h,
+                            Err(ServeError::Overloaded { .. }) => {
+                                my_retries += 1;
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                            Err(e) => panic!("predict client {client}: submit failed: {e}"),
+                        }
+                    };
+                    match handle.wait() {
+                        Ok(Response::Prediction(_)) => {
+                            my_lat.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Ok(other) => panic!("predict client {client}: unexpected {other:?}"),
+                        Err(e) => panic!("predict client {client}: request failed: {e}"),
+                    }
+                }
+                predict_lat.lock().expect("predict latency lock").extend(my_lat);
+                *predict_retries.lock().expect("predict retry lock") += my_retries;
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let sql = class_stats(
+        sql_lat.into_inner().expect("sql latency lock"),
+        sql_retries.into_inner().expect("sql retry lock"),
+        wall,
+    );
+    let predict = class_stats(
+        predict_lat.into_inner().expect("predict latency lock"),
+        predict_retries.into_inner().expect("predict retry lock"),
+        wall,
+    );
+    MixedLoadStats {
+        wall,
+        total_rps: (sql.completed + predict.completed) as f64 / wall.as_secs_f64().max(1e-9),
+        sql,
+        predict,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +310,45 @@ mod tests {
         // retries are allowed, drops are not.
         let sstats = server.stats();
         assert_eq!(sstats.completed, 100);
+    }
+
+    #[test]
+    fn mixed_loop_serves_both_classes() {
+        let config = ExperimentConfig {
+            engine: EngineConfig {
+                vector_size: 32,
+                partitions: 2,
+                parallelism: 2,
+                ..Default::default()
+            },
+            ..ExperimentConfig::new(Workload::Dense { width: 4, depth: 2 }, 64)
+        };
+        let ex = Experiment::build(config).unwrap();
+        let server = ex.serve(
+            ServeConfig {
+                workers: 2,
+                batch_flush_us: 100,
+                ..ServeConfig::from_engine(&ex.config().engine)
+            },
+            Device::cpu(),
+        );
+        let inputs: Vec<Vec<f32>> =
+            (0..8).map(|i| vec![0.1 * i as f32; ex.meta.input_dim]).collect();
+        let load = MixedLoadConfig {
+            sql_clients: 1,
+            predict_clients: 2,
+            duration: Duration::from_millis(150),
+            sql: "SELECT COUNT(*) AS n FROM facts".to_string(),
+        };
+        let stats = drive_mixed_loop(&server, "model", &inputs, &load);
+        server.shutdown();
+        assert!(stats.sql.completed > 0, "{stats:?}");
+        assert!(stats.predict.completed > 0, "{stats:?}");
+        assert!(stats.total_rps > 0.0);
+        assert!(stats.sql.p50_us <= stats.sql.p99_us);
+        assert!(stats.predict.p50_us <= stats.predict.p99_us);
+        let sstats = server.stats();
+        assert_eq!(sstats.submitted, sstats.completed, "every request completed");
     }
 
     #[test]

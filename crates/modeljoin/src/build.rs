@@ -487,31 +487,63 @@ pub fn build_parallel(
         lens: bufs.iter().map(Vec::len).collect(),
     };
 
-    // Phase 2: parallel fill over the partitions.
+    // Phase 2: parallel fill over the partitions. Under the unified
+    // scheduler each partition is one Query-class task on the shared pool
+    // (disjoint slab rows, so fills never conflict); otherwise the legacy
+    // per-build thread scope runs.
     let partitions = table.partition_count();
-    let workers = threads.clamp(1, partitions.max(1));
-    std::thread::scope(|scope| -> Result<()> {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let slabs = &slabs;
-            let router = &router;
-            handles.push(scope.spawn(move || -> Result<()> {
-                let mut p = w;
-                while p < partitions {
+    if tensor::unified_scheduler() {
+        let mut slots: Vec<Option<Result<()>>> = (0..partitions).map(|_| None).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(p, slot)| {
+                let slabs = &slabs;
+                let router = &router;
+                Box::new(move || {
+                    let mut result = Ok(());
                     for batch in table.partition_batches(p) {
-                        fill_from_batch(&batch, router, slabs)?;
+                        result = fill_from_batch(&batch, router, slabs);
+                        if result.is_err() {
+                            break;
+                        }
                     }
-                    p += workers;
-                }
-                Ok(())
-            }));
+                    *slot = Some(result);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sched::global().run_scoped(sched::TaskClass::Query, tasks)
+        }))
+        .map_err(|_| EngineError::Execution("build worker panicked".into()))?;
+        for slot in slots {
+            slot.expect("every partition task ran")?;
         }
-        // The join is the single synchronization barrier of Sec. 5.2.
-        for h in handles {
-            h.join().map_err(|_| EngineError::Execution("build worker panicked".into()))??;
-        }
-        Ok(())
-    })?;
+    } else {
+        let workers = threads.clamp(1, partitions.max(1));
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let slabs = &slabs;
+                let router = &router;
+                handles.push(scope.spawn(move || -> Result<()> {
+                    let mut p = w;
+                    while p < partitions {
+                        for batch in table.partition_batches(p) {
+                            fill_from_batch(&batch, router, slabs)?;
+                        }
+                        p += workers;
+                    }
+                    Ok(())
+                }));
+            }
+            // The join is the single synchronization barrier of Sec. 5.2.
+            for h in handles {
+                h.join().map_err(|_| EngineError::Execution("build worker panicked".into()))??;
+            }
+            Ok(())
+        })?;
+    }
 
     // Phase 3: assemble layers — bias replication to vectorsize x m
     // (Sec. 5.4) and, for the GPU variant, one bulk transfer of the whole

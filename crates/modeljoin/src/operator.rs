@@ -173,11 +173,42 @@ pub fn execute_model_join(
         )));
     }
     let fact = engine.table(fact_table)?;
-    // Apply the engine's intra-kernel thread budget to the tensor worker
-    // pool so large per-batch multiplies can fan out (EngineConfig knob;
-    // default 1 keeps partition parallelism the only parallel axis).
-    tensor::parallel::set_kernel_threads(engine.config().kernel_threads);
+    // Apply the engine's thread budget to the kernel dispatch layer so
+    // large per-batch multiplies can fan out; under the unified scheduler
+    // the fan-out shares the same worker pool as the partition tasks.
+    tensor::set_unified_scheduler(engine.config().unified_sched);
+    tensor::parallel::set_kernel_threads(engine.config().effective_worker_threads());
     let partitions = fact.partition_count();
+    if engine.config().unified_sched {
+        // One Query-class task per partition on the shared pool; the
+        // model is shared, batches gather in partition order.
+        let mut slots: Vec<Option<Result<Vec<Batch>>>> = (0..partitions).map(|_| None).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(p, slot)| {
+                let input_idx = input_idx.clone();
+                let payload_idx = payload_idx.clone();
+                let shared = Arc::clone(shared);
+                Box::new(move || {
+                    let result = engine.scan_partition(fact_table, p).and_then(|scan| {
+                        let op = ModelJoinOp::new(scan, shared, input_idx, payload_idx);
+                        drain(Box::new(op))
+                    });
+                    *slot = Some(result);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sched::global().run_scoped(sched::TaskClass::Query, tasks)
+        }))
+        .map_err(|_| EngineError::Execution("ModelJoin worker panicked".into()))?;
+        let mut out = Vec::new();
+        for s in slots {
+            out.extend(s.expect("every partition task ran")?);
+        }
+        return Ok(out);
+    }
     let workers = parallelism.clamp(1, partitions);
     let mut slots: Vec<Result<Vec<Batch>>> = (0..partitions).map(|_| Ok(Vec::new())).collect();
     std::thread::scope(|scope| -> Result<()> {

@@ -25,6 +25,35 @@ pub static TENSOR_GEMM_US: Histogram = Histogram::new();
 /// Time spent packing A/B panels into kernel scratch, µs (span-gated).
 pub static TENSOR_PACK_US: Histogram = Histogram::new();
 
+// --- sched: unified work-stealing scheduler -------------------------------
+
+/// Serve-class tasks submitted (latency-sensitive, high-priority injector).
+pub static SCHED_TASKS_SERVE: Counter = Counter::new();
+/// Query-class tasks submitted (partition/operator morsels).
+pub static SCHED_TASKS_QUERY: Counter = Counter::new();
+/// Kernel-class tasks submitted (GEMM tile ranges).
+pub static SCHED_TASKS_KERNEL: Counter = Counter::new();
+/// Tasks a worker claimed from another worker's deque.
+pub static SCHED_STEALS: Counter = Counter::new();
+/// Times a worker parked on the idle condvar.
+pub static SCHED_PARKS: Counter = Counter::new();
+/// Times a parked worker was woken.
+pub static SCHED_UNPARKS: Counter = Counter::new();
+/// Task panics caught by the scheduler's per-task `catch_unwind`.
+pub static SCHED_PANICS_CAUGHT: Counter = Counter::new();
+/// Worker threads owned by the process-wide scheduler.
+pub static SCHED_WORKERS: Gauge = Gauge::new();
+/// Tasks currently queued (all deques + both injectors).
+pub static SCHED_QUEUE_DEPTH: Gauge = Gauge::new();
+/// Submit-to-claim queue wait per task, µs (span-gated).
+pub static SCHED_QUEUE_WAIT_US: Histogram = Histogram::new();
+/// Run time of serve-class tasks, µs (span-gated).
+pub static SCHED_TASK_SERVE_US: Histogram = Histogram::new();
+/// Run time of query-class tasks, µs (span-gated).
+pub static SCHED_TASK_QUERY_US: Histogram = Histogram::new();
+/// Run time of kernel-class tasks, µs (span-gated).
+pub static SCHED_TASK_KERNEL_US: Histogram = Histogram::new();
+
 // --- vector-engine: executor + plan cache --------------------------------
 
 /// Plan-cache lookups that returned a cached plan at the current epoch.
@@ -81,6 +110,13 @@ pub static SERVE_E2E_US: Histogram = Histogram::new();
 // --- catalog walked by `crate::snapshot` ---------------------------------
 
 pub static COUNTERS: &[(&str, &Counter)] = &[
+    ("sched.tasks.serve", &SCHED_TASKS_SERVE),
+    ("sched.tasks.query", &SCHED_TASKS_QUERY),
+    ("sched.tasks.kernel", &SCHED_TASKS_KERNEL),
+    ("sched.steals", &SCHED_STEALS),
+    ("sched.parks", &SCHED_PARKS),
+    ("sched.unparks", &SCHED_UNPARKS),
+    ("sched.panics_caught", &SCHED_PANICS_CAUGHT),
     ("tensor.gemm.calls", &TENSOR_GEMM_CALLS),
     ("tensor.gemm.flops", &TENSOR_GEMM_FLOPS),
     ("tensor.pool.jobs", &TENSOR_POOL_JOBS),
@@ -99,10 +135,18 @@ pub static COUNTERS: &[(&str, &Counter)] = &[
     ("serve.locks_recovered", &SERVE_LOCKS_RECOVERED),
 ];
 
-pub static GAUGES: &[(&str, &Gauge)] =
-    &[("tensor.pool.workers", &TENSOR_POOL_WORKERS), ("serve.queue.depth", &SERVE_QUEUE_DEPTH)];
+pub static GAUGES: &[(&str, &Gauge)] = &[
+    ("sched.workers", &SCHED_WORKERS),
+    ("sched.queue.depth", &SCHED_QUEUE_DEPTH),
+    ("tensor.pool.workers", &TENSOR_POOL_WORKERS),
+    ("serve.queue.depth", &SERVE_QUEUE_DEPTH),
+];
 
 pub static HISTOGRAMS: &[(&str, &Histogram)] = &[
+    ("sched.queue.wait_us", &SCHED_QUEUE_WAIT_US),
+    ("sched.task.serve.us", &SCHED_TASK_SERVE_US),
+    ("sched.task.query.us", &SCHED_TASK_QUERY_US),
+    ("sched.task.kernel.us", &SCHED_TASK_KERNEL_US),
     ("tensor.gemm.us", &TENSOR_GEMM_US),
     ("tensor.pack.us", &TENSOR_PACK_US),
     ("modeljoin.build.us", &MODELJOIN_BUILD_US),

@@ -27,6 +27,11 @@ pub struct ServeConfig {
     pub model_cache: bool,
     /// Default per-request deadline in milliseconds; 0 disables it.
     pub default_timeout_ms: u64,
+    /// Run batch execution on the process-wide unified scheduler
+    /// (default, from `EngineConfig::unified_sched`): one coordinator
+    /// thread coalesces batches and submits them as high-priority
+    /// Serve-class tasks. Off = the legacy dedicated worker pool.
+    pub unified: bool,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +53,7 @@ impl ServeConfig {
             batching: true,
             model_cache: true,
             default_timeout_ms: 0,
+            unified: cfg.unified_sched,
         }
     }
 }
@@ -69,5 +75,6 @@ mod tests {
         assert_eq!((s.workers, s.queue_depth, s.batch_flush_us, s.max_batch_rows), (3, 9, 77, 256));
         assert!(s.batching && s.model_cache);
         assert_eq!(s.default_timeout_ms, 0);
+        assert!(s.unified, "serve rides the unified scheduler by default");
     }
 }

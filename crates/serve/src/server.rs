@@ -20,6 +20,21 @@
 //! workers finish what is queued, and anything left after the workers exit
 //! (possible only with zero workers) completes with
 //! [`ServeError::ShuttingDown`].
+//!
+//! Under the unified scheduler (`ServeConfig::unified`, the default) the
+//! per-server worker pool is replaced by **one coordinator thread** that
+//! drains the admission queue, coalesces per-model batches concurrently
+//! (every model accumulates its own batch at once, where the legacy pool
+//! needed one worker per model to do that), and submits each ready batch
+//! as a high-priority Serve-class task to the process-wide pool in
+//! `crates/sched` — so inference shares workers with, and preempts,
+//! queued scan morsels. An in-flight count tracks submitted tasks;
+//! [`Server::shutdown`] first joins the coordinator (which flushes every
+//! pending batch) and then waits for the scheduler to finish all of them,
+//! so no batch is abandoned mid-pool. The PR-5 panic contract is kept:
+//! inference panics are caught per batch (`serve.panics_caught`), and a
+//! scheduler-side backstop completes a batch's slots with
+//! [`ServeError::Internal`] if anything else in the task unwinds.
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
@@ -213,6 +228,10 @@ struct Shared {
     models: Mutex<HashMap<String, ModelEntry>>,
     model_cache: ModelCache,
     counters: Counters,
+    /// Unified mode: batches handed to the scheduler and not yet finished.
+    /// Shutdown waits for this to reach zero after the coordinator exits.
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
 }
 
 /// The serving front end. See the module docs for the architecture.
@@ -232,13 +251,30 @@ impl Server {
             models: Mutex::new(HashMap::new()),
             model_cache: ModelCache::new(),
             counters: Counters::default(),
+            inflight: Mutex::new(0),
+            inflight_cv: Condvar::new(),
         });
-        let workers = (0..shared.cfg.workers)
-            .map(|_| {
+        let workers = if shared.cfg.unified {
+            if shared.cfg.workers > 0 {
+                // One coordinator regardless of `workers`: compute happens
+                // on the scheduler, which must have at least one thread
+                // for detached Serve tasks to make progress.
+                sched::configure_workers(1);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+                vec![std::thread::spawn(move || coordinator_loop(&shared))]
+            } else {
+                // Zero workers stays inert (admission-control tests rely
+                // on nothing consuming the queue until shutdown).
+                Vec::new()
+            }
+        } else {
+            (0..shared.cfg.workers)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+                .collect()
+        };
         Server { shared, workers: Mutex::new(workers) }
     }
 
@@ -325,23 +361,67 @@ impl Server {
             }
         }
         let queued = Queued { work, slot: Arc::clone(&slot), deadline };
+        // Unified mode: work that never coalesces (SQL always; predicts
+        // when batching is off) skips the coordinator and goes straight to
+        // the scheduler — the submit → coordinator → worker double handoff
+        // would otherwise dominate small-request latency. Admission is then
+        // measured on the in-flight task count, the scheduler-side analogue
+        // of queue depth. Dispatch happens under the state lock so a
+        // concurrent shutdown either sees `accepting == false` here or
+        // observes the incremented in-flight count in its drain wait.
+        let direct = self.shared.cfg.unified
+            && self.shared.cfg.workers > 0
+            && (matches!(queued.work, Work::Sql(_)) || !self.shared.cfg.batching);
+        // With batching off the server is in synchronous point-serving
+        // mode: nothing ever coalesces, so the cheapest correct execution
+        // is caller-runs — the submitting thread executes the request
+        // itself after admission, paying zero cross-thread handoffs. With
+        // batching on, direct work still goes through the scheduler so
+        // Serve/Query class priorities apply.
+        let inline = direct && !self.shared.cfg.batching;
+        let mut caller_runs: Option<(Option<String>, Queued)> = None;
         {
             let mut state = lock_recover(&self.shared.state);
             if !state.accepting {
                 return Err(ServeError::ShuttingDown);
             }
-            if state.queue.len() >= self.shared.cfg.queue_depth {
-                self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                om::SERVE_REJECTED.add(1);
-                return Err(ServeError::Overloaded { depth: self.shared.cfg.queue_depth });
+            if direct {
+                if *lock_recover(&self.shared.inflight) >= self.shared.cfg.queue_depth {
+                    self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    om::SERVE_REJECTED.add(1);
+                    return Err(ServeError::Overloaded { depth: self.shared.cfg.queue_depth });
+                }
+                let model = match &queued.work {
+                    Work::Sql(_) => None,
+                    Work::Predict { model, .. } => Some(model.clone()),
+                };
+                if inline {
+                    // Claim the in-flight slot under the state lock (so a
+                    // concurrent shutdown waits for us), execute after
+                    // releasing it.
+                    *lock_recover(&self.shared.inflight) += 1;
+                    caller_runs = Some((model, queued));
+                } else {
+                    dispatch(&self.shared, model, vec![queued]);
+                }
+            } else {
+                if state.queue.len() >= self.shared.cfg.queue_depth {
+                    self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    om::SERVE_REJECTED.add(1);
+                    return Err(ServeError::Overloaded { depth: self.shared.cfg.queue_depth });
+                }
+                state.queue.push_back(queued);
+                om::SERVE_QUEUE_DEPTH.set(state.queue.len() as i64);
             }
-            state.queue.push_back(queued);
-            om::SERVE_QUEUE_DEPTH.set(state.queue.len() as i64);
         }
         self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        // notify_all: a worker parked in its flush-deadline wait must also
-        // see new arrivals, not only idle workers.
-        self.shared.work_cv.notify_all();
+        if let Some((model, q)) = caller_runs {
+            run_batch(&self.shared, model, vec![q]);
+        } else if !direct {
+            // notify_all: a worker parked in its flush-deadline wait must
+            // also see new arrivals, not only idle workers.
+            self.shared.work_cv.notify_all();
+        }
         Ok(RequestHandle { slot })
     }
 
@@ -358,6 +438,15 @@ impl Server {
         let workers = std::mem::take(&mut *lock_recover(&self.workers));
         for w in workers {
             let _ = w.join();
+        }
+        // Unified mode: the coordinator has flushed every pending batch to
+        // the scheduler; wait for those tasks to finish so no request is
+        // abandoned mid-pool. (Always zero in legacy mode.)
+        {
+            let mut inflight = lock_recover(&self.shared.inflight);
+            while *inflight > 0 {
+                inflight = wait_recover(&self.shared.inflight_cv, inflight);
+            }
         }
         let leftovers: Vec<Queued> = {
             let mut state = lock_recover(&self.shared.state);
@@ -412,6 +501,184 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A per-model batch the coordinator is still filling.
+struct PendingBatch {
+    model: String,
+    items: Vec<Queued>,
+    flush_at: Instant,
+}
+
+/// Hand one unit of serving work to the scheduler. `model` is `Some` for
+/// a coalesced predict batch, `None` for SQL. Predict batches go out as
+/// Serve-class tasks — the high-priority class that jumps morsel backlogs
+/// and gets picked up at morsel boundaries by threads running scans — while
+/// SQL requests are Query-class like any other analytical work, so a burst
+/// of served SQL cannot starve inference latency. The in-flight count
+/// covers submit → task end; a panic anywhere in the task (beyond the
+/// per-batch inference `catch_unwind` inside [`execute_predict_batch`]) is
+/// caught here so the batch's slots still complete and shutdown's
+/// in-flight wait still terminates.
+fn dispatch(shared: &Arc<Shared>, model: Option<String>, batch: Vec<Queued>) {
+    dispatch_inner(shared, model, batch, false);
+}
+
+/// Like [`dispatch`], but skips the worker wakeup: only for the
+/// coordinator's flush-then-help loop, which runs [`sched::Scheduler::help_one`]
+/// once per quiet dispatch right after flushing — waking a worker too
+/// would just lose the claim race and burn a futile park/unpark cycle.
+fn dispatch_quiet(shared: &Arc<Shared>, model: Option<String>, batch: Vec<Queued>) {
+    dispatch_inner(shared, model, batch, true);
+}
+
+fn dispatch_inner(shared: &Arc<Shared>, model: Option<String>, batch: Vec<Queued>, quiet: bool) {
+    *lock_recover(&shared.inflight) += 1;
+    let class = if model.is_some() { sched::TaskClass::Serve } else { sched::TaskClass::Query };
+    let shared = Arc::clone(shared);
+    let job = move || run_batch(&shared, model, batch);
+    if quiet {
+        sched::global().spawn_quiet(class, job);
+    } else {
+        sched::global().spawn(class, job);
+    }
+}
+
+/// Execute one dispatched unit of serving work (a coalesced predict batch
+/// or a single SQL request), completing every slot even on panic, and
+/// release its in-flight slot. Runs on a scheduler worker for spawned
+/// tasks, on the coordinator via [`sched::Scheduler::help_one`], or on the
+/// submitter itself for caller-run unbatched requests.
+fn run_batch(shared: &Arc<Shared>, model: Option<String>, batch: Vec<Queued>) {
+    let slots: Vec<Arc<Slot>> = batch.iter().map(|q| Arc::clone(&q.slot)).collect();
+    let run = catch_unwind(AssertUnwindSafe(|| match &model {
+        Some(m) => execute_predict_batch(shared, m, batch),
+        None => {
+            for q in batch {
+                execute_sql(shared, q);
+            }
+        }
+    }));
+    if run.is_err() {
+        om::SERVE_PANICS_CAUGHT.add(1);
+        for slot in &slots {
+            slot.complete(Err(ServeError::Internal("serving task panicked".into())));
+        }
+    }
+    let mut inflight = lock_recover(&shared.inflight);
+    *inflight -= 1;
+    if *inflight == 0 {
+        shared.inflight_cv.notify_all();
+    }
+}
+
+/// The unified-mode coordinator: drains the admission queue, coalesces
+/// per-model batches concurrently, and flushes each one to the scheduler
+/// when it fills, when its flush deadline passes, or at shutdown. Exits
+/// once the server stops accepting and everything pending is flushed.
+fn coordinator_loop(shared: &Arc<Shared>) {
+    let mut pending: Vec<PendingBatch> = Vec::new();
+    let mut state = lock_recover(&shared.state);
+    loop {
+        // Route everything queued: SQL straight to the scheduler, predict
+        // requests into their model's pending batch.
+        while let Some(q) = state.queue.pop_front() {
+            om::SERVE_QUEUE_DEPTH.set(state.queue.len() as i64);
+            match &q.work {
+                Work::Sql(_) => dispatch(shared, None, vec![q]),
+                Work::Predict { model, .. } => {
+                    if !shared.cfg.batching {
+                        let model = model.clone();
+                        dispatch(shared, Some(model), vec![q]);
+                        continue;
+                    }
+                    let model = model.clone();
+                    match pending.iter_mut().find(|b| b.model == model) {
+                        Some(b) => b.items.push(q),
+                        None => pending.push(PendingBatch {
+                            model,
+                            items: vec![q],
+                            flush_at: Instant::now()
+                                + Duration::from_micros(shared.cfg.batch_flush_us),
+                        }),
+                    }
+                }
+            }
+        }
+        // Flush what is ready: full batches (oversized ones split at
+        // `max_batch_rows`), batches whose deadline fired, and — once the
+        // server stops accepting — everything, so shutdown never strands
+        // a partial batch.
+        let accepting = state.accepting;
+        let now = Instant::now();
+        // Work-conserving flush: when nothing is in flight, holding a
+        // partial batch for the rest of its window buys no overlap — the
+        // executor would sit idle exactly that long. Flush it now and let
+        // the next batch coalesce while this one runs; under sustained
+        // load this self-clocks into pipelined batches (arrivals during
+        // execution form the next batch), while the deadline still bounds
+        // worst-case batching delay when the pool is busy.
+        let idle = *lock_recover(&shared.inflight) == 0;
+        let mut i = 0;
+        let mut flushed = 0usize;
+        while i < pending.len() {
+            if pending[i].items.len() >= shared.cfg.max_batch_rows {
+                let batch = &mut pending[i];
+                let rest = batch.items.split_off(shared.cfg.max_batch_rows);
+                let full = std::mem::replace(&mut batch.items, rest);
+                dispatch_quiet(shared, Some(batch.model.clone()), full);
+                flushed += 1;
+                if pending[i].items.is_empty() {
+                    pending.remove(i);
+                }
+                // Re-examine index i: the remainder may itself be ready.
+            } else if idle || now >= pending[i].flush_at || !accepting {
+                if now >= pending[i].flush_at {
+                    om::SERVE_FLUSH_DEADLINE_FIRES.add(1);
+                }
+                let batch = pending.remove(i);
+                dispatch_quiet(shared, Some(batch.model), batch.items);
+                flushed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        // Help run what was just flushed instead of sleeping while a pool
+        // worker wakes up: the coordinator is already on-CPU, and
+        // `help_one` claims Serve-class tasks only, so at worst it runs a
+        // sibling batch some other producer flushed. Bounded by the flush
+        // count so a deep high-priority backlog cannot capture the
+        // coordinator indefinitely. The state lock is released first —
+        // submitters keep queueing while the batch executes.
+        if flushed > 0 {
+            drop(state);
+            for _ in 0..flushed {
+                if !sched::global().help_one() {
+                    break;
+                }
+            }
+            state = lock_recover(&shared.state);
+            continue;
+        }
+        if !state.queue.is_empty() {
+            continue;
+        }
+        if !accepting {
+            debug_assert!(pending.is_empty(), "everything flushes once accepting drops");
+            return;
+        }
+        // Sleep until new work arrives or the earliest pending deadline.
+        match pending.iter().map(|b| b.flush_at).min() {
+            Some(at) => {
+                let now = Instant::now();
+                if now >= at {
+                    continue;
+                }
+                state = wait_timeout_recover(&shared.work_cv, state, at - now);
+            }
+            None => state = wait_recover(&shared.work_cv, state),
+        }
     }
 }
 
@@ -613,6 +880,7 @@ mod tests {
             batching: true,
             model_cache: true,
             default_timeout_ms: 0,
+            unified: true,
         }
     }
 

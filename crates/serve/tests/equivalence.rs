@@ -51,6 +51,7 @@ fn served_predictions_are_bit_identical_to_unbatched_inference() {
             batching: true,
             model_cache: true,
             default_timeout_ms: 0,
+            unified: true,
         },
     );
     server.register_model(

@@ -34,6 +34,7 @@ fn config() -> ServeConfig {
         batching: true,
         model_cache: true,
         default_timeout_ms: 0,
+        unified: true,
     }
 }
 

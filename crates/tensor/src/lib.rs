@@ -25,4 +25,4 @@ pub mod parallel;
 pub use activation::Activation;
 pub use device::{Device, DeviceKind, DeviceReport, GpuModel};
 pub use matrix::Matrix;
-pub use parallel::{kernel_threads, set_kernel_threads};
+pub use parallel::{kernel_threads, set_kernel_threads, set_unified_scheduler, unified_scheduler};

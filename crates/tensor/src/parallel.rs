@@ -11,6 +11,14 @@
 //!
 //! Workers are spawned lazily on first use, never exit, and park on a
 //! condvar while idle, so an idle pool costs nothing on the hot path.
+//!
+//! Since the unified scheduler landed, this module is a *dispatch layer*:
+//! by default ([`unified_scheduler`] = true) `run_scoped` forwards kernel
+//! tile tasks to the process-wide work-stealing scheduler in `crates/sched`
+//! as `TaskClass::Kernel` work, so GEMM tiles share workers with operator
+//! morsels and serve batches instead of owning a private pool. The legacy
+//! dedicated pool is kept behind [`set_unified_scheduler`] (false) for A/B
+//! measurement against the three-pool baseline.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -19,10 +27,33 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// Requested intra-kernel thread count (including the calling thread).
 static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
 
+/// Route kernel fan-outs through the unified scheduler (default) instead
+/// of the legacy dedicated pool.
+static USE_SCHED: AtomicBool = AtomicBool::new(true);
+
+/// Choose between the unified scheduler (true, default) and the legacy
+/// dedicated kernel pool (false). Process-wide; wired to
+/// `EngineConfig::unified_sched` by the engine crate.
+pub fn set_unified_scheduler(on: bool) {
+    USE_SCHED.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel fan-outs currently go to the unified scheduler.
+pub fn unified_scheduler() -> bool {
+    USE_SCHED.load(Ordering::Relaxed)
+}
+
 /// Set how many threads a single large kernel may use (clamped to ≥ 1).
-/// Cheap to call per query; the pool grows lazily and never shrinks.
+/// Cheap to call per query; the pool grows lazily and never shrinks. In
+/// unified mode this also grows the shared scheduler so standalone kernel
+/// callers (benches, tests) get the parallelism they asked for — `n`
+/// includes the calling thread, hence `n - 1` pool workers.
 pub fn set_kernel_threads(n: usize) {
-    KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
+    let n = n.max(1);
+    KERNEL_THREADS.store(n, Ordering::Relaxed);
+    if unified_scheduler() {
+        sched::configure_workers(n - 1);
+    }
 }
 
 /// Current intra-kernel thread budget.
@@ -142,6 +173,15 @@ pub(crate) fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         }
         return;
     }
+    if unified_scheduler() {
+        // Unified path: tiles become Kernel-class tasks on the shared
+        // pool; the caller cooperatively helps run its own scope, so a
+        // kernel fan-out nested inside an operator morsel never blocks a
+        // scheduler worker on stealable work.
+        obs::metrics::TENSOR_POOL_JOBS.add((n - 1) as u64);
+        sched::global().run_scoped(sched::TaskClass::Kernel, tasks);
+        return;
+    }
     let pool = pool();
     pool.ensure_workers(n - 1);
     let latch = Arc::new(Latch::new(n));
@@ -219,6 +259,22 @@ mod tests {
             run_scoped(tasks);
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn legacy_pool_still_works_when_unified_disabled() {
+        set_unified_scheduler(false);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        set_unified_scheduler(true);
     }
 
     #[test]

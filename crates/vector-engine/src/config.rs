@@ -26,11 +26,19 @@ pub struct EngineConfig {
     /// the per-row gather materializes only live columns. Matters for
     /// ML-To-SQL, whose model-table joins carry many dead weight columns.
     pub column_pruning: bool,
-    /// Threads a single large tensor kernel (one `sgemm`) may fan out to.
-    /// Default 1: partition parallelism is the engine's primary parallel
-    /// axis, and intra-kernel threads would oversubscribe it. Raise for
-    /// low-concurrency workloads with very large per-batch multiplies.
-    pub kernel_threads: usize,
+    /// Worker threads owned by the process-wide unified scheduler — the
+    /// single pool that runs operator morsels, GEMM tile tasks, and serve
+    /// batches. 0 (the default) sizes the pool to the machine
+    /// (`std::thread::available_parallelism`). Replaces the old
+    /// per-kernel `kernel_threads` knob, which `from_kv` still accepts as
+    /// a deprecated alias for this field.
+    pub worker_threads: usize,
+    /// Run all compute through the unified work-stealing scheduler
+    /// (default). When false, the engine reverts to the pre-scheduler
+    /// three-pool layout (per-query `thread::scope` partition workers, a
+    /// dedicated tensor kernel pool, dedicated serve workers) — kept so
+    /// benchmarks can measure the baseline this layer replaced.
+    pub unified_sched: bool,
     /// Run joins and aggregations through the seed value-at-a-time
     /// operators (`exec::rowwise`) instead of the vectorized ones. Off by
     /// default; exists so benchmarks can measure the pre-vectorization
@@ -69,7 +77,8 @@ impl Default for EngineConfig {
             hash_join: true,
             predicate_pushdown: true,
             column_pruning: true,
-            kernel_threads: 1,
+            worker_threads: 0,
+            unified_sched: true,
             rowwise_ops: false,
             plan_cache_entries: 128,
             serve_queue_depth: 1024,
@@ -91,13 +100,25 @@ impl EngineConfig {
         EngineConfig { partitions: 1, parallelism: 1, ..Default::default() }
     }
 
+    /// The scheduler pool size this configuration asks for: the explicit
+    /// [`EngineConfig::worker_threads`] value, or the machine's available
+    /// parallelism when it is 0 (auto). Always ≥ 1.
+    pub fn effective_worker_threads(&self) -> usize {
+        if self.worker_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.worker_threads
+        }
+    }
+
     /// Serialize every knob as `key=value` lines (stable order). The
     /// inverse of [`EngineConfig::from_kv`]; used by benchmark drivers to
     /// record the exact engine setup next to their results.
     pub fn to_kv(&self) -> String {
         format!(
             "vector_size={}\npartitions={}\nparallelism={}\nsma_pruning={}\nhash_join={}\n\
-             predicate_pushdown={}\ncolumn_pruning={}\nkernel_threads={}\nrowwise_ops={}\n\
+             predicate_pushdown={}\ncolumn_pruning={}\nworker_threads={}\nunified_sched={}\n\
+             rowwise_ops={}\n\
              plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\nobs_spans={}\n",
             self.vector_size,
             self.partitions,
@@ -106,7 +127,8 @@ impl EngineConfig {
             self.hash_join,
             self.predicate_pushdown,
             self.column_pruning,
-            self.kernel_threads,
+            self.worker_threads,
+            self.unified_sched,
             self.rowwise_ops,
             self.plan_cache_entries,
             self.serve_queue_depth,
@@ -144,8 +166,16 @@ impl EngineConfig {
                 "column_pruning" => {
                     cfg.column_pruning = value.parse().map_err(|_| bad(key, value))?
                 }
+                "worker_threads" => {
+                    cfg.worker_threads = value.parse().map_err(|_| bad(key, value))?
+                }
+                // Deprecated alias from the pre-scheduler era; the old
+                // intra-kernel knob now sizes the unified worker pool.
                 "kernel_threads" => {
-                    cfg.kernel_threads = value.parse().map_err(|_| bad(key, value))?
+                    cfg.worker_threads = value.parse().map_err(|_| bad(key, value))?
+                }
+                "unified_sched" => {
+                    cfg.unified_sched = value.parse().map_err(|_| bad(key, value))?
                 }
                 "rowwise_ops" => cfg.rowwise_ops = value.parse().map_err(|_| bad(key, value))?,
                 "plan_cache_entries" => {
@@ -178,7 +208,9 @@ mod tests {
         assert_eq!(c.partitions, 12);
         assert_eq!(c.parallelism, 12);
         assert!(c.sma_pruning && c.hash_join && c.predicate_pushdown && c.column_pruning);
-        assert_eq!(c.kernel_threads, 1, "kernels stay single-threaded by default");
+        assert_eq!(c.worker_threads, 0, "scheduler pool auto-sizes to the machine");
+        assert!(c.unified_sched, "the unified scheduler is the default execution mode");
+        assert!(c.effective_worker_threads() >= 1);
         assert!(!c.rowwise_ops, "vectorized operators are the default");
         assert_eq!(c.plan_cache_entries, 128);
         assert_eq!(c.serve_queue_depth, 1024);
@@ -193,6 +225,8 @@ mod tests {
 
         let modified = EngineConfig {
             vector_size: 64,
+            worker_threads: 5,
+            unified_sched: false,
             rowwise_ops: true,
             plan_cache_entries: 0,
             serve_queue_depth: 7,
@@ -201,6 +235,13 @@ mod tests {
             ..EngineConfig::default()
         };
         assert_eq!(EngineConfig::from_kv(&modified.to_kv()).unwrap(), modified);
+    }
+
+    #[test]
+    fn kv_accepts_deprecated_kernel_threads_alias() {
+        let cfg = EngineConfig::from_kv("kernel_threads=3").unwrap();
+        assert_eq!(cfg.worker_threads, 3, "alias writes worker_threads");
+        assert_eq!(cfg.effective_worker_threads(), 3);
     }
 
     #[test]

@@ -25,6 +25,17 @@
 //!
 //! Top-level `ORDER BY` / `LIMIT` are peeled off and applied serially over
 //! the gathered partition results.
+//!
+//! Under the unified scheduler (`EngineConfig::unified_sched`, default)
+//! the unit of parallelism is the **morsel** — a block range within one
+//! partition, at most [`MORSEL_ROWS`] rows — submitted as Query-class
+//! tasks to the process-wide work-stealing pool in `crates/sched`. The
+//! driving thread cooperatively runs its own morsels while waiting, so
+//! queries never spawn threads, and stealing balances skewed partitions.
+//! Results (and partial-aggregate merges) are gathered in (partition,
+//! block-range) order, preserving the legacy path's deterministic output.
+//! When the flag is off, the pre-scheduler per-query `thread::scope`
+//! strategy below runs instead (kept as the benchmark baseline).
 
 use crate::column::Batch;
 use crate::config::EngineConfig;
@@ -38,8 +49,17 @@ use crate::storage::Table;
 use crate::types::DataType;
 use std::sync::Arc;
 
+/// Target rows per scheduler morsel: large enough that per-task overhead
+/// vanishes, small enough that stealing can balance a skewed partition.
+const MORSEL_ROWS: usize = 65536;
+
 /// Execute a plan to completion, using partition parallelism when safe.
 pub fn execute(plan: &LogicalPlan, config: &EngineConfig) -> Result<Vec<Batch>> {
+    if config.unified_sched {
+        // Grow-only and cheap when already satisfied; direct callers
+        // (tests, benches) get a sized pool without an Engine.
+        sched::configure_workers(config.effective_worker_threads());
+    }
     // Peel the serial tail.
     let mut post: Vec<PostOp> = Vec::new();
     let mut core = plan;
@@ -85,6 +105,35 @@ enum PostOp {
     Limit(u64),
 }
 
+/// The morsel list for `table`: `(partition, [start, end) block range)`
+/// entries in (partition, range) order, covering every block exactly once.
+/// Empty partitions contribute nothing.
+fn build_morsels(table: &Arc<Table>, config: &EngineConfig) -> Vec<(usize, (usize, usize))> {
+    let block_counts: Vec<usize> =
+        table.with_partitions(|parts| parts.iter().map(|p| p.block_count()).collect());
+    let blocks_per_morsel = (MORSEL_ROWS / config.vector_size.max(1)).max(1);
+    let mut morsels = Vec::new();
+    for (p, &blocks) in block_counts.iter().enumerate() {
+        let mut start = 0;
+        while start < blocks {
+            let end = (start + blocks_per_morsel).min(blocks);
+            morsels.push((p, (start, end)));
+            start = end;
+        }
+    }
+    morsels
+}
+
+/// Run borrowed tasks on the global scheduler as Query-class work,
+/// converting a task panic into the same execution error the legacy
+/// `thread::scope` path reports.
+fn run_on_scheduler(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) -> Result<()> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched::global().run_scoped(sched::TaskClass::Query, tasks)
+    }))
+    .map_err(|_| EngineError::Execution("parallel worker panicked".into()))
+}
+
 /// If `core` is an aggregation that the group-on-unique-key rule rejects
 /// but whose input alone is partition-safe, pick the partial-aggregate
 /// plan: the partition table plus the aggregation pieces.
@@ -114,39 +163,64 @@ fn execute_partial_agg(
     config: &EngineConfig,
 ) -> Result<Vec<Batch>> {
     let partitions = table.partition_count();
-    let workers = config.parallelism.min(partitions).max(1);
     let ngroup = group.len();
     let agg_types = &output_types[ngroup..];
-    let mut slots: Vec<Option<Result<GroupedAggState>>> = (0..partitions).map(|_| None).collect();
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let table = Arc::clone(table);
-            handles.push(scope.spawn(move || -> Vec<(usize, Result<GroupedAggState>)> {
-                let mut out = Vec::new();
-                let mut p = w;
-                while p < partitions {
-                    let ctx = ExecContext::for_partition(config, Arc::clone(&table), p);
-                    out.push((p, partition_state(input, group, aggs, agg_types, &ctx)));
-                    p += workers;
-                }
-                out
-            }));
-        }
-        for h in handles {
-            let results =
-                h.join().map_err(|_| EngineError::Execution("parallel worker panicked".into()))?;
-            for (p, r) in results {
-                slots[p] = Some(r);
+    let states: Vec<Result<GroupedAggState>> = if config.unified_sched {
+        // Morsel path: one partial state per block range, merged in
+        // (partition, range) order — same deterministic group order as the
+        // legacy per-partition merge.
+        let morsels = build_morsels(table, config);
+        let mut slots: Vec<Option<Result<GroupedAggState>>> =
+            (0..morsels.len()).map(|_| None).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .zip(&morsels)
+            .map(|(slot, &(p, range))| {
+                let table = Arc::clone(table);
+                Box::new(move || {
+                    let ctx = ExecContext::for_morsel(config, table, p, Some(range));
+                    *slot = Some(partition_state(input, group, aggs, agg_types, &ctx));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_on_scheduler(tasks)?;
+        slots.into_iter().map(|s| s.expect("every morsel task ran")).collect()
+    } else {
+        let workers = config.parallelism.min(partitions).max(1);
+        let mut slots: Vec<Option<Result<GroupedAggState>>> =
+            (0..partitions).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let table = Arc::clone(table);
+                handles.push(scope.spawn(move || -> Vec<(usize, Result<GroupedAggState>)> {
+                    let mut out = Vec::new();
+                    let mut p = w;
+                    while p < partitions {
+                        let ctx = ExecContext::for_partition(config, Arc::clone(&table), p);
+                        out.push((p, partition_state(input, group, aggs, agg_types, &ctx)));
+                        p += workers;
+                    }
+                    out
+                }));
             }
-        }
-        Ok(())
-    })?;
+            for h in handles {
+                let results = h
+                    .join()
+                    .map_err(|_| EngineError::Execution("parallel worker panicked".into()))?;
+                for (p, r) in results {
+                    slots[p] = Some(r);
+                }
+            }
+            Ok(())
+        })?;
+        slots.into_iter().map(|s| s.expect("every partition was assigned to a worker")).collect()
+    };
 
     let mut merged = GroupedAggState::new(aggs, agg_types);
-    for slot in slots {
-        merged.merge(slot.expect("every partition was assigned to a worker")?)?;
+    for state in states {
+        merged.merge(state?)?;
     }
     let result = merged.finalize(ngroup, output_types)?;
 
@@ -186,6 +260,9 @@ fn execute_partitioned(
     table: &Arc<Table>,
     config: &EngineConfig,
 ) -> Result<Vec<Batch>> {
+    if config.unified_sched {
+        return execute_morsels(plan, table, config);
+    }
     let partitions = table.partition_count();
     let workers = config.parallelism.min(partitions).max(1);
     let mut slots: Vec<Result<Vec<Batch>>> = (0..partitions).map(|_| Ok(Vec::new())).collect();
@@ -225,6 +302,36 @@ fn execute_partitioned(
     let mut out = Vec::new();
     for slot in slots {
         out.extend(slot?);
+    }
+    Ok(out)
+}
+
+/// Unified-scheduler partitioned execution: each morsel drains a private
+/// plan copy restricted to its block range; results gather in (partition,
+/// range) order, matching the legacy path's partition-order output.
+fn execute_morsels(
+    plan: &LogicalPlan,
+    table: &Arc<Table>,
+    config: &EngineConfig,
+) -> Result<Vec<Batch>> {
+    let morsels = build_morsels(table, config);
+    let mut slots: Vec<Option<Result<Vec<Batch>>>> = (0..morsels.len()).map(|_| None).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter_mut()
+        .zip(&morsels)
+        .map(|(slot, &(p, range))| {
+            let table = Arc::clone(table);
+            Box::new(move || {
+                let ctx = ExecContext::for_morsel(config, table, p, Some(range));
+                *slot = Some(build_operator(plan, &ctx).and_then(drain));
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_on_scheduler(tasks)?;
+
+    let mut out = Vec::new();
+    for slot in slots {
+        out.extend(slot.expect("every morsel task ran")?);
     }
     Ok(out)
 }

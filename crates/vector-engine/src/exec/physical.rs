@@ -51,11 +51,15 @@ pub struct ExecContext {
     /// read fully by every worker (the paper's "model table is shared
     /// between the execution threads", Sec. 4.4).
     pub scan_restrict: Option<(Arc<Table>, usize)>,
-    /// Intra-kernel thread budget (`EngineConfig::kernel_threads`), carried
-    /// to operators that issue tensor kernels. The engine itself never
-    /// spawns these threads; consumers (the ModelJoin crate) hand the value
-    /// to the tensor worker pool.
-    pub kernel_threads: usize,
+    /// When set alongside `scan_restrict`, the restricted scan reads only
+    /// this `[start, end)` block range — one morsel of the unified
+    /// scheduler, so a skewed partition splits across stealable tasks.
+    pub scan_blocks: Option<(usize, usize)>,
+    /// Unified scheduler pool budget (`EngineConfig::worker_threads`,
+    /// resolved), carried to operators that issue tensor kernels. The
+    /// engine itself never spawns these threads; consumers (the ModelJoin
+    /// crate) hand the value to the kernel dispatch layer.
+    pub worker_threads: usize,
     /// Build the seed value-at-a-time join/agg operators instead of the
     /// vectorized ones (`EngineConfig::rowwise_ops`).
     pub rowwise_ops: bool,
@@ -69,7 +73,8 @@ impl ExecContext {
         ExecContext {
             vector_size,
             scan_restrict: None,
-            kernel_threads: 1,
+            scan_blocks: None,
+            worker_threads: 1,
             rowwise_ops: false,
             obs_spans: true,
         }
@@ -80,7 +85,8 @@ impl ExecContext {
         ExecContext {
             vector_size: config.vector_size,
             scan_restrict: None,
-            kernel_threads: config.kernel_threads.max(1),
+            scan_blocks: None,
+            worker_threads: config.effective_worker_threads(),
             rowwise_ops: config.rowwise_ops,
             obs_spans: config.obs_spans,
         }
@@ -91,12 +97,21 @@ impl ExecContext {
         table: Arc<Table>,
         partition: usize,
     ) -> ExecContext {
+        ExecContext { scan_restrict: Some((table, partition)), ..ExecContext::from_config(config) }
+    }
+
+    /// Context for one scheduler morsel: a block range within one
+    /// partition of the driving table.
+    pub fn for_morsel(
+        config: &crate::config::EngineConfig,
+        table: Arc<Table>,
+        partition: usize,
+        blocks: Option<(usize, usize)>,
+    ) -> ExecContext {
         ExecContext {
-            vector_size: config.vector_size,
             scan_restrict: Some((table, partition)),
-            kernel_threads: config.kernel_threads.max(1),
-            rowwise_ops: config.rowwise_ops,
-            obs_spans: config.obs_spans,
+            scan_blocks: blocks,
+            ..ExecContext::from_config(config)
         }
     }
 }
@@ -160,11 +175,11 @@ pub fn build_operator(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn O
 fn build_operator_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
     Ok(match plan {
         LogicalPlan::Scan { table, pruning, .. } => {
-            let partition = match &ctx.scan_restrict {
-                Some((t, p)) if Arc::ptr_eq(t, table) => Some(*p),
-                _ => None,
+            let (partition, blocks) = match &ctx.scan_restrict {
+                Some((t, p)) if Arc::ptr_eq(t, table) => (Some(*p), ctx.scan_blocks),
+                _ => (None, None),
             };
-            Box::new(ScanExec::new(Arc::clone(table), pruning.clone(), partition))
+            Box::new(ScanExec::with_blocks(Arc::clone(table), pruning.clone(), partition, blocks))
         }
         LogicalPlan::Filter { input, predicate } => {
             Box::new(FilterExec::new(build_operator(input, ctx)?, predicate.clone()))

@@ -19,6 +19,10 @@ pub struct ScanExec {
     pruning: Vec<PrunePredicate>,
     /// Restrict to one partition (parallel workers) or scan all.
     partition: Option<usize>,
+    /// Restrict to a `[start, end)` block range within each scanned
+    /// partition — the sub-partition morsel unit the unified scheduler
+    /// steals, so one skewed partition can be balanced across workers.
+    blocks: Option<(usize, usize)>,
     /// (partition, block) cursor.
     cursor: (usize, usize),
     /// Statistics: blocks skipped by SMA pruning.
@@ -33,8 +37,28 @@ impl ScanExec {
         pruning: Vec<PrunePredicate>,
         partition: Option<usize>,
     ) -> ScanExec {
-        let start = partition.unwrap_or(0);
-        ScanExec { table, pruning, partition, cursor: (start, 0), blocks_pruned: 0, blocks_read: 0 }
+        ScanExec::with_blocks(table, pruning, partition, None)
+    }
+
+    /// A scan additionally restricted to a block range — used by morsel
+    /// execution to split one partition across several tasks.
+    pub fn with_blocks(
+        table: Arc<Table>,
+        pruning: Vec<PrunePredicate>,
+        partition: Option<usize>,
+        blocks: Option<(usize, usize)>,
+    ) -> ScanExec {
+        let start_p = partition.unwrap_or(0);
+        let start_b = blocks.map_or(0, |(s, _)| s);
+        ScanExec {
+            table,
+            pruning,
+            partition,
+            blocks,
+            cursor: (start_p, start_b),
+            blocks_pruned: 0,
+            blocks_read: 0,
+        }
     }
 
     fn block_survives(&self, min: &Value, max: &Value, pred: &PrunePredicate) -> bool {
@@ -72,7 +96,9 @@ impl Operator for ScanExec {
             }
             let step = self.table.with_partitions(|parts| {
                 let part = &parts[p];
-                if b >= part.block_count() {
+                let end_block =
+                    self.blocks.map_or(part.block_count(), |(_, e)| e.min(part.block_count()));
+                if b >= end_block {
                     return Step::EndOfPartition;
                 }
                 for pred in &self.pruning {
@@ -85,7 +111,7 @@ impl Operator for ScanExec {
             });
             match step {
                 Step::EndOfPartition => {
-                    self.cursor = (p + 1, 0);
+                    self.cursor = (p + 1, self.blocks.map_or(0, |(s, _)| s));
                 }
                 Step::Pruned => {
                     self.blocks_pruned += 1;
@@ -138,6 +164,28 @@ mod tests {
         let n1: usize = b1.iter().map(Batch::num_rows).sum();
         assert_eq!(n0 + n1, 16);
         assert_eq!(n0, 8);
+    }
+
+    #[test]
+    fn block_range_scan_splits_a_partition_into_morsels() {
+        let t = table();
+        // Appends round-robin whole blocks: partition 0 holds blocks
+        // [0..4) and [8..12), partition 1 holds [4..8) and [12..16).
+        let m0 =
+            drain(Box::new(ScanExec::with_blocks(Arc::clone(&t), vec![], Some(0), Some((0, 1)))))
+                .unwrap();
+        let m1 =
+            drain(Box::new(ScanExec::with_blocks(Arc::clone(&t), vec![], Some(0), Some((1, 2)))))
+                .unwrap();
+        let rows = |bs: &[Batch]| -> Vec<i64> {
+            bs.iter().flat_map(|b| b.column(0).as_int().unwrap().to_vec()).collect()
+        };
+        assert_eq!(rows(&m0), vec![0, 1, 2, 3]);
+        assert_eq!(rows(&m1), vec![8, 9, 10, 11]);
+        // An end past the real block count clamps instead of panicking.
+        let tail =
+            drain(Box::new(ScanExec::with_blocks(t, vec![], Some(1), Some((1, 99))))).unwrap();
+        assert_eq!(rows(&tail), vec![12, 13, 14, 15]);
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl Engine {
         // The span gate is process-global (metrics are process-wide, see
         // the obs crate docs); the last engine constructed wins.
         obs::set_spans_enabled(config.obs_spans);
+        if config.unified_sched {
+            // Size the process-wide scheduler (grow-only) for this
+            // engine's workload; every compute layer shares the pool.
+            sched::configure_workers(config.effective_worker_threads());
+        }
         Engine {
             catalog: Arc::new(Catalog::new()),
             config,
