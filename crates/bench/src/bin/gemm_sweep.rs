@@ -1,6 +1,7 @@
 //! GEMM kernel-layer sweep: the seed scalar `sgemm` against the blocked,
 //! packed, register-tiled kernel of PR 2 — in isolation and end-to-end
-//! through the dense ModelJoin operator.
+//! through the dense ModelJoin operator — plus the int8 quantized kernel
+//! (PR 7) against the fp32 blocked kernel on the same shapes.
 //!
 //! ```text
 //! cargo run --release -p bench --bin gemm_sweep [--quick]
@@ -9,17 +10,22 @@
 //! For each width `w` in {32, 128, 512} the multiply is the dense-layer
 //! shape the operator issues (`vectorsize x w  *  w x w`), plus the
 //! acceptance shape `1024 x 512 * 512 x 512`; each is timed for the
-//! unblocked seed kernel and the blocked kernel at 1 and 2 kernel
-//! threads. End-to-end, a dense ModelJoin over the same widths is timed
-//! against the full operator stack. Results go to stdout and to
+//! unblocked seed kernel, the blocked kernel at 1 and 2 kernel threads,
+//! and the int8 path (`qgemm_dense`: per-call activation quantization +
+//! integer GEMM + fused dequant epilogue, weights pre-quantized as in
+//! serving) at the same thread counts. The int8 cells also record the
+//! measured max-abs deviation from the fp32 product alongside the
+//! documented bound. End-to-end, a dense ModelJoin over the same widths
+//! is timed against the full operator stack. Results go to stdout and to
 //! `BENCH_gemm.json` at the repository root — including the host core
 //! count, since intra-kernel threading cannot show wall-clock wins on a
 //! single-core host.
 
 use indbml_core::{Approach, Experiment, ExperimentConfig, Workload};
 use std::time::Instant;
-use tensor::blas::{gemm_flops, sgemm, sgemm_unblocked, Transpose};
-use tensor::Matrix;
+use tensor::blas::{sgemm, sgemm_unblocked, Transpose};
+use tensor::quant::qgemm_error_bound;
+use tensor::{qgemm_dense, Activation, Matrix, QuantScratch, QuantizedWeights};
 use vector_engine::EngineConfig;
 
 /// One timed GEMM configuration.
@@ -30,6 +36,12 @@ struct GemmRow {
     unblocked_s: f64,
     blocked_1t_s: f64,
     blocked_2t_s: f64,
+    i8_1t_s: f64,
+    i8_2t_s: f64,
+    /// Measured max-abs deviation of the int8 result from fp32.
+    i8_max_abs_err: f32,
+    /// The documented worst-case bound for this shape and input range.
+    i8_err_bound: f32,
 }
 
 /// One timed end-to-end ModelJoin configuration.
@@ -75,8 +87,36 @@ fn bench_gemm(m: usize, k: usize, n: usize, reps: usize) -> GemmRow {
     tensor::set_kernel_threads(2);
     let blocked_2t_s =
         time_median(reps, || sgemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c));
+
+    // Int8 path, timed the way serving runs it: weights quantized once
+    // up front, activations quantized per call, dequant fused into the
+    // epilogue. `c` still holds the fp32 product for the accuracy delta.
+    let wq = QuantizedWeights::quantize(&b);
+    let mut c_i8 = Matrix::zeros(m, n);
+    let mut scratch = QuantScratch::default();
     tensor::set_kernel_threads(1);
-    GemmRow { m, k, n, unblocked_s, blocked_1t_s, blocked_2t_s }
+    let i8_1t_s = time_median(reps, || {
+        qgemm_dense(&a, &wq, None, Activation::Linear, false, &mut c_i8, &mut scratch)
+    });
+    tensor::set_kernel_threads(2);
+    let i8_2t_s = time_median(reps, || {
+        qgemm_dense(&a, &wq, None, Activation::Linear, false, &mut c_i8, &mut scratch)
+    });
+    tensor::set_kernel_threads(1);
+    let i8_max_abs_err = c_i8.max_abs_diff(&c);
+    let i8_err_bound = qgemm_error_bound(k, 0.5, 0.5);
+    GemmRow {
+        m,
+        k,
+        n,
+        unblocked_s,
+        blocked_1t_s,
+        blocked_2t_s,
+        i8_1t_s,
+        i8_2t_s,
+        i8_max_abs_err,
+        i8_err_bound,
+    }
 }
 
 fn bench_join(width: usize, rows: usize, worker_threads: usize) -> Option<JoinRow> {
@@ -112,8 +152,8 @@ fn bench_join(width: usize, rows: usize, worker_threads: usize) -> Option<JoinRo
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("# GEMM kernel sweep (cores = {cores})");
-    println!("m,k,n,unblocked_s,blocked_1t_s,blocked_2t_s,speedup_1t,gflops_blocked");
+    println!("# GEMM kernel sweep (cores = {cores}, i8 kernel = {})", tensor::i8_kernel_name());
+    println!("m,k,n,unblocked_s,blocked_1t_s,blocked_2t_s,i8_1t_s,speedup_1t,i8_vs_f32_1t,i8_err");
 
     let reps = if quick { 3 } else { 7 };
     let mut gemm_rows = Vec::new();
@@ -125,12 +165,31 @@ fn main() {
 
     for r in &gemm_rows {
         let speedup = r.unblocked_s / r.blocked_1t_s;
-        let gflops = gemm_flops(r.m, r.k, r.n) as f64 / r.blocked_1t_s / 1e9;
+        let i8_speedup = r.blocked_1t_s / r.i8_1t_s;
         println!(
-            "{},{},{},{:.6},{:.6},{:.6},{:.2},{:.1}",
-            r.m, r.k, r.n, r.unblocked_s, r.blocked_1t_s, r.blocked_2t_s, speedup, gflops
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.2},{:.2},{:.2e}",
+            r.m,
+            r.k,
+            r.n,
+            r.unblocked_s,
+            r.blocked_1t_s,
+            r.blocked_2t_s,
+            r.i8_1t_s,
+            speedup,
+            i8_speedup,
+            r.i8_max_abs_err
         );
     }
+    let accept = gemm_rows.last().expect("acceptance shape measured");
+    println!(
+        "\nint8 vs fp32 blocked at {}x{}x{} (1t): {:.2}x, max|err| {:.2e} (bound {:.2e})",
+        accept.m,
+        accept.k,
+        accept.n,
+        accept.blocked_1t_s / accept.i8_1t_s,
+        accept.i8_max_abs_err,
+        accept.i8_err_bound
+    );
 
     println!("\n# End-to-end dense ModelJoin (rows x width, depth 3, serial partitions)");
     println!("width,rows,seconds");
@@ -143,25 +202,45 @@ fn main() {
         }
     }
 
+    // Quick mode is a smoke test; don't clobber recorded full-sweep results.
+    if quick {
+        return;
+    }
+
     // Hand-rolled JSON: the repository vendors no serializer, and the
     // schema is three flat arrays.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"cores\": {cores},\n"));
-    json.push_str("  \"kernel\": \"blocked sgemm (PR 2)\",\n");
+    json.push_str("  \"kernel\": \"blocked sgemm (PR 2) + int8 qgemm (PR 7)\",\n");
+    json.push_str(&format!("  \"i8_kernel\": \"{}\",\n", tensor::i8_kernel_name()));
+    json.push_str(&format!(
+        "  \"i8_speedup_vs_f32_1t_at_{}x{}x{}\": {:.2},\n",
+        accept.m,
+        accept.k,
+        accept.n,
+        accept.blocked_1t_s / accept.i8_1t_s
+    ));
     json.push_str("  \"gemm\": [\n");
     for (i, r) in gemm_rows.iter().enumerate() {
         let sep = if i + 1 < gemm_rows.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"unblocked_s\": {:.6}, \
-             \"blocked_1t_s\": {:.6}, \"blocked_2t_s\": {:.6}, \"speedup_1t\": {:.3}}}{sep}\n",
+             \"blocked_1t_s\": {:.6}, \"blocked_2t_s\": {:.6}, \"speedup_1t\": {:.3}, \
+             \"i8_1t_s\": {:.6}, \"i8_2t_s\": {:.6}, \"i8_speedup_vs_f32_1t\": {:.3}, \
+             \"i8_max_abs_err\": {:.3e}, \"i8_err_bound\": {:.3e}}}{sep}\n",
             r.m,
             r.k,
             r.n,
             r.unblocked_s,
             r.blocked_1t_s,
             r.blocked_2t_s,
-            r.unblocked_s / r.blocked_1t_s
+            r.unblocked_s / r.blocked_1t_s,
+            r.i8_1t_s,
+            r.i8_2t_s,
+            r.blocked_1t_s / r.i8_1t_s,
+            r.i8_max_abs_err,
+            r.i8_err_bound
         ));
     }
     json.push_str("  ],\n");

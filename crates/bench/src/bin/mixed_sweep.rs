@@ -46,7 +46,13 @@ fn build_experiment(fact_rows: usize, unified: bool) -> Experiment {
     Experiment::build(config).expect("experiment setup")
 }
 
-fn run_cell(ex: &Experiment, mode: &'static str, clients: usize, window: Duration) -> Cell {
+fn run_cell(
+    ex: &Experiment,
+    mode: &'static str,
+    clients: usize,
+    window: Duration,
+    quantized: bool,
+) -> Cell {
     // The legacy baseline and the unified mode both get the serving
     // configuration they would run in production: batching + model cache
     // on, `parallelism` legacy workers vs one coordinator + shared pool.
@@ -54,6 +60,7 @@ fn run_cell(ex: &Experiment, mode: &'static str, clients: usize, window: Duratio
     cfg.workers = ex.config().engine.parallelism;
     cfg.batch_flush_us = 50;
     cfg.max_batch_rows = cfg.max_batch_rows.min(64);
+    cfg.quantized = quantized;
     let server = ex.serve(cfg, Device::cpu());
 
     let dim = ex.meta.input_dim;
@@ -99,12 +106,16 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     // Baseline first so the unified phase cannot warm it. The legacy mode
     // also pins the tensor kernel path to its legacy pool so all three
-    // pre-scheduler pools are genuinely in play.
-    for (mode, unified) in [("three-pool", false), ("unified", true)] {
+    // pre-scheduler pools are genuinely in play. The int8 cell rides the
+    // unified scheduler and swaps the serve path to the quantized model —
+    // same mixed load, integer GEMM under the predictions.
+    for (mode, unified, quantized) in
+        [("three-pool", false, false), ("unified", true, false), ("unified-int8", true, true)]
+    {
         tensor::set_unified_scheduler(unified);
         let ex = build_experiment(fact_rows, unified);
         for &clients in client_counts {
-            let cell = run_cell(&ex, mode, clients, window);
+            let cell = run_cell(&ex, mode, clients, window, quantized);
             println!(
                 "{},{},{},{},{:.1},{},{},{},{}",
                 cell.mode,
@@ -133,6 +144,13 @@ fn main() {
     println!(
         "predict p99 at {max_clients} clients: {}us (unified) vs {}us (three-pool), ratio {p99_ratio:.2}",
         uni.predict_p99_us, base.predict_p99_us
+    );
+    let int8 = find("unified-int8");
+    let i8_speedup = int8.total_rps / uni.total_rps.max(1e-9);
+    println!(
+        "unified-int8 vs unified at {max_clients} clients: {i8_speedup:.2}x throughput, \
+         predict p99 {}us vs {}us",
+        int8.predict_p99_us, uni.predict_p99_us
     );
 
     // Quick mode is a smoke test; don't clobber recorded full-sweep results.
@@ -170,6 +188,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"predict_p99_ratio_unified_vs_three_pool_at_{max_clients}_clients\": {p99_ratio:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_int8_vs_unified_at_{max_clients}_clients\": {i8_speedup:.2},\n"
     ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

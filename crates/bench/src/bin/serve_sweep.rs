@@ -15,6 +15,11 @@
 //! * `batched` — model cache + dynamic micro-batching: concurrent requests
 //!   coalesce into one vectorized inference (the server-side analogue of
 //!   the paper's vector-at-a-time inference, Sec. 5.4).
+//! * `quantized` — batched + the int8 inference path (PR 7): the cache
+//!   serves the quantized model variant and every coalesced batch runs
+//!   through the integer GEMM. The sweep also measures the prediction
+//!   accuracy delta this trades for throughput, recorded next to the
+//!   throughput numbers.
 //!
 //! Client counts {1, 2, 4, 8}; at 8 clients a flush-deadline sweep
 //! {50, 200, 1000}us shows the latency/throughput trade of the batcher.
@@ -31,16 +36,18 @@ enum Mode {
     Naive,
     Cached,
     Batched,
+    Quantized,
 }
 
 impl Mode {
-    const ALL: [Mode; 3] = [Mode::Naive, Mode::Cached, Mode::Batched];
+    const ALL: [Mode; 4] = [Mode::Naive, Mode::Cached, Mode::Batched, Mode::Quantized];
 
     fn name(self) -> &'static str {
         match self {
             Mode::Naive => "naive",
             Mode::Cached => "cached",
             Mode::Batched => "batched",
+            Mode::Quantized => "quantized",
         }
     }
 
@@ -57,6 +64,11 @@ impl Mode {
             Mode::Batched => {
                 cfg.model_cache = true;
                 cfg.batching = true;
+            }
+            Mode::Quantized => {
+                cfg.model_cache = true;
+                cfg.batching = true;
+                cfg.quantized = true;
             }
         }
     }
@@ -109,6 +121,41 @@ fn run_cell(
         batches: sstats.batches,
         batched_rows: sstats.batched_rows,
     }
+}
+
+/// Max-abs prediction delta between fp32 and int8 serving over a fixed
+/// input set — the accuracy cost the quantized column of the sweep pays
+/// for its throughput, recorded alongside it in the JSON.
+fn measure_accuracy_delta(ex: &Experiment) -> f32 {
+    let dim = ex.meta.input_dim;
+    let inputs: Vec<Vec<f32>> = (0..64)
+        .map(|i| (0..dim).map(|c| ((i * 31 + c * 7) % 100) as f32 / 100.0).collect())
+        .collect();
+    let mut predictions: Vec<Vec<Vec<f32>>> = Vec::new();
+    for quantized in [false, true] {
+        let mut cfg = ServeConfig::from_engine(&ex.config().engine);
+        cfg.workers = ex.config().engine.parallelism;
+        cfg.quantized = quantized;
+        let server = ex.serve(cfg, Device::cpu());
+        let rows: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|input| {
+                match server.submit_predict("model", input.clone()).unwrap().wait().unwrap() {
+                    serve::Response::Prediction(row) => row,
+                    other => panic!("predict returned {other:?}"),
+                }
+            })
+            .collect();
+        server.shutdown();
+        predictions.push(rows);
+    }
+    let mut delta = 0.0f32;
+    for (f32_row, i8_row) in predictions[0].iter().zip(&predictions[1]) {
+        for (x, y) in f32_row.iter().zip(i8_row) {
+            delta = delta.max((x - y).abs());
+        }
+    }
+    delta
 }
 
 fn main() {
@@ -191,6 +238,12 @@ fn main() {
     };
     let speedup = tput("batched", max_clients) / tput("naive", max_clients).max(1e-9);
     println!("\nbatched vs naive at {max_clients} clients: {speedup:.1}x");
+    let i8_speedup = tput("quantized", max_clients) / tput("batched", max_clients).max(1e-9);
+    let i8_delta = measure_accuracy_delta(&ex);
+    println!(
+        "quantized vs batched at {max_clients} clients: {i8_speedup:.2}x, \
+         max|pred delta| {i8_delta:.2e}"
+    );
 
     // Quick mode is a smoke test; don't clobber recorded full-sweep results.
     if quick {
@@ -224,6 +277,10 @@ fn main() {
     json.push_str(&format!(
         "  \"speedup_batched_vs_naive_at_{max_clients}_clients\": {speedup:.2},\n"
     ));
+    json.push_str(&format!(
+        "  \"speedup_quantized_vs_batched_at_{max_clients}_clients\": {i8_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"i8_max_abs_prediction_delta\": {i8_delta:.3e},\n"));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&fmt_cell(c, if i + 1 < cells.len() { "," } else { "" }));

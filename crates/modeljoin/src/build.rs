@@ -3,8 +3,8 @@
 use model_repr::{Layout, ModelMeta, SlotKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use tensor::blas::Transpose;
-use tensor::{Activation, Device, Matrix};
+use tensor::blas::{vs_add, vs_mul, Transpose};
+use tensor::{qgemm_dense, Activation, Device, Matrix, QuantScratch, QuantizedWeights};
 use vector_engine::{Batch, EngineError, Result, Table};
 
 /// A layer of the built (in-memory) model.
@@ -623,6 +623,208 @@ pub fn build_parallel(
     Ok(BuiltModel { layers, input_dim: meta.input_dim, output_dim: meta.output_dim(), vector_size })
 }
 
+/// A layer of the int8 quantized model: the same shapes as [`BuiltLayer`]
+/// with weights quantized per output channel. Biases stay fp32 as plain
+/// per-unit vectors — the fused dequantization epilogue adds the scalar
+/// directly, so the replicated `vectorsize x units` bias matrix of the
+/// fp32 beta-trick is not needed.
+#[allow(clippy::large_enum_variant)] // models hold few layers; boxing buys nothing
+pub enum QuantizedLayer {
+    Dense {
+        weights: QuantizedWeights,
+        bias: Vec<f32>,
+        activation: Activation,
+    },
+    Lstm {
+        features: usize,
+        timesteps: usize,
+        units: usize,
+        /// Gate order i, f, c, o.
+        kernel: [QuantizedWeights; 4],
+        recurrent: [QuantizedWeights; 4],
+        bias: [Vec<f32>; 4],
+    },
+}
+
+/// The int8 variant of a [`BuiltModel`]: derived once per model build by
+/// [`QuantizedModel::from_built`] (per-layer, per-output-channel scales),
+/// then served like any built model. Runs on the host CPU only — the
+/// simulated GPU backend keeps the fp32 path.
+pub struct QuantizedModel {
+    pub layers: Vec<QuantizedLayer>,
+    pub input_dim: usize,
+    pub output_dim: usize,
+    vector_size: usize,
+}
+
+/// Per-operator scratch arena for [`QuantizedModel::infer_into`]: the
+/// ping-pong output matrices, the shared int8 GEMM scratch (quantized
+/// activations, row scales, i32 accumulator) and the LSTM state buffers.
+/// Reused across batches, so steady-state quantized inference allocates
+/// nothing.
+#[derive(Default)]
+pub struct QuantInferScratch {
+    ping: Matrix,
+    pong: Matrix,
+    q: QuantScratch,
+    lstm: QuantLstmScratch,
+}
+
+/// Working state of one quantized LSTM forward pass.
+#[derive(Default)]
+struct QuantLstmScratch {
+    c: Matrix,
+    x_t: Matrix,
+    z: [Matrix; 4],
+    tmp_a: Vec<f32>,
+    tmp_b: Vec<f32>,
+}
+
+impl QuantizedModel {
+    /// Quantize a built fp32 model: per-output-channel weight scales per
+    /// layer, biases copied through in fp32.
+    pub fn from_built(built: &BuiltModel) -> QuantizedModel {
+        obs::metrics::MODELJOIN_QUANT_BUILDS.add(1);
+        let layers = built
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                BuiltLayer::Dense { weights, bias_matrix, activation } => QuantizedLayer::Dense {
+                    weights: QuantizedWeights::quantize(weights),
+                    // Row 0 of the replicated bias matrix is the bias itself.
+                    bias: bias_matrix.row(0).to_vec(),
+                    activation: *activation,
+                },
+                BuiltLayer::Lstm { features, timesteps, units, kernel, recurrent, bias_matrix } => {
+                    QuantizedLayer::Lstm {
+                        features: *features,
+                        timesteps: *timesteps,
+                        units: *units,
+                        kernel: std::array::from_fn(|g| QuantizedWeights::quantize(&kernel[g])),
+                        recurrent: std::array::from_fn(|g| {
+                            QuantizedWeights::quantize(&recurrent[g])
+                        }),
+                        bias: std::array::from_fn(|g| bias_matrix[g].row(0).to_vec()),
+                    }
+                }
+            })
+            .collect();
+        QuantizedModel {
+            layers,
+            input_dim: built.input_dim,
+            output_dim: built.output_dim,
+            vector_size: built.vector_size(),
+        }
+    }
+
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Allocating wrapper around [`QuantizedModel::infer_into`] for
+    /// one-shot callers (the serving layer's batch executor).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut scratch = QuantInferScratch::default();
+        self.infer_into(input, &mut scratch).clone()
+    }
+
+    /// Quantized inference writing exclusively into `scratch`; mirrors
+    /// [`BuiltModel::infer_into`] with each dense sgemm replaced by the
+    /// int8 `qgemm_dense` (activation quantization per batch, dequant +
+    /// bias + activation fused into the epilogue).
+    pub fn infer_into<'s>(&self, input: &Matrix, scratch: &'s mut QuantInferScratch) -> &'s Matrix {
+        assert!(input.rows() <= self.vector_size, "batch exceeds vector size");
+        assert_eq!(input.cols(), self.input_dim, "input width mismatch");
+        let probe = &obs::metrics::MODELJOIN_PROBE;
+        probe.batches.add(1);
+        probe.rows.add(input.rows() as u64);
+        let _span = obs::span(&probe.time_us);
+        let rows = input.rows();
+        let QuantInferScratch { ping, pong, q, lstm } = scratch;
+        let mut first = true;
+        for layer in &self.layers {
+            let cur: &Matrix = if first { input } else { &*ping };
+            match layer {
+                QuantizedLayer::Dense { weights, bias, activation } => {
+                    pong.resize_zeroed(rows, weights.cols());
+                    qgemm_dense(cur, weights, Some(bias), *activation, false, pong, q);
+                }
+                QuantizedLayer::Lstm { features, timesteps, units, kernel, recurrent, bias } => {
+                    quant_lstm_forward_into(
+                        cur, *features, *timesteps, *units, kernel, recurrent, bias, q, lstm, pong,
+                    );
+                }
+            }
+            std::mem::swap(ping, pong);
+            first = false;
+        }
+        if first {
+            ping.resize_zeroed(rows, input.cols());
+            ping.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+        &*ping
+    }
+}
+
+/// The quantized LSTM forward pass: per time step each gate pre-activation
+/// is one overwriting `qgemm_dense` (bias fused, linear) for `X_t K_g`
+/// plus one accumulating call for `H U_g` — both inputs re-quantized
+/// row-wise per step, since `h` changes every iteration. Gate activations
+/// and the cell/hidden elementwise updates stay fp32.
+#[allow(clippy::too_many_arguments)]
+fn quant_lstm_forward_into(
+    input: &Matrix,
+    features: usize,
+    timesteps: usize,
+    units: usize,
+    kernel: &[QuantizedWeights; 4],
+    recurrent: &[QuantizedWeights; 4],
+    bias: &[Vec<f32>; 4],
+    q: &mut QuantScratch,
+    scratch: &mut QuantLstmScratch,
+    out: &mut Matrix,
+) {
+    let rows = input.rows();
+    let h = out;
+    h.resize_zeroed(rows, units);
+    scratch.c.resize_zeroed(rows, units);
+    scratch.x_t.resize_zeroed(rows, features);
+    for zg in &mut scratch.z {
+        zg.resize_zeroed(rows, units);
+    }
+    scratch.tmp_a.clear();
+    scratch.tmp_a.resize(rows * units, 0.0);
+    scratch.tmp_b.clear();
+    scratch.tmp_b.resize(rows * units, 0.0);
+    let QuantLstmScratch { c, x_t, z, tmp_a, tmp_b } = scratch;
+
+    for t in 0..timesteps {
+        for r in 0..rows {
+            x_t.row_mut(r).copy_from_slice(&input.row(r)[t * features..(t + 1) * features]);
+        }
+        for (g, zg) in z.iter_mut().enumerate() {
+            qgemm_dense(x_t, &kernel[g], Some(&bias[g]), Activation::Linear, false, zg, q);
+            if t > 0 {
+                qgemm_dense(h, &recurrent[g], None, Activation::Linear, true, zg, q);
+            }
+        }
+        Activation::Sigmoid.apply(z[0].as_mut_slice());
+        Activation::Sigmoid.apply(z[1].as_mut_slice());
+        Activation::Tanh.apply(z[2].as_mut_slice());
+        Activation::Sigmoid.apply(z[3].as_mut_slice());
+
+        // c := f*c + i*c~
+        vs_mul(z[1].as_slice(), c.as_slice(), tmp_a);
+        vs_mul(z[0].as_slice(), z[2].as_slice(), tmp_b);
+        vs_add(tmp_a, tmp_b, c.as_mut_slice());
+
+        // h := o * tanh(c)
+        tmp_a.copy_from_slice(c.as_slice());
+        Activation::Tanh.apply(tmp_a);
+        vs_mul(z[3].as_slice(), tmp_a, h.as_mut_slice());
+    }
+}
+
 /// The shared model handle of the parallel ModelJoin: all per-partition
 /// operator instances hold the same `SharedModel`; the first `next()` call
 /// performs the build, later callers reuse it (paper Sec. 5.2: "all
@@ -635,6 +837,9 @@ pub struct SharedModel {
     vector_size: usize,
     build_threads: usize,
     built: OnceLock<std::result::Result<Arc<BuiltModel>, EngineError>>,
+    /// Int8 variant, derived lazily from `built` on the first quantized
+    /// query; both dtypes coexist for the lifetime of the handle.
+    quantized: OnceLock<std::result::Result<Arc<QuantizedModel>, EngineError>>,
 }
 
 impl SharedModel {
@@ -654,6 +859,7 @@ impl SharedModel {
             vector_size,
             build_threads,
             built: OnceLock::new(),
+            quantized: OnceLock::new(),
         })
     }
 
@@ -677,6 +883,7 @@ impl SharedModel {
             vector_size,
             build_threads: 1,
             built: OnceLock::new(),
+            quantized: OnceLock::new(),
         };
         let set = shared.built.set(Ok(built));
         debug_assert!(set.is_ok(), "fresh OnceLock cannot be set already");
@@ -715,6 +922,15 @@ impl SharedModel {
                 )
                 .map(Arc::new)
             })
+            .clone()
+    }
+
+    /// Get (quantizing on first use) the int8 variant of the shared model.
+    /// Quantization happens once per handle, from the fp32 model the
+    /// regular build phase produced out of the relational representation.
+    pub fn get_quantized(&self) -> Result<Arc<QuantizedModel>> {
+        self.quantized
+            .get_or_init(|| self.get().map(|built| Arc::new(QuantizedModel::from_built(&built))))
             .clone()
     }
 }

@@ -29,7 +29,10 @@ pub mod cache;
 pub mod capi_op;
 pub mod operator;
 
-pub use build::{build_count, build_parallel, BuiltModel, InferScratch, SharedModel};
-pub use cache::ModelCache;
+pub use build::{
+    build_count, build_parallel, BuiltModel, InferScratch, QuantInferScratch, QuantizedLayer,
+    QuantizedModel, SharedModel,
+};
+pub use cache::{ModelCache, ModelDtype};
 pub use capi_op::CapiInferenceOp;
 pub use operator::ModelJoinOp;

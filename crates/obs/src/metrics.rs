@@ -24,6 +24,14 @@ pub static TENSOR_POOL_WORKERS: Gauge = Gauge::new();
 pub static TENSOR_GEMM_US: Histogram = Histogram::new();
 /// Time spent packing A/B panels into kernel scratch, µs (span-gated).
 pub static TENSOR_PACK_US: Histogram = Histogram::new();
+/// Quantized `qgemm_dense` invocations (any dispatch path).
+pub static TENSOR_GEMM_I8_CALLS: Counter = Counter::new();
+/// Integer multiply-accumulate operations issued to the int8 GEMM
+/// (2·m·k·n per call, counted like fp32 FLOPs for comparability).
+pub static TENSOR_GEMM_I8_FLOPS: Counter = Counter::new();
+/// Wall time of each int8 GEMM call — quantize, multiply, fused
+/// dequant epilogue — µs (span-gated).
+pub static TENSOR_GEMM_I8_US: Histogram = Histogram::new();
 
 // --- sched: unified work-stealing scheduler -------------------------------
 
@@ -77,10 +85,16 @@ pub static EXEC_OTHER: StageMetrics = StageMetrics::new();
 
 /// Models assembled from relational slabs (`build_parallel` completions).
 pub static MODELJOIN_BUILD_COUNT: Counter = Counter::new();
-/// ModelCache lookups served from cache.
+/// Quantized models derived from built fp32 models.
+pub static MODELJOIN_QUANT_BUILDS: Counter = Counter::new();
+/// ModelCache fp32 lookups served from cache.
 pub static MODELJOIN_CACHE_HITS: Counter = Counter::new();
-/// ModelCache lookups that had to build.
+/// ModelCache fp32 lookups that had to build.
 pub static MODELJOIN_CACHE_MISSES: Counter = Counter::new();
+/// ModelCache int8 lookups served from cache.
+pub static MODELJOIN_CACHE_HITS_I8: Counter = Counter::new();
+/// ModelCache int8 lookups that had to quantize.
+pub static MODELJOIN_CACHE_MISSES_I8: Counter = Counter::new();
 /// Wall time of each model build, µs (span-gated).
 pub static MODELJOIN_BUILD_US: Histogram = Histogram::new();
 /// Probe-side inference throughput and time (rows/batches/µs).
@@ -119,14 +133,19 @@ pub static COUNTERS: &[(&str, &Counter)] = &[
     ("sched.panics_caught", &SCHED_PANICS_CAUGHT),
     ("tensor.gemm.calls", &TENSOR_GEMM_CALLS),
     ("tensor.gemm.flops", &TENSOR_GEMM_FLOPS),
+    ("tensor.gemm.i8.calls", &TENSOR_GEMM_I8_CALLS),
+    ("tensor.gemm.i8.flops", &TENSOR_GEMM_I8_FLOPS),
     ("tensor.pool.jobs", &TENSOR_POOL_JOBS),
     ("exec.plan_cache.hits", &EXEC_PLAN_CACHE_HITS),
     ("exec.plan_cache.misses", &EXEC_PLAN_CACHE_MISSES),
     ("exec.plan_cache.invalidations", &EXEC_PLAN_CACHE_INVALIDATIONS),
     ("exec.catalog.epoch_bumps", &EXEC_CATALOG_EPOCH_BUMPS),
     ("modeljoin.build.count", &MODELJOIN_BUILD_COUNT),
+    ("modeljoin.quant.builds", &MODELJOIN_QUANT_BUILDS),
     ("modeljoin.cache.hits", &MODELJOIN_CACHE_HITS),
     ("modeljoin.cache.misses", &MODELJOIN_CACHE_MISSES),
+    ("modeljoin.cache.hits_i8", &MODELJOIN_CACHE_HITS_I8),
+    ("modeljoin.cache.misses_i8", &MODELJOIN_CACHE_MISSES_I8),
     ("serve.rejected", &SERVE_REJECTED),
     ("serve.timeouts", &SERVE_TIMEOUTS),
     ("serve.deadline.missed_at_submit", &SERVE_DEADLINE_MISSED_AT_SUBMIT),
@@ -148,6 +167,7 @@ pub static HISTOGRAMS: &[(&str, &Histogram)] = &[
     ("sched.task.query.us", &SCHED_TASK_QUERY_US),
     ("sched.task.kernel.us", &SCHED_TASK_KERNEL_US),
     ("tensor.gemm.us", &TENSOR_GEMM_US),
+    ("tensor.gemm.i8.us", &TENSOR_GEMM_I8_US),
     ("tensor.pack.us", &TENSOR_PACK_US),
     ("modeljoin.build.us", &MODELJOIN_BUILD_US),
     ("serve.batch.rows", &SERVE_BATCH_ROWS),

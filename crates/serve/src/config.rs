@@ -32,6 +32,10 @@ pub struct ServeConfig {
     /// thread coalesces batches and submits them as high-priority
     /// Serve-class tasks. Off = the legacy dedicated worker pool.
     pub unified: bool,
+    /// Serve predictions through the int8 quantized model (from
+    /// `EngineConfig::quantized_inference`). CPU-only — a GPU-resident
+    /// model keeps the fp32 route regardless.
+    pub quantized: bool,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +58,7 @@ impl ServeConfig {
             model_cache: true,
             default_timeout_ms: 0,
             unified: cfg.unified_sched,
+            quantized: cfg.quantized_inference,
         }
     }
 }
@@ -76,5 +81,12 @@ mod tests {
         assert!(s.batching && s.model_cache);
         assert_eq!(s.default_timeout_ms, 0);
         assert!(s.unified, "serve rides the unified scheduler by default");
+        assert!(!s.quantized, "serving defaults to exact fp32");
+
+        let q = ServeConfig::from_engine(&EngineConfig {
+            quantized_inference: true,
+            ..Default::default()
+        });
+        assert!(q.quantized, "the engine knob reaches the serving layer");
     }
 }

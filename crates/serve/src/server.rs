@@ -39,7 +39,7 @@
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use model_repr::{Layout, ModelMeta};
-use modeljoin::{build_parallel, ModelCache};
+use modeljoin::{build_parallel, ModelCache, QuantizedModel};
 use obs::metrics as om;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -487,9 +487,14 @@ impl Server {
         }
     }
 
-    /// Hits/misses of the cross-query model cache.
+    /// Hits/misses of the cross-query model cache (fp32 lookups).
     pub fn model_cache_stats(&self) -> (u64, u64) {
         (self.shared.model_cache.hits(), self.shared.model_cache.misses())
+    }
+
+    /// Hits/misses of the int8 side of the model cache.
+    pub fn model_cache_stats_i8(&self) -> (u64, u64) {
+        (self.shared.model_cache.hits_i8(), self.shared.model_cache.misses_i8())
     }
 
     /// The engine this server fronts.
@@ -801,32 +806,10 @@ fn execute_predict_batch(shared: &Shared, model_name: &str, batch: Vec<Queued>) 
     };
     // The model's vector size must cover the largest batch we coalesce.
     let vector_size = shared.cfg.max_batch_rows.max(shared.engine.config().vector_size);
-    let built = if shared.cfg.model_cache {
-        shared.model_cache.get_or_build(
-            &table,
-            &entry.meta,
-            entry.layout,
-            &entry.device,
-            vector_size,
-            shared.engine.config().parallelism,
-        )
-    } else {
-        // Naive mode (the serve_sweep baseline): rebuild per batch, the
-        // cost every request pays when the built model is query-scoped.
-        build_parallel(
-            &table,
-            &entry.meta,
-            entry.layout,
-            &entry.device,
-            vector_size,
-            shared.engine.config().parallelism,
-        )
-        .map(Arc::new)
-    };
-    let built = match built {
-        Ok(b) => b,
-        Err(e) => return fail(e.into()),
-    };
+    let parallelism = shared.engine.config().parallelism;
+    // Int8 serving is CPU-only: a GPU-resident model keeps the fp32
+    // device route regardless of the config knob.
+    let quantized = shared.cfg.quantized && !entry.device.is_gpu();
 
     let rows = live.len();
     let packed = Matrix::from_fn(rows, entry.meta.input_dim, |r, c| {
@@ -838,7 +821,65 @@ fn execute_predict_batch(shared: &Shared, model_name: &str, batch: Vec<Queued>) 
     // Catch inference panics per batch: the affected requests complete
     // with `Internal` and the worker (plus every lock it may hold above
     // this frame) survives to serve the next request.
-    let output = match catch_unwind(AssertUnwindSafe(|| built.infer(&packed, &entry.device))) {
+    let output = if quantized {
+        let built_q = if shared.cfg.model_cache {
+            shared.model_cache.get_or_build_quantized(
+                &table,
+                &entry.meta,
+                entry.layout,
+                &entry.device,
+                vector_size,
+                parallelism,
+            )
+        } else {
+            // Naive mode: the fp32 build *and* the quantization pass are
+            // both paid per batch, mirroring the fp32 baseline's cost
+            // model.
+            build_parallel(
+                &table,
+                &entry.meta,
+                entry.layout,
+                &entry.device,
+                vector_size,
+                parallelism,
+            )
+            .map(|b| Arc::new(QuantizedModel::from_built(&b)))
+        };
+        let built_q = match built_q {
+            Ok(b) => b,
+            Err(e) => return fail(e.into()),
+        };
+        catch_unwind(AssertUnwindSafe(|| built_q.infer(&packed)))
+    } else {
+        let built = if shared.cfg.model_cache {
+            shared.model_cache.get_or_build(
+                &table,
+                &entry.meta,
+                entry.layout,
+                &entry.device,
+                vector_size,
+                parallelism,
+            )
+        } else {
+            // Naive mode (the serve_sweep baseline): rebuild per batch, the
+            // cost every request pays when the built model is query-scoped.
+            build_parallel(
+                &table,
+                &entry.meta,
+                entry.layout,
+                &entry.device,
+                vector_size,
+                parallelism,
+            )
+            .map(Arc::new)
+        };
+        let built = match built {
+            Ok(b) => b,
+            Err(e) => return fail(e.into()),
+        };
+        catch_unwind(AssertUnwindSafe(|| built.infer(&packed, &entry.device)))
+    };
+    let output = match output {
         Ok(output) => output,
         Err(payload) => {
             om::SERVE_PANICS_CAUGHT.add(1);
@@ -881,6 +922,7 @@ mod tests {
             model_cache: true,
             default_timeout_ms: 0,
             unified: true,
+            quantized: false,
         }
     }
 
@@ -1002,6 +1044,37 @@ mod tests {
         assert_eq!(stats.batched_rows, REQUESTS as u64);
         // One batch, one (cached) model build.
         assert_eq!(server.model_cache_stats().1, 1);
+    }
+
+    /// Quantized serving tracks the fp32 oracle within the int8 error
+    /// budget and populates the I8 side of the dual-dtype cache: one
+    /// quantization pass (riding one fp32 build), then i8 hits.
+    #[test]
+    fn quantized_serving_tracks_oracle_and_caches_per_dtype() {
+        let e = engine();
+        let server = Server::start(
+            Arc::clone(&e),
+            ServeConfig { workers: 1, batching: false, quantized: true, ..config() },
+        );
+        let model = paper::dense_model(4, 2, 7);
+        let (_, meta) = load_into_engine(&e, "mq_table", &model, Layout::NodeId).unwrap();
+        server.register_model("mq", "mq_table", meta, Layout::NodeId, Device::cpu());
+        for i in 0..3 {
+            let input = vec![0.1 * (i + 1) as f32; 4];
+            let Response::Prediction(row) =
+                server.submit_predict("mq", input.clone()).unwrap().wait().unwrap()
+            else {
+                panic!("prediction")
+            };
+            let expected = model.predict_row(&input)[0];
+            assert!(
+                (row[0] - expected).abs() < 5e-2,
+                "quantized serving diverged: {} vs {expected}",
+                row[0]
+            );
+        }
+        assert_eq!(server.model_cache_stats_i8(), (2, 1), "one quantization, then i8 hits");
+        assert_eq!(server.model_cache_stats(), (0, 1), "the fp32 build fed the quantizer");
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn served_predictions_are_bit_identical_to_unbatched_inference() {
             model_cache: true,
             default_timeout_ms: 0,
             unified: true,
+            quantized: false,
         },
     );
     server.register_model(

@@ -35,6 +35,7 @@ fn config() -> ServeConfig {
         model_cache: true,
         default_timeout_ms: 0,
         unified: true,
+        quantized: false,
     }
 }
 

@@ -21,8 +21,12 @@ pub mod matrix;
 mod microkernel;
 mod pack;
 pub mod parallel;
+pub mod quant;
+mod simd;
 
 pub use activation::Activation;
 pub use device::{Device, DeviceKind, DeviceReport, GpuModel};
 pub use matrix::Matrix;
 pub use parallel::{kernel_threads, set_kernel_threads, set_unified_scheduler, unified_scheduler};
+pub use quant::{qgemm_dense, QuantScratch, QuantizedWeights};
+pub use simd::{f32_kernel_name, i8_kernel_name};

@@ -1,22 +1,36 @@
-//! The register-tiled MR×NR micro-kernel at the bottom of the blocked GEMM.
+//! The register-tiled MR×NR micro-kernels at the bottom of the blocked
+//! GEMMs (fp32 and int8).
 //!
-//! Operates on panels produced by [`crate::pack`]: an A micro-panel laid
+//! Operate on panels produced by [`crate::pack`]: an A micro-panel laid
 //! out `k`-major with `MR` consecutive rows per step, and a B micro-panel
-//! laid out `k`-major with `NR` consecutive columns per step.
+//! laid out `k`-major with `NR` consecutive columns per step (the int8
+//! panels additionally interleave `KG = 4` k steps per row/column, the
+//! `vpdpbusd` lane shape).
 //!
-//! Two implementations sit behind [`microkernel`]:
+//! Kernel selection is *runtime* dispatch, cached in [`crate::simd`] —
+//! not `cfg(target_feature)`, which silently degraded builds compiled
+//! without `-C target-cpu=native` to the scalar path. Full tiles pick the
+//! widest kernel the host supports; edge tiles always fall through to the
+//! scalar kernels so the hot paths carry no masking logic.
 //!
-//! * an explicit AVX-512 kernel (x86-64 with `avx512f` compiled in, i.e.
-//!   `target-cpu=native` on a capable host): 8×32 tiles held in 16 zmm
-//!   accumulator registers, rank-1 updates issued as FMAs with the A
-//!   element broadcast. Used for full tiles; edge tiles fall through to
-//!   the scalar kernel so the hot path carries no masking logic;
-//! * a portable scalar kernel whose fixed-size `MR x NR` accumulator
-//!   array autovectorizes to FMA lanes on any target.
+//! fp32: AVX-512 8×32 FMA kernel or a portable scalar kernel whose
+//! fixed-size `MR x NR` accumulator autovectorizes.
+//!
+//! int8 (u8 activations × i8 weights → i32): three kernels that are
+//! **bit-identical** by construction — activations are quantized to 7 bits
+//! (`crate::quant`), so the `vpmaddubsw` i16 intermediates in the widening
+//! kernel cannot saturate and all paths compute the same exact integer
+//! sums:
+//!
+//! * AVX-512 VNNI: `vpdpbusd`, 4 u8·i8 MACs per i32 lane per instruction;
+//! * AVX-512 BW widening: `vpmaddubsw` + `vpmaddwd` + `vpaddd`, exact
+//!   `vpdpbusd` emulation for hosts without VNNI;
+//! * portable scalar fallback.
 
-use crate::pack::{MR, NR};
+use crate::pack::{KG, MR, NR};
+use crate::simd;
 
-/// `C[0..mr_eff, 0..nr_eff] += alpha * Ap · Bp`.
+/// `C[0..mr_eff, 0..nr_eff] += alpha * Ap · Bp` (fp32).
 ///
 /// `ap` is one packed A micro-panel (`kc * MR` values), `bp` one packed B
 /// micro-panel (`kc * NR` values); both are zero-padded so the accumulation
@@ -44,8 +58,8 @@ pub(crate) unsafe fn microkernel(
     debug_assert!(bp.len() >= kc * NR);
     debug_assert!(mr_eff <= MR && nr_eff <= NR);
 
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
-    if mr_eff == MR && nr_eff == NR {
+    #[cfg(target_arch = "x86_64")]
+    if mr_eff == MR && nr_eff == NR && simd::avx512f() {
         unsafe { microkernel_avx512(kc, alpha, ap, bp, c, ldc) };
         return;
     }
@@ -57,8 +71,8 @@ pub(crate) unsafe fn microkernel(
 /// accumulators per row. Per `k` step: two B loads, then per row one
 /// broadcast of the A element feeding two FMAs — 16 FMAs against 10 loads,
 /// so the loop is FMA-throughput-bound, not load-bound.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
-#[inline]
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
 unsafe fn microkernel_avx512(
     kc: usize,
     alpha: f32,
@@ -97,7 +111,7 @@ unsafe fn microkernel_avx512(
     }
 }
 
-/// Portable scalar kernel; also handles edge tiles for the SIMD path.
+/// Portable scalar fp32 kernel; also handles edge tiles for the SIMD path.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 unsafe fn microkernel_scalar(
@@ -135,6 +149,160 @@ unsafe fn microkernel_scalar(
             for (j, &v) in row.iter().enumerate().take(nr_eff) {
                 unsafe { *crow.add(j) += alpha * v };
             }
+        }
+    }
+}
+
+/// `C[0..mr_eff, 0..nr_eff] += Ap · Bp` (u8 × i8 → i32 accumulate).
+///
+/// `kg` is the number of `KG`-deep k groups in the panels: `ap` holds
+/// `kg * MR * KG` u8 activations, `bp` holds `kg * NR * KG` i8 weights,
+/// both zero-padded (0·0 contributes nothing). `c` points at the target
+/// tile inside a row-major i32 accumulator with leading dimension `ldc`.
+///
+/// All three implementations produce bit-identical i32 results: the 7-bit
+/// activation range guarantees the widening kernel's i16 intermediates
+/// stay below saturation (max pair 2·127·127 = 32258 < 32767).
+///
+/// # Safety
+/// Same contract as [`microkernel`], over i32 elements.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn microkernel_i8(
+    kg: usize,
+    ap: &[u8],
+    bp: &[i8],
+    c: *mut i32,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    debug_assert!(ap.len() >= kg * MR * KG);
+    debug_assert!(bp.len() >= kg * NR * KG);
+    debug_assert!(mr_eff <= MR && nr_eff <= NR);
+
+    #[cfg(target_arch = "x86_64")]
+    if mr_eff == MR && nr_eff == NR {
+        if simd::avx512vnni() {
+            unsafe { microkernel_i8_vnni(kg, ap, bp, c, ldc) };
+            return;
+        }
+        if simd::avx512bw() {
+            unsafe { microkernel_i8_widening(kg, ap, bp, c, ldc) };
+            return;
+        }
+    }
+
+    unsafe { microkernel_i8_scalar(kg, ap, bp, c, ldc, mr_eff, nr_eff) };
+}
+
+/// Full-tile VNNI kernel: 8 rows × 32 i32 lanes in 16 zmm accumulators.
+/// Per k group: two B loads (64 weights each), then per row one u32
+/// broadcast of the row's 4 activation bytes feeding two `vpdpbusd` — each
+/// instruction retires 64 u8·i8 MACs.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+unsafe fn microkernel_i8_vnni(kg: usize, ap: &[u8], bp: &[i8], c: *mut i32, ldc: usize) {
+    use std::arch::x86_64::*;
+    const _: () = assert!(MR == 8 && NR == 32 && KG == 4, "kernel is tiled for 8 x 32 x 4");
+
+    unsafe {
+        let mut acc_lo = [_mm512_setzero_si512(); MR];
+        let mut acc_hi = [_mm512_setzero_si512(); MR];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kg {
+            let b_lo = _mm512_loadu_si512(b as *const __m512i);
+            let b_hi = _mm512_loadu_si512(b.add(16 * KG) as *const __m512i);
+            for i in 0..MR {
+                let ai = _mm512_set1_epi32((a.add(i * KG) as *const i32).read_unaligned());
+                acc_lo[i] = _mm512_dpbusd_epi32(acc_lo[i], ai, b_lo);
+                acc_hi[i] = _mm512_dpbusd_epi32(acc_hi[i], ai, b_hi);
+            }
+            a = a.add(MR * KG);
+            b = b.add(NR * KG);
+        }
+        for i in 0..MR {
+            let crow = c.add(i * ldc);
+            let lo = _mm512_add_epi32(_mm512_loadu_si512(crow as *const __m512i), acc_lo[i]);
+            let hi =
+                _mm512_add_epi32(_mm512_loadu_si512(crow.add(16) as *const __m512i), acc_hi[i]);
+            _mm512_storeu_si512(crow as *mut __m512i, lo);
+            _mm512_storeu_si512(crow.add(16) as *mut __m512i, hi);
+        }
+    }
+}
+
+/// Full-tile widening kernel for AVX-512 hosts without VNNI: emulates
+/// `vpdpbusd` as `vpmaddubsw` (u8·i8 → i16 pairs) + `vpmaddwd` (i16 pairs
+/// → i32) + `vpaddd`. Exact, because 7-bit activations keep the i16
+/// pair sums below saturation.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn microkernel_i8_widening(kg: usize, ap: &[u8], bp: &[i8], c: *mut i32, ldc: usize) {
+    use std::arch::x86_64::*;
+    const _: () = assert!(MR == 8 && NR == 32 && KG == 4, "kernel is tiled for 8 x 32 x 4");
+
+    unsafe {
+        let ones = _mm512_set1_epi16(1);
+        let mut acc_lo = [_mm512_setzero_si512(); MR];
+        let mut acc_hi = [_mm512_setzero_si512(); MR];
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kg {
+            let b_lo = _mm512_loadu_si512(b as *const __m512i);
+            let b_hi = _mm512_loadu_si512(b.add(16 * KG) as *const __m512i);
+            for i in 0..MR {
+                let ai = _mm512_set1_epi32((a.add(i * KG) as *const i32).read_unaligned());
+                let t_lo = _mm512_maddubs_epi16(ai, b_lo);
+                let t_hi = _mm512_maddubs_epi16(ai, b_hi);
+                acc_lo[i] = _mm512_add_epi32(acc_lo[i], _mm512_madd_epi16(t_lo, ones));
+                acc_hi[i] = _mm512_add_epi32(acc_hi[i], _mm512_madd_epi16(t_hi, ones));
+            }
+            a = a.add(MR * KG);
+            b = b.add(NR * KG);
+        }
+        for i in 0..MR {
+            let crow = c.add(i * ldc);
+            let lo = _mm512_add_epi32(_mm512_loadu_si512(crow as *const __m512i), acc_lo[i]);
+            let hi =
+                _mm512_add_epi32(_mm512_loadu_si512(crow.add(16) as *const __m512i), acc_hi[i]);
+            _mm512_storeu_si512(crow as *mut __m512i, lo);
+            _mm512_storeu_si512(crow.add(16) as *mut __m512i, hi);
+        }
+    }
+}
+
+/// Portable scalar int8 kernel; also handles edge tiles for the SIMD paths.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn microkernel_i8_scalar(
+    kg: usize,
+    ap: &[u8],
+    bp: &[i8],
+    c: *mut i32,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0i32; NR]; MR];
+    for (a, b) in
+        ap[..kg * MR * KG].chunks_exact(MR * KG).zip(bp[..kg * NR * KG].chunks_exact(NR * KG))
+    {
+        for i in 0..MR {
+            for j in 0..NR {
+                let mut dot = 0i32;
+                for t in 0..KG {
+                    dot += a[i * KG + t] as i32 * b[j * KG + t] as i32;
+                }
+                acc[i][j] += dot;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr_eff) {
+        let crow = unsafe { c.add(i * ldc) };
+        for (j, &v) in row.iter().enumerate().take(nr_eff) {
+            unsafe { *crow.add(j) += v };
         }
     }
 }
@@ -188,21 +356,86 @@ mod tests {
         }
     }
 
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+    /// Satellite: the runtime-dispatched fp32 path must agree with the
+    /// scalar oracle on whatever host runs the test, SIMD-capable or not.
     #[test]
-    fn simd_and_scalar_kernels_agree() {
+    fn dispatched_f32_kernel_matches_scalar_oracle() {
         let kc = 37;
         let ap: Vec<f32> = (0..kc * MR).map(|v| ((v * 13 % 97) as f32) * 0.03 - 1.0).collect();
         let bp: Vec<f32> = (0..kc * NR).map(|v| ((v * 7 % 89) as f32) * 0.05 - 2.0).collect();
         let ldc = NR;
-        let mut c_simd = vec![0.5f32; MR * NR];
+        let mut c_dispatch = vec![0.5f32; MR * NR];
         let mut c_scalar = vec![0.5f32; MR * NR];
         unsafe {
-            microkernel_avx512(kc, 1.25, &ap, &bp, c_simd.as_mut_ptr(), ldc);
+            microkernel(kc, 1.25, &ap, &bp, c_dispatch.as_mut_ptr(), ldc, MR, NR);
             microkernel_scalar(kc, 1.25, &ap, &bp, c_scalar.as_mut_ptr(), ldc, MR, NR);
         }
-        for (i, (s, r)) in c_simd.iter().zip(&c_scalar).enumerate() {
-            assert!((s - r).abs() < 1e-3, "lane {i}: {s} vs {r}");
+        for (i, (s, r)) in c_dispatch.iter().zip(&c_scalar).enumerate() {
+            assert!((s - r).abs() < 1e-3, "lane {i}: {s} vs {r} (via {})", simd::f32_kernel_name());
+        }
+    }
+
+    fn i8_panels(kg: usize) -> (Vec<u8>, Vec<i8>) {
+        // Activations span the full post-offset range [1, 127]; weights the
+        // full signed range, including the ±127 saturation corners.
+        let ap: Vec<u8> = (0..kg * MR * KG).map(|v| (v * 37 % 127 + 1) as u8).collect();
+        let bp: Vec<i8> = (0..kg * NR * KG).map(|v| ((v * 53 % 255) as i32 - 127) as i8).collect();
+        (ap, bp)
+    }
+
+    /// Satellite: the runtime-dispatched int8 path must match the scalar
+    /// oracle *exactly* — integer arithmetic, no tolerance.
+    #[test]
+    fn dispatched_i8_kernel_is_bit_identical_to_scalar_oracle() {
+        let kg = 19;
+        let (ap, bp) = i8_panels(kg);
+        let ldc = NR;
+        let mut c_dispatch = vec![7i32; MR * NR];
+        let mut c_scalar = vec![7i32; MR * NR];
+        unsafe {
+            microkernel_i8(kg, &ap, &bp, c_dispatch.as_mut_ptr(), ldc, MR, NR);
+            microkernel_i8_scalar(kg, &ap, &bp, c_scalar.as_mut_ptr(), ldc, MR, NR);
+        }
+        assert_eq!(c_dispatch, c_scalar, "dispatched via {}", simd::i8_kernel_name());
+    }
+
+    /// On AVX-512 BW hosts the widening emulation must reproduce the
+    /// dispatcher's (possibly VNNI) results exactly — this is the
+    /// cross-kernel bit-identity contract that makes quantized inference
+    /// reproducible across hosts.
+    #[test]
+    fn i8_widening_kernel_matches_dispatch_exactly() {
+        if !simd::avx512bw() {
+            return; // nothing to compare on this host
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let kg = 23;
+            let (ap, bp) = i8_panels(kg);
+            let ldc = NR;
+            let mut c_widen = vec![-3i32; MR * NR];
+            let mut c_dispatch = vec![-3i32; MR * NR];
+            unsafe {
+                microkernel_i8_widening(kg, &ap, &bp, c_widen.as_mut_ptr(), ldc);
+                microkernel_i8(kg, &ap, &bp, c_dispatch.as_mut_ptr(), ldc, MR, NR);
+            }
+            assert_eq!(c_widen, c_dispatch);
+        }
+    }
+
+    #[test]
+    fn i8_partial_tile_leaves_outside_untouched() {
+        let kg = 2;
+        let ap = vec![64u8; kg * MR * KG]; // zero-point activations
+        let bp = vec![1i8; kg * NR * KG];
+        let ldc = NR + 1;
+        let mut c = vec![0i32; MR * ldc];
+        unsafe { microkernel_i8(kg, &ap, &bp, c.as_mut_ptr(), ldc, 3, 5) };
+        for i in 0..MR {
+            for j in 0..ldc {
+                let expected = if i < 3 && j < 5 { (kg * KG) as i32 * 64 } else { 0 };
+                assert_eq!(c[i * ldc + j], expected, "({i},{j})");
+            }
         }
     }
 }

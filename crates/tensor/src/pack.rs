@@ -24,12 +24,17 @@ use crate::matrix::Matrix;
 
 /// Rows per A micro-panel (register tile height).
 pub(crate) const MR: usize = 8;
-/// Columns per B micro-panel (register tile width). With AVX-512 the
-/// micro-kernel holds two 16-lane accumulator registers per A row
-/// (16 zmm total), so the tile is 32 columns wide; elsewhere 8 columns
-/// keeps the autovectorized scalar kernel inside 16 ymm registers.
-pub(crate) const NR: usize =
-    if cfg!(all(target_arch = "x86_64", target_feature = "avx512f")) { 32 } else { 8 };
+/// Columns per B micro-panel (register tile width). The AVX-512 kernels
+/// hold two 16-lane accumulator registers per A row (16 zmm total), so the
+/// tile is 32 columns wide. The width is fixed rather than gated on
+/// `cfg(target_feature)`: kernel selection happens at *runtime* (see
+/// [`crate::simd`]), so a build without `-C target-cpu=native` must still
+/// pack panels the AVX-512 kernels can consume.
+pub(crate) const NR: usize = 32;
+/// `k` values per int8 micro-panel group: `vpdpbusd` (and its widening
+/// emulation) consumes four consecutive u8·i8 products per i32 lane, so
+/// the int8 panels interleave groups of four k steps.
+pub(crate) const KG: usize = 4;
 /// Rows of A packed per block (with `KC`, sized to sit in L2: `MC*KC`
 /// floats = 512 KiB).
 pub(crate) const MC: usize = 256;
@@ -160,6 +165,97 @@ pub(crate) fn pack_b(
     }
 }
 
+/// Number of bytes `pack_a_q` needs for an `mc x kc` block.
+pub(crate) fn packed_a_q_len(mc: usize, kc: usize) -> usize {
+    mc.div_ceil(MR) * MR * kc.div_ceil(KG) * KG
+}
+
+/// Number of bytes `pack_b_q` needs for a `kc x nc` panel.
+pub(crate) fn packed_b_q_len(kc: usize, nc: usize) -> usize {
+    nc.div_ceil(NR) * NR * kc.div_ceil(KG) * KG
+}
+
+/// Pack the `mc x kc` block of the quantized activation matrix `a`
+/// (row-major `m x lda`, u8) starting at `(ic, pc)` into `out`.
+///
+/// Layout: panel `p` holds rows `p*MR..`; element `(i, k)` with `k = KG*g + t`
+/// lives at `p*kcg*MR*KG + g*MR*KG + i*KG + t` (`kcg = ⌈kc/KG⌉`), i.e. each
+/// row contributes `KG` consecutive bytes per group so the micro-kernel can
+/// broadcast one group as a single u32. Tails (both rows and k) are padded
+/// with 0, which multiplies to zero against the 0-padded B panel and so
+/// never perturbs real accumulators.
+pub(crate) fn pack_a_q(
+    a: &[u8],
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    out: &mut [u8],
+) {
+    debug_assert!(out.len() >= packed_a_q_len(mc, kc));
+    let kcg = kc.div_ceil(KG);
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let row0 = ic + p * MR;
+        let rows = MR.min(ic + mc - row0);
+        let panel = &mut out[p * kcg * MR * KG..(p + 1) * kcg * MR * KG];
+        panel.fill(0);
+        for i in 0..rows {
+            let src = &a[(row0 + i) * lda + pc..(row0 + i) * lda + pc + kc];
+            // Whole k groups move as 4-byte copies; only the k tail goes
+            // byte-by-byte into the already-zeroed panel.
+            let chunks = src.chunks_exact(KG);
+            let tail = chunks.remainder();
+            let mut g = 0;
+            for ch in chunks {
+                let dst = g * MR * KG + i * KG;
+                panel[dst..dst + KG].copy_from_slice(ch);
+                g += 1;
+            }
+            if !tail.is_empty() {
+                let dst = g * MR * KG + i * KG;
+                panel[dst..dst + tail.len()].copy_from_slice(tail);
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nc` panel of the quantized weight matrix `w` (row-major
+/// `k x ldb`, i8) starting at `(pc, jc)` into `out`.
+///
+/// Layout: panel `q` holds columns `q*NR..`; element `(k, j)` with
+/// `k = KG*g + t` lives at `q*kcg*NR*KG + g*NR*KG + j*KG + t` — each column
+/// contributes `KG` consecutive bytes per group, matching one i32 lane of
+/// `vpdpbusd`. Tails are zero-padded.
+pub(crate) fn pack_b_q(
+    w: &[i8],
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    out: &mut [i8],
+) {
+    debug_assert!(out.len() >= packed_b_q_len(kc, nc));
+    let kcg = kc.div_ceil(KG);
+    let panels = nc.div_ceil(NR);
+    for q in 0..panels {
+        let col0 = jc + q * NR;
+        let cols = NR.min(jc + nc - col0);
+        let panel = &mut out[q * kcg * NR * KG..(q + 1) * kcg * NR * KG];
+        panel.fill(0);
+        for k in 0..kc {
+            let (g, t) = (k / KG, k % KG);
+            let src = &w[(pc + k) * ldb + col0..(pc + k) * ldb + col0 + cols];
+            let group = &mut panel[g * NR * KG..(g + 1) * NR * KG];
+            for (j, &v) in src.iter().enumerate() {
+                group[j * KG + t] = v;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +319,52 @@ mod tests {
     fn blocking_constants_are_tile_aligned() {
         assert_eq!(MC % MR, 0);
         assert_eq!(NC % NR, 0);
+        assert_eq!(KC % KG, 0);
+    }
+
+    #[test]
+    fn pack_a_q_groups_rows_and_zero_pads() {
+        let (m, k) = (10, 7); // ragged in both rows and k
+        let a: Vec<u8> = (0..m * k).map(|v| (v % 127 + 1) as u8).collect();
+        let (ic, mc, pc, kc) = (1, 9, 2, 5);
+        let mut out = vec![0xAA; packed_a_q_len(mc, kc)];
+        pack_a_q(&a, k, ic, mc, pc, kc, &mut out);
+        let kcg = kc.div_ceil(KG);
+        for p in 0..mc.div_ceil(MR) {
+            for g in 0..kcg {
+                for i in 0..MR {
+                    for t in 0..KG {
+                        let got = out[p * kcg * MR * KG + g * MR * KG + i * KG + t];
+                        let (row, kk) = (p * MR + i, g * KG + t);
+                        let expected =
+                            if row < mc && kk < kc { a[(ic + row) * k + pc + kk] } else { 0 };
+                        assert_eq!(got, expected, "panel {p} group {g} row {i} t {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_q_groups_cols_and_zero_pads() {
+        let (k, n) = (6, NR + 3); // ragged in both k and columns
+        let w: Vec<i8> = (0..k * n).map(|v| (v % 255) as i8).collect();
+        let (pc, kc, jc, nc) = (1, 5, 2, n - 2);
+        let mut out = vec![-86i8; packed_b_q_len(kc, nc)];
+        pack_b_q(&w, n, pc, kc, jc, nc, &mut out);
+        let kcg = kc.div_ceil(KG);
+        for q in 0..nc.div_ceil(NR) {
+            for g in 0..kcg {
+                for j in 0..NR {
+                    for t in 0..KG {
+                        let got = out[q * kcg * NR * KG + g * NR * KG + j * KG + t];
+                        let (col, kk) = (q * NR + j, g * KG + t);
+                        let expected =
+                            if col < nc && kk < kc { w[(pc + kk) * n + jc + col] } else { 0 };
+                        assert_eq!(got, expected, "panel {q} group {g} col {j} t {t}");
+                    }
+                }
+            }
+        }
     }
 }

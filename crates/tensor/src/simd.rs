@@ -1,0 +1,121 @@
+//! Cached runtime CPU-feature detection for micro-kernel dispatch.
+//!
+//! The micro-kernels used to be selected with `cfg(target_feature =
+//! "avx512f")`, i.e. at *compile* time: a build without
+//! `-C target-cpu=native` (or an explicit `target-feature` flag) silently
+//! ran the scalar kernel even on AVX-512 hardware. Dispatch now happens at
+//! runtime via `is_x86_feature_detected!`, with the answer cached in an
+//! atomic so the hot path pays one relaxed load, not a CPUID.
+//!
+//! Three capability levels matter here:
+//!
+//! - [`avx512f`]  — fp32 8×32 FMA kernel.
+//! - [`avx512bw`] — int8 widening kernel (`vpmaddubsw` + `vpmaddwd` on
+//!   64-byte vectors emulating `vpdpbusd` exactly, given 7-bit
+//!   activations; see `crate::quant`).
+//! - [`avx512vnni`] — int8 `vpdpbusd` kernel proper.
+
+#[cfg(target_arch = "x86_64")]
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[cfg(target_arch = "x86_64")]
+fn cached(cell: &AtomicU8, detect: impl FnOnce() -> bool) -> bool {
+    // 0 = unknown, 1 = present, 2 = absent. Racing initializations are
+    // benign: both writers store the same answer.
+    match cell.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let yes = detect();
+            cell.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// AVX-512 foundation: enables the fp32 FMA micro-kernel.
+#[inline]
+pub(crate) fn avx512f() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHE: AtomicU8 = AtomicU8::new(0);
+        cached(&CACHE, || std::arch::is_x86_feature_detected!("avx512f"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// AVX-512 byte/word ops (implies [`avx512f`] here): enables the int8
+/// widening kernel.
+#[inline]
+pub(crate) fn avx512bw() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHE: AtomicU8 = AtomicU8::new(0);
+        cached(&CACHE, || {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// AVX-512 VNNI (implies [`avx512bw`] here): enables the `vpdpbusd` int8
+/// kernel.
+#[inline]
+pub(crate) fn avx512vnni() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static CACHE: AtomicU8 = AtomicU8::new(0);
+        cached(&CACHE, || {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512vnni")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// Human-readable name of the int8 kernel the dispatcher will pick for
+/// full tiles on this host; embedded in bench JSON so recorded numbers
+/// carry their provenance.
+pub fn i8_kernel_name() -> &'static str {
+    if avx512vnni() {
+        "avx512-vnni"
+    } else if avx512bw() {
+        "avx512-widening"
+    } else {
+        "scalar"
+    }
+}
+
+/// Same, for the fp32 kernel.
+pub fn f32_kernel_name() -> &'static str {
+    if avx512f() {
+        "avx512"
+    } else {
+        "scalar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable_and_consistent() {
+        // Cached and repeated answers must agree, and the implication
+        // chain vnni ⇒ bw ⇒ f must hold by construction.
+        assert_eq!(avx512f(), avx512f());
+        assert_eq!(avx512bw(), avx512bw());
+        assert_eq!(avx512vnni(), avx512vnni());
+        if avx512vnni() {
+            assert!(avx512bw());
+        }
+        if avx512bw() {
+            assert!(avx512f());
+        }
+    }
+}

@@ -59,6 +59,12 @@ pub struct EngineConfig {
     /// micro-batcher may add while coalescing point inference requests into
     /// a full vector before flushing a partial batch.
     pub batch_flush_us: u64,
+    /// Run ModelJoin and serve inference through the int8 quantized path:
+    /// weights quantized per output channel to i8, activations per row to
+    /// 7-bit, integer GEMM with a fused dequantize epilogue. Off by
+    /// default — results then match fp32 bit for bit. CPU-only; a
+    /// GPU-resident model keeps the fp32 route regardless of this flag.
+    pub quantized_inference: bool,
     /// Enable the observability span timers (per-operator and kernel wall
     /// clocks in the `obs` crate). Counters and gauges are always on;
     /// spans read the monotonic clock, so this knob exists to measure and
@@ -83,6 +89,7 @@ impl Default for EngineConfig {
             plan_cache_entries: 128,
             serve_queue_depth: 1024,
             batch_flush_us: 200,
+            quantized_inference: false,
             obs_spans: true,
         }
     }
@@ -119,7 +126,8 @@ impl EngineConfig {
             "vector_size={}\npartitions={}\nparallelism={}\nsma_pruning={}\nhash_join={}\n\
              predicate_pushdown={}\ncolumn_pruning={}\nworker_threads={}\nunified_sched={}\n\
              rowwise_ops={}\n\
-             plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\nobs_spans={}\n",
+             plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\n\
+             quantized_inference={}\nobs_spans={}\n",
             self.vector_size,
             self.partitions,
             self.parallelism,
@@ -133,6 +141,7 @@ impl EngineConfig {
             self.plan_cache_entries,
             self.serve_queue_depth,
             self.batch_flush_us,
+            self.quantized_inference,
             self.obs_spans,
         )
     }
@@ -187,6 +196,9 @@ impl EngineConfig {
                 "batch_flush_us" => {
                     cfg.batch_flush_us = value.parse().map_err(|_| bad(key, value))?
                 }
+                "quantized_inference" => {
+                    cfg.quantized_inference = value.parse().map_err(|_| bad(key, value))?
+                }
                 "obs_spans" => cfg.obs_spans = value.parse().map_err(|_| bad(key, value))?,
                 other => {
                     return Err(EngineError::Unsupported(format!("config: unknown knob {other:?}")))
@@ -215,6 +227,7 @@ mod tests {
         assert_eq!(c.plan_cache_entries, 128);
         assert_eq!(c.serve_queue_depth, 1024);
         assert_eq!(c.batch_flush_us, 200);
+        assert!(!c.quantized_inference, "inference defaults to exact fp32");
         assert!(c.obs_spans, "span timers default on (counters are unconditional)");
     }
 
@@ -231,6 +244,7 @@ mod tests {
             plan_cache_entries: 0,
             serve_queue_depth: 7,
             batch_flush_us: 12345,
+            quantized_inference: true,
             obs_spans: false,
             ..EngineConfig::default()
         };
