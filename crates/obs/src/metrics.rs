@@ -100,6 +100,32 @@ pub static MODELJOIN_BUILD_US: Histogram = Histogram::new();
 /// Probe-side inference throughput and time (rows/batches/µs).
 pub static MODELJOIN_PROBE: StageMetrics = StageMetrics::new();
 
+// --- shard: sharded scatter-gather facade ---------------------------------
+
+/// Queries routed to exactly one shard (replicated-only plans and
+/// shard-key point lookups).
+pub static SHARD_QUERIES_SINGLE: Counter = Counter::new();
+/// Queries scattered to every shard and gathered without a merge step.
+pub static SHARD_QUERIES_SCATTER: Counter = Counter::new();
+/// Queries that ran the cross-shard partial-aggregate merge.
+pub static SHARD_QUERIES_PARTIAL_AGG: Counter = Counter::new();
+/// Queries that ran a hash-partitioned shuffle exchange before joining.
+pub static SHARD_QUERIES_SHUFFLE: Counter = Counter::new();
+/// Rows repartitioned through the shuffle exchange.
+pub static SHARD_SHUFFLE_ROWS: Counter = Counter::new();
+/// Batches produced by the shuffle exchange (post-split, non-empty).
+pub static SHARD_SHUFFLE_BATCHES: Counter = Counter::new();
+/// Estimated bytes moved through the shuffle exchange.
+pub static SHARD_SHUFFLE_BYTES: Counter = Counter::new();
+/// Shards owned by the most recently constructed `ShardedEngine`.
+pub static SHARD_COUNT: Gauge = Gauge::new();
+/// Rows contributed by one shard to one gather (or routed to one shard by
+/// one bulk load) — the skew signal of the hash partitioning.
+pub static SHARD_ROWS_PER_SHARD: Histogram = Histogram::new();
+/// Wall time from scatter submission until every shard's result is
+/// gathered, µs (span-gated).
+pub static SHARD_GATHER_WAIT_US: Histogram = Histogram::new();
+
 // --- serve: concurrent inference server ----------------------------------
 
 /// Requests rejected at admission (queue full).
@@ -146,6 +172,13 @@ pub static COUNTERS: &[(&str, &Counter)] = &[
     ("modeljoin.cache.misses", &MODELJOIN_CACHE_MISSES),
     ("modeljoin.cache.hits_i8", &MODELJOIN_CACHE_HITS_I8),
     ("modeljoin.cache.misses_i8", &MODELJOIN_CACHE_MISSES_I8),
+    ("shard.queries.single", &SHARD_QUERIES_SINGLE),
+    ("shard.queries.scatter", &SHARD_QUERIES_SCATTER),
+    ("shard.queries.partial_agg", &SHARD_QUERIES_PARTIAL_AGG),
+    ("shard.queries.shuffle", &SHARD_QUERIES_SHUFFLE),
+    ("shard.shuffle.rows", &SHARD_SHUFFLE_ROWS),
+    ("shard.shuffle.batches", &SHARD_SHUFFLE_BATCHES),
+    ("shard.shuffle.bytes", &SHARD_SHUFFLE_BYTES),
     ("serve.rejected", &SERVE_REJECTED),
     ("serve.timeouts", &SERVE_TIMEOUTS),
     ("serve.deadline.missed_at_submit", &SERVE_DEADLINE_MISSED_AT_SUBMIT),
@@ -159,6 +192,7 @@ pub static GAUGES: &[(&str, &Gauge)] = &[
     ("sched.queue.depth", &SCHED_QUEUE_DEPTH),
     ("tensor.pool.workers", &TENSOR_POOL_WORKERS),
     ("serve.queue.depth", &SERVE_QUEUE_DEPTH),
+    ("shard.count", &SHARD_COUNT),
 ];
 
 pub static HISTOGRAMS: &[(&str, &Histogram)] = &[
@@ -172,6 +206,8 @@ pub static HISTOGRAMS: &[(&str, &Histogram)] = &[
     ("modeljoin.build.us", &MODELJOIN_BUILD_US),
     ("serve.batch.rows", &SERVE_BATCH_ROWS),
     ("serve.request.e2e_us", &SERVE_E2E_US),
+    ("shard.rows.per_shard", &SHARD_ROWS_PER_SHARD),
+    ("shard.gather.wait_us", &SHARD_GATHER_WAIT_US),
 ];
 
 /// Stage entries are named by their `.rows` counter; snapshots derive the

@@ -140,6 +140,16 @@ impl std::fmt::Debug for RequestHandle {
 }
 
 impl RequestHandle {
+    /// A handle that is already complete. Front ends that execute a
+    /// request on the caller thread (e.g. the sharded router running a
+    /// scatter-gather SQL statement inline) use this to present the same
+    /// handle-based API as queued requests; `wait` returns immediately.
+    pub fn ready(result: Result<Response, ServeError>) -> RequestHandle {
+        let slot = Slot::new();
+        slot.complete(result);
+        RequestHandle { slot }
+    }
+
     /// Block until the server completes the request.
     pub fn wait(self) -> Result<Response, ServeError> {
         let mut guard = lock_recover(&self.slot.done);

@@ -1,0 +1,1346 @@
+//! The [`ShardedEngine`] facade: N in-process engines, hash-partitioned
+//! tables, and the shard planner that classifies every `SELECT` into a
+//! routed, scatter, partial-aggregate, or shuffle-join stage shape.
+//!
+//! See the crate docs for the partitioning scheme and the shuffle
+//! boundary rules; the equivalence contract (sharded results == single
+//! engine, sorted) is pinned by `tests/equivalence.rs`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use model_repr::{Layout, ModelMeta};
+use modeljoin::operator::execute_model_join;
+use modeljoin::SharedModel;
+use obs::metrics as om;
+use tensor::Device;
+use vector_engine::exec::agg::{GroupedAggState, HashAggExec};
+use vector_engine::exec::hash::hash_key_columns;
+use vector_engine::exec::join::HashJoinExec;
+use vector_engine::exec::parallel::{self, collect_scan_tables, column_source};
+use vector_engine::exec::physical::{batches_operator, drain};
+use vector_engine::exec::simple::{concat_batches, FilterExec, LimitExec, ProjectExec, SortExec};
+use vector_engine::exec::Operator;
+use vector_engine::expr::{BinaryOp, Expr};
+use vector_engine::plan::binder::Binder;
+use vector_engine::plan::logical::LogicalPlan;
+use vector_engine::sql::{parse_statement, Statement};
+use vector_engine::storage::{Schema, Table};
+use vector_engine::{
+    Batch, ColumnVector, DataType, Engine, EngineConfig, EngineError, QueryResult, Result, Value,
+};
+
+/// How the shard planner decided to run one `SELECT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// No sharded table is scanned; any shard holds the full answer.
+    Replicated,
+    /// Every scan of a sharded table is pinned by a `key = literal`
+    /// equality to this one shard — the point-query fast path that
+    /// touches `1/N` of the data.
+    Single(usize),
+    /// The plan is shard-safe: per-shard execution yields a disjoint
+    /// partition of the answer, gathered in shard index order.
+    Scatter,
+    /// An aggregation whose input is shard-safe but whose grouping is
+    /// not: per-shard `GroupedAggState` partials merged at the facade.
+    PartialAgg,
+    /// A hash join whose keys do not align with the sharding: both
+    /// sides repartition by join-key hash (the exchange), each target
+    /// shard joins its bucket.
+    Shuffle,
+}
+
+/// One sharded table referenced by a plan: its shard-key column ordinal
+/// and how many times the plan scans it.
+struct ShardedScan {
+    table: Arc<Table>,
+    key: usize,
+    scans: usize,
+}
+
+/// N in-process engines behind one engine-shaped facade.
+///
+/// DDL replicates to every shard; rows of tables registered through
+/// [`declare_sharded`](ShardedEngine::declare_sharded) are routed to
+/// shard `hash(key) % N` on insert. `SELECT` statements are classified
+/// by the shard planner (see [`Route`]) and executed with scatter-gather
+/// over the global work-stealing pool.
+pub struct ShardedEngine {
+    shards: Vec<Arc<Engine>>,
+    /// Lowercased table name -> lowercased shard-key column name.
+    sharding: RwLock<HashMap<String, String>>,
+    /// SQL text -> classified route. Routing depends only on the plan
+    /// shape and the sharding map (a pin's owning shard is a pure hash of
+    /// its literal), never on table *contents*, so entries stay valid
+    /// across DML and are dropped wholesale on DDL or re-sharding.
+    route_cache: RwLock<HashMap<String, Route>>,
+}
+
+/// Bound on the route cache; a serve workload cycling more distinct
+/// statement texts than this re-plans on the overflow clear, it does not
+/// grow without limit.
+const ROUTE_CACHE_MAX: usize = 4096;
+
+impl ShardedEngine {
+    /// Stand up `config.shards` engine shards (minimum 1), each with the
+    /// given per-shard configuration.
+    pub fn new(config: EngineConfig) -> ShardedEngine {
+        let n = config.shards.max(1);
+        let shards = (0..n).map(|_| Arc::new(Engine::new(config.clone()))).collect();
+        om::SHARD_COUNT.set(n as i64);
+        ShardedEngine {
+            shards,
+            sharding: RwLock::new(HashMap::new()),
+            route_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Convenience: `config` with its `shards` knob overridden.
+    pub fn with_shards(mut config: EngineConfig, shards: usize) -> ShardedEngine {
+        config.shards = shards.max(1);
+        ShardedEngine::new(config)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shards(&self) -> &[Arc<Engine>] {
+        &self.shards
+    }
+
+    pub fn shard(&self, i: usize) -> &Arc<Engine> {
+        &self.shards[i]
+    }
+
+    /// The per-shard engine configuration (identical across shards).
+    pub fn config(&self) -> &EngineConfig {
+        self.shards[0].config()
+    }
+
+    /// The shard-key column of `table`, if it was declared sharded.
+    pub fn shard_key(&self, table: &str) -> Option<String> {
+        self.sharding
+            .read()
+            .expect("sharding map poisoned")
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Register `table` as hash-partitioned on `key`. Must happen before
+    /// any rows are loaded — re-partitioning in place is not supported.
+    pub fn declare_sharded(&self, table: &str, key: &str) -> Result<()> {
+        let t0 = self.shards[0].table(table)?;
+        if t0.schema().index_of(key).is_none() {
+            return Err(EngineError::Catalog(format!(
+                "cannot shard {table:?} on unknown column {key:?}"
+            )));
+        }
+        for s in &self.shards {
+            if s.table(table)?.row_count() > 0 {
+                return Err(EngineError::Catalog(format!(
+                    "declare_sharded({table:?}) requires an empty table"
+                )));
+            }
+        }
+        self.sharding
+            .write()
+            .expect("sharding map poisoned")
+            .insert(table.to_ascii_lowercase(), key.to_ascii_lowercase());
+        self.invalidate_routes();
+        Ok(())
+    }
+
+    /// Declare `column` unique on every shard's copy of `table` (the
+    /// shard planner's group-on-unique-key rule consults this, exactly
+    /// like the partition-parallel layer).
+    pub fn declare_unique(&self, table: &str, column: &str) -> Result<()> {
+        for s in &self.shards {
+            s.table(table)?.declare_unique(column)?;
+        }
+        Ok(())
+    }
+
+    /// Execute one statement. DDL replicates; inserts route; `SELECT`s
+    /// go through the shard planner.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.run(sql, false)
+    }
+
+    /// Like [`execute`](ShardedEngine::execute) but `SELECT`s on a single
+    /// shard go through that shard's plan cache.
+    pub fn execute_cached(&self, sql: &str) -> Result<QueryResult> {
+        self.run(sql, true)
+    }
+
+    fn run(&self, sql: &str, cached: bool) -> Result<QueryResult> {
+        // Fast path: every statement in this grammar starts with a
+        // keyword, so a leading `SELECT` token identifies a query without
+        // paying a facade-side parse (the owning shard parses it anyway).
+        let head = sql.trim_start();
+        if head.len() >= 6
+            && head.as_bytes()[..6].eq_ignore_ascii_case(b"select")
+            && !head.as_bytes().get(6).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            return self.select(sql, cached);
+        }
+        match parse_statement(sql)? {
+            Statement::Select(_) => self.select(sql, cached),
+            Statement::Insert { table, columns, rows } => {
+                let _ = rows;
+                self.insert(sql, &table, columns.as_deref())
+            }
+            Statement::DropTable { name, .. } => {
+                let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
+                for s in &self.shards {
+                    last = s.execute(sql)?;
+                }
+                self.sharding
+                    .write()
+                    .expect("sharding map poisoned")
+                    .remove(&name.to_ascii_lowercase());
+                self.invalidate_routes();
+                Ok(last)
+            }
+            Statement::CreateTable { .. } => {
+                let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
+                for s in &self.shards {
+                    last = s.execute(sql)?;
+                }
+                self.invalidate_routes();
+                Ok(last)
+            }
+        }
+    }
+
+    /// `INSERT`: replicated tables get the statement verbatim on every
+    /// shard; sharded tables evaluate the rows once and route each row
+    /// by shard-key hash.
+    fn insert(&self, sql: &str, table: &str, columns: Option<&[String]>) -> Result<QueryResult> {
+        let key = self.shard_key(table);
+        let Some(key) = key else {
+            let mut affected = 0;
+            for s in &self.shards {
+                affected = s.execute(sql)?.affected;
+            }
+            return Ok(QueryResult { names: Vec::new(), columns: Vec::new(), affected });
+        };
+        let Statement::Insert { rows, .. } = parse_statement(sql)? else {
+            return Err(EngineError::Plan("insert statement expected".into()));
+        };
+        let t0 = self.shards[0].table(table)?;
+        let binder = Binder::new(self.shards[0].catalog());
+        let mut evaled = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut vals = Vec::with_capacity(row.len());
+            for e in row {
+                vals.push(binder.eval_const(e)?);
+            }
+            evaled.push(vals);
+        }
+        let evaled = match columns {
+            Some(cols) => reorder_insert(t0.schema(), cols, evaled)?,
+            None => evaled,
+        };
+        let key_idx = t0
+            .schema()
+            .index_of(&key)
+            .ok_or_else(|| EngineError::Catalog(format!("shard key {key:?} vanished")))?;
+        let n = self.shards.len();
+        let mut per: Vec<Vec<Vec<Value>>> = (0..n).map(|_| Vec::new()).collect();
+        for row in evaled {
+            let kv = row.get(key_idx).ok_or_else(|| {
+                EngineError::Catalog("INSERT row narrower than the shard key".into())
+            })?;
+            per[(value_hash(kv) % n as u64) as usize].push(row);
+        }
+        let mut affected = 0;
+        for (i, shard_rows) in per.into_iter().enumerate() {
+            if shard_rows.is_empty() {
+                continue;
+            }
+            self.shards[i].table(table)?.append_rows(&shard_rows)?;
+            om::SHARD_ROWS_PER_SHARD.record(shard_rows.len() as u64);
+            affected += shard_rows.len();
+        }
+        Ok(QueryResult { names: Vec::new(), columns: Vec::new(), affected })
+    }
+
+    /// Columnar bulk load, the fast path benchmarks use: one hash pass
+    /// over the key column, one `take` per target shard.
+    pub fn insert_columns(&self, table: &str, columns: Vec<ColumnVector>) -> Result<usize> {
+        let Some(key) = self.shard_key(table) else {
+            let mut n = 0;
+            for s in &self.shards {
+                n = s.insert_columns(table, columns.clone())?;
+            }
+            return Ok(n);
+        };
+        let key_idx = self.shards[0]
+            .table(table)?
+            .schema()
+            .index_of(&key)
+            .ok_or_else(|| EngineError::Catalog(format!("shard key {key:?} vanished")))?;
+        let rows = columns.first().map_or(0, ColumnVector::len);
+        let mut hashes = Vec::new();
+        hash_key_columns(std::slice::from_ref(&columns[key_idx]), rows, &mut hashes);
+        let n = self.shards.len();
+        let mut idx: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+        for (r, h) in hashes.iter().enumerate() {
+            idx[(h % n as u64) as usize].push(r);
+        }
+        let batch = Batch::new(columns);
+        let mut total = 0;
+        for (i, rows_i) in idx.into_iter().enumerate() {
+            if rows_i.is_empty() {
+                continue;
+            }
+            om::SHARD_ROWS_PER_SHARD.record(rows_i.len() as u64);
+            total += self.shards[i].insert_columns(table, batch.take(&rows_i).into_columns())?;
+        }
+        Ok(total)
+    }
+
+    /// Classify `sql` without executing it (the serving router and tests
+    /// use this). Classifications are cached by statement text: routing
+    /// depends only on the plan shape and the sharding map, so serve
+    /// traffic cycling a working set of point queries classifies each
+    /// text once and then routes by lookup.
+    pub fn route(&self, sql: &str) -> Result<Route> {
+        if self.shards.len() == 1 {
+            return Ok(Route::Single(0));
+        }
+        if let Some(r) = self.route_cache.read().expect("route cache poisoned").get(sql) {
+            return Ok(r.clone());
+        }
+        let plan = self.shards[0].plan(sql)?;
+        let route = self.classify(&plan)?;
+        let mut cache = self.route_cache.write().expect("route cache poisoned");
+        if cache.len() >= ROUTE_CACHE_MAX {
+            cache.clear();
+        }
+        cache.insert(sql.to_string(), route.clone());
+        Ok(route)
+    }
+
+    fn invalidate_routes(&self) {
+        self.route_cache.write().expect("route cache poisoned").clear();
+    }
+
+    fn classify(&self, plan: &LogicalPlan) -> Result<Route> {
+        let sharded = self.sharded_in(plan)?;
+        if sharded.is_empty() {
+            return Ok(Route::Replicated);
+        }
+        if self.shards.len() == 1 {
+            return Ok(Route::Single(0));
+        }
+        let (core, _) = peel(plan);
+        if let Some(t) = self.pinned_shard(core) {
+            return Ok(Route::Single(t));
+        }
+        if shard_safe(core, &sharded).is_some() {
+            return Ok(Route::Scatter);
+        }
+        if !self.config().rowwise_ops {
+            if let Some((_, LogicalPlan::Aggregate { input, .. })) = split_at(core, false) {
+                if shard_safe(input, &sharded).is_some() {
+                    return Ok(Route::PartialAgg);
+                }
+            }
+            if let Some((_, LogicalPlan::HashJoin { left, right, .. })) = split_at(core, true) {
+                if shard_safe(left, &sharded).is_some() && shard_safe(right, &sharded).is_some() {
+                    return Ok(Route::Shuffle);
+                }
+            }
+        }
+        Err(EngineError::Unsupported(format!(
+            "cannot execute across {} shards: sharded scans are neither pinned, shard-safe, \
+             nor sides of a shuffleable hash join",
+            self.shards.len()
+        )))
+    }
+
+    fn select(&self, sql: &str, cached: bool) -> Result<QueryResult> {
+        let exec_on = |shard: &Engine| {
+            if cached {
+                shard.execute_cached(sql)
+            } else {
+                shard.execute(sql)
+            }
+        };
+        if self.shards.len() == 1 {
+            om::SHARD_QUERIES_SINGLE.add(1);
+            return exec_on(&self.shards[0]);
+        }
+        // The cached route skips planning entirely on the single-shard
+        // paths; scatter-class routes re-plan because the stage splitter
+        // works on the logical plan.
+        match self.route(sql)? {
+            Route::Replicated => {
+                om::SHARD_QUERIES_SINGLE.add(1);
+                exec_on(&self.shards[0])
+            }
+            Route::Single(t) => {
+                om::SHARD_QUERIES_SINGLE.add(1);
+                exec_on(&self.shards[t])
+            }
+            Route::Scatter => {
+                om::SHARD_QUERIES_SCATTER.add(1);
+                self.run_scatter(sql, &self.shards[0].plan(sql)?)
+            }
+            Route::PartialAgg => {
+                om::SHARD_QUERIES_PARTIAL_AGG.add(1);
+                self.run_partial_agg(sql, &self.shards[0].plan(sql)?)
+            }
+            Route::Shuffle => {
+                om::SHARD_QUERIES_SHUFFLE.add(1);
+                self.run_shuffle(sql, &self.shards[0].plan(sql)?)
+            }
+        }
+    }
+
+    /// Sharded tables scanned by `plan`, with scan multiplicity.
+    fn sharded_in(&self, plan: &LogicalPlan) -> Result<Vec<ShardedScan>> {
+        let map = self.sharding.read().expect("sharding map poisoned");
+        let mut tabs = Vec::new();
+        collect_scan_tables(plan, &mut tabs);
+        let mut out: Vec<ShardedScan> = Vec::new();
+        for t in tabs {
+            let Some(key) = map.get(&t.name().to_ascii_lowercase()) else { continue };
+            let key = t.schema().index_of(key).ok_or_else(|| {
+                EngineError::Catalog(format!("shard key {key:?} missing from {}", t.name()))
+            })?;
+            match out.iter_mut().find(|s| Arc::ptr_eq(&s.table, &t)) {
+                Some(s) => s.scans += 1,
+                None => out.push(ShardedScan { table: t, key, scans: 1 }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// If every scan of a sharded table is restricted by a `key = literal`
+    /// conjunct and all the literals hash to the same shard, return it.
+    ///
+    /// Pins are attributed to individual scan *instances* (a self-join
+    /// needs both sides pinned), traced through the plan the same way
+    /// [`column_source`] traces group keys.
+    fn pinned_shard(&self, core: &LogicalPlan) -> Option<usize> {
+        let map = self.sharding.read().expect("sharding map poisoned");
+        let mut tabs = Vec::new();
+        collect_scan_tables(core, &mut tabs);
+        // Which global scan ordinals need a pin (their table is sharded)?
+        let needs_pin: Vec<bool> = tabs
+            .iter()
+            .map(|t| {
+                map.get(&t.name().to_ascii_lowercase())
+                    .is_some_and(|key| t.schema().index_of(key).is_some())
+            })
+            .collect();
+        drop(map);
+        if !needs_pin.iter().any(|&b| b) {
+            return None;
+        }
+        let mut pins: Vec<Option<u64>> = vec![None; tabs.len()];
+        self.collect_pins(core, 0, &mut pins);
+        let n = self.shards.len() as u64;
+        let mut target: Option<usize> = None;
+        for (ord, need) in needs_pin.iter().enumerate() {
+            if !need {
+                continue;
+            }
+            let hash = pins[ord]?;
+            let t = (hash % n) as usize;
+            if *target.get_or_insert(t) != t {
+                return None;
+            }
+        }
+        target
+    }
+
+    /// Walk `plan` recording, per global scan ordinal, the hash of a
+    /// shard-key equality pin found in some filter above that scan.
+    /// `offset` is the number of scans to the left of this subtree.
+    fn collect_pins(&self, plan: &LogicalPlan, offset: usize, pins: &mut Vec<Option<u64>>) {
+        match plan {
+            LogicalPlan::Filter { input, predicate } => {
+                let map = self.sharding.read().expect("sharding map poisoned");
+                let mut conjuncts = Vec::new();
+                split_and(predicate, &mut conjuncts);
+                for c in conjuncts {
+                    let Expr::Binary { op: BinaryOp::Eq, left, right } = c else { continue };
+                    let (i, v) = match (&**left, &**right) {
+                        (Expr::Column(i), Expr::Literal(v))
+                        | (Expr::Literal(v), Expr::Column(i)) => (*i, v),
+                        _ => continue,
+                    };
+                    let Some((scan, table, col)) = trace_to_scan(input, i) else { continue };
+                    let is_key = map
+                        .get(&table.name().to_ascii_lowercase())
+                        .and_then(|key| table.schema().index_of(key))
+                        == Some(col);
+                    if is_key {
+                        pins[offset + scan].get_or_insert(value_hash(v));
+                    }
+                }
+                drop(map);
+                self.collect_pins(input, offset, pins);
+            }
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => self.collect_pins(input, offset, pins),
+            LogicalPlan::CrossJoin { left, right, .. }
+            | LogicalPlan::HashJoin { left, right, .. } => {
+                self.collect_pins(left, offset, pins);
+                self.collect_pins(right, offset + count_scans(left), pins);
+            }
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => {}
+        }
+    }
+
+    /// Fork-join over the shards: one `Query`-class task per shard on the
+    /// global pool, results gathered in shard index order (the order every
+    /// merge below relies on for determinism).
+    fn scatter<T, F>(&self, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, &Engine) -> Result<T> + Sync,
+    {
+        let mut slots: Vec<Option<Result<T>>> = (0..self.shards.len()).map(|_| None).collect();
+        {
+            let _span = obs::span(&om::SHARD_GATHER_WAIT_US);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let f = &f;
+                    let shard = &self.shards[i];
+                    Box::new(move || {
+                        *slot = Some(f(i, shard));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_tasks(tasks)?;
+        }
+        slots.into_iter().map(|s| s.expect("every shard task ran")).collect()
+    }
+
+    fn run_scatter(&self, sql: &str, plan0: &LogicalPlan) -> Result<QueryResult> {
+        let vs = self.config().vector_size;
+        let (_, posts) = peel(plan0);
+        let results = self.scatter(|_i, shard| {
+            let plan = shard.plan(sql)?;
+            let (core, _) = peel(&plan);
+            let batches = parallel::execute(core, shard.config())?;
+            om::SHARD_ROWS_PER_SHARD
+                .record(batches.iter().map(Batch::num_rows).sum::<usize>() as u64);
+            Ok(batches)
+        })?;
+        let gathered: Vec<Batch> = results.into_iter().flatten().collect();
+        let out = apply_posts(&posts, gathered, vs)?;
+        Ok(result_from(plan0, out))
+    }
+
+    fn run_partial_agg(&self, sql: &str, plan0: &LogicalPlan) -> Result<QueryResult> {
+        let vs = self.config().vector_size;
+        let (core0, posts) = peel(plan0);
+        let (upper0, agg0) = split_at(core0, false)
+            .ok_or_else(|| EngineError::Execution("partial-agg plan shape vanished".into()))?;
+        let LogicalPlan::Aggregate { group: group0, aggs: aggs0, schema, .. } = agg0 else {
+            return Err(EngineError::Execution("partial-agg target is not an aggregate".into()));
+        };
+        let output_types = schema.types();
+        let ngroup = group0.len();
+        let agg_types: Vec<DataType> = output_types[ngroup..].to_vec();
+        let states = self.scatter(|_i, shard| {
+            let plan = shard.plan(sql)?;
+            let (core, _) = peel(&plan);
+            let (_, agg) = split_at(core, false)
+                .ok_or_else(|| EngineError::Execution("partial-agg plan diverged".into()))?;
+            let LogicalPlan::Aggregate { input, group, aggs, .. } = agg else {
+                return Err(EngineError::Execution("partial-agg plan diverged".into()));
+            };
+            let batches = parallel::execute(input, shard.config())?;
+            let mut rows = 0u64;
+            let mut state = GroupedAggState::new(aggs, &agg_types);
+            for b in &batches {
+                rows += b.num_rows() as u64;
+                state.absorb_batch(b, group, aggs)?;
+            }
+            om::SHARD_ROWS_PER_SHARD.record(rows);
+            Ok(state)
+        })?;
+        // Fold the partials in shard index order: with the partition-level
+        // merge inside each shard also index-ordered, repeated runs are
+        // bit-identical (satellite: deterministic float aggregate merges).
+        let mut merged = GroupedAggState::new(aggs0, &agg_types);
+        for s in states {
+            merged.merge(s)?;
+        }
+        let batch = merged.finalize(ngroup, &output_types)?;
+        let out = apply_chain(&upper0, vec![batch], vs)?;
+        let out = apply_posts(&posts, out, vs)?;
+        Ok(result_from(plan0, out))
+    }
+
+    fn run_shuffle(&self, sql: &str, plan0: &LogicalPlan) -> Result<QueryResult> {
+        let nshards = self.shards.len();
+        let vs = self.config().vector_size;
+        let (core0, posts) = peel(plan0);
+        let (upper0, join0) = split_at(core0, true)
+            .ok_or_else(|| EngineError::Execution("shuffle-join plan shape vanished".into()))?;
+        let LogicalPlan::HashJoin { left: l0, right: r0, left_keys: lk0, right_keys: rk0, .. } =
+            join0
+        else {
+            return Err(EngineError::Execution("shuffle target is not a hash join".into()));
+        };
+        let sharded = self.sharded_in(plan0)?;
+        // A side without sharded scans is replicated everywhere: evaluate
+        // it once (on shard 0) or the exchange would duplicate it N times.
+        let left_sharded = shard_safe(l0, &sharded) == Some(true);
+        let right_sharded = shard_safe(r0, &sharded) == Some(true);
+        let parts = self.scatter(|i, shard| {
+            let plan = shard.plan(sql)?;
+            let (core, _) = peel(&plan);
+            let (_, join) = split_at(core, true)
+                .ok_or_else(|| EngineError::Execution("shuffle plan diverged".into()))?;
+            let LogicalPlan::HashJoin { left, right, left_keys, right_keys, .. } = join else {
+                return Err(EngineError::Execution("shuffle plan diverged".into()));
+            };
+            let lb = if left_sharded || i == 0 {
+                parallel::execute(left, shard.config())?
+            } else {
+                Vec::new()
+            };
+            let rb = if right_sharded || i == 0 {
+                parallel::execute(right, shard.config())?
+            } else {
+                Vec::new()
+            };
+            om::SHARD_ROWS_PER_SHARD.record(
+                (lb.iter().map(Batch::num_rows).sum::<usize>()
+                    + rb.iter().map(Batch::num_rows).sum::<usize>()) as u64,
+            );
+            Ok((repartition(&lb, left_keys, nshards)?, repartition(&rb, right_keys, nshards)?))
+        })?;
+        // The exchange: transpose source-shard buckets into per-target
+        // inputs, source shards kept in index order.
+        let mut left_t: Vec<Vec<Batch>> = (0..nshards).map(|_| Vec::new()).collect();
+        let mut right_t: Vec<Vec<Batch>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (lparts, rparts) in parts {
+            for (t, bs) in lparts.into_iter().enumerate() {
+                left_t[t].extend(bs);
+            }
+            for (t, bs) in rparts.into_iter().enumerate() {
+                right_t[t].extend(bs);
+            }
+        }
+        // Join each target's bucket pair on the pool; gather in target order.
+        let mut slots: Vec<Option<Result<Vec<Batch>>>> = (0..nshards).map(|_| None).collect();
+        {
+            let _span = obs::span(&om::SHARD_GATHER_WAIT_US);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .zip(left_t.into_iter().zip(right_t))
+                .map(|(slot, (lb, rb))| {
+                    let lk = lk0.clone();
+                    let rk = rk0.clone();
+                    Box::new(move || {
+                        let op: Box<dyn Operator> = Box::new(HashJoinExec::new(
+                            batches_operator(lb),
+                            batches_operator(rb),
+                            lk,
+                            rk,
+                            vs,
+                        ));
+                        *slot = Some(drain(op));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_tasks(tasks)?;
+        }
+        let mut joined = Vec::new();
+        for s in slots {
+            joined.extend(s.expect("every shuffle target ran")?);
+        }
+        let out = apply_chain(&upper0, joined, vs)?;
+        let out = apply_posts(&posts, out, vs)?;
+        Ok(result_from(plan0, out))
+    }
+
+    /// Scatter-gather ModelJoin: the inference operator runs per shard
+    /// against that shard's slice of `fact_table` and a shard-local handle
+    /// of the replicated `model_table`; batches gather in shard order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn model_join(
+        &self,
+        fact_table: &str,
+        input_cols: &[&str],
+        payload_cols: &[&str],
+        model_table: &str,
+        meta: &ModelMeta,
+        layout: Layout,
+        device: &Device,
+        parallelism: usize,
+    ) -> Result<Vec<Batch>> {
+        let vs = self.config().vector_size;
+        let fact_sharded = self.shard_key(fact_table).is_some();
+        if !fact_sharded || self.shards.len() == 1 {
+            // Replicated fact table: one shard holds everything; running
+            // the scatter would return every row N times.
+            let shard = &self.shards[0];
+            let shared = SharedModel::new(
+                shard.table(model_table)?,
+                meta.clone(),
+                layout,
+                device.clone(),
+                vs,
+                parallelism,
+            );
+            return execute_model_join(
+                shard,
+                fact_table,
+                input_cols,
+                payload_cols,
+                &shared,
+                parallelism,
+            );
+        }
+        let shareds: Vec<Arc<SharedModel>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                Ok(SharedModel::new(
+                    s.table(model_table)?,
+                    meta.clone(),
+                    layout,
+                    device.clone(),
+                    vs,
+                    parallelism,
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let results = self.scatter(|i, shard| {
+            let batches = execute_model_join(
+                shard,
+                fact_table,
+                input_cols,
+                payload_cols,
+                &shareds[i],
+                parallelism,
+            )?;
+            om::SHARD_ROWS_PER_SHARD
+                .record(batches.iter().map(Batch::num_rows).sum::<usize>() as u64);
+            Ok(batches)
+        })?;
+        Ok(results.into_iter().flatten().collect())
+    }
+}
+
+/// Run borrowed tasks on the global scheduler as `Query`-class work,
+/// converting a task panic into an execution error (same contract as the
+/// partition-parallel layer).
+fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) -> Result<()> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched::global().run_scoped(sched::TaskClass::Query, tasks)
+    }))
+    .map_err(|_| EngineError::Execution("shard worker panicked".into()))
+}
+
+/// Top-of-plan operators that must run once at the facade, outermost
+/// first. A per-shard `LIMIT` could truncate the global answer and a
+/// per-shard `ORDER BY` does not survive the gather concatenation, so
+/// both are peeled before shard execution and replayed after it.
+enum Post<'p> {
+    Sort(&'p [(Expr, bool)]),
+    Limit(u64),
+}
+
+fn peel(plan: &LogicalPlan) -> (&LogicalPlan, Vec<Post<'_>>) {
+    let mut posts = Vec::new();
+    let mut node = plan;
+    loop {
+        match node {
+            LogicalPlan::Sort { input, keys } => {
+                posts.push(Post::Sort(keys));
+                node = input;
+            }
+            LogicalPlan::Limit { input, n } => {
+                posts.push(Post::Limit(*n));
+                node = input;
+            }
+            _ => return (node, posts),
+        }
+    }
+}
+
+fn apply_posts(posts: &[Post], batches: Vec<Batch>, vector_size: usize) -> Result<Vec<Batch>> {
+    if posts.is_empty() {
+        return Ok(batches);
+    }
+    let mut op: Box<dyn Operator> = batches_operator(batches);
+    for p in posts.iter().rev() {
+        op = match p {
+            Post::Sort(keys) => Box::new(SortExec::new(op, keys.to_vec(), vector_size)),
+            Post::Limit(n) => Box::new(LimitExec::new(op, *n)),
+        };
+    }
+    drain(op)
+}
+
+/// Split the unary operator chain above the first aggregate (`want_join ==
+/// false`) or hash join (`want_join == true`). Returns the chain outermost
+/// first plus the target node; `None` if the walk hits anything else
+/// (including an interior `LIMIT`, whose row choice is order-dependent
+/// and so cannot be replayed at the facade).
+fn split_at(core: &LogicalPlan, want_join: bool) -> Option<(Vec<&LogicalPlan>, &LogicalPlan)> {
+    let mut upper = Vec::new();
+    let mut node = core;
+    loop {
+        match node {
+            LogicalPlan::Aggregate { .. } if !want_join => return Some((upper, node)),
+            LogicalPlan::HashJoin { .. } if want_join => return Some((upper, node)),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => {
+                upper.push(node);
+                node = input;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Replay a peeled unary chain over gathered batches by rebuilding the
+/// corresponding physical operators (single-threaded, at the facade).
+fn apply_chain(
+    upper: &[&LogicalPlan],
+    batches: Vec<Batch>,
+    vector_size: usize,
+) -> Result<Vec<Batch>> {
+    let mut op: Box<dyn Operator> = batches_operator(batches);
+    for node in upper.iter().rev() {
+        op = match node {
+            LogicalPlan::Filter { predicate, .. } => {
+                Box::new(FilterExec::new(op, predicate.clone()))
+            }
+            LogicalPlan::Project { exprs, .. } => Box::new(ProjectExec::new(op, exprs.clone())),
+            LogicalPlan::Sort { keys, .. } => {
+                Box::new(SortExec::new(op, keys.clone(), vector_size))
+            }
+            LogicalPlan::Limit { n, .. } => Box::new(LimitExec::new(op, *n)),
+            LogicalPlan::Aggregate { group, aggs, schema, .. } => Box::new(HashAggExec::new(
+                op,
+                group.clone(),
+                aggs.clone(),
+                schema.types(),
+                vector_size,
+            )),
+            _ => {
+                return Err(EngineError::Execution(
+                    "unexpected operator in gathered upper chain".into(),
+                ))
+            }
+        };
+    }
+    drain(op)
+}
+
+/// Hash-partition batches by join-key hash into `nshards` buckets — the
+/// columnar exchange. Volume is recorded under `shard.shuffle.*`.
+fn repartition(batches: &[Batch], keys: &[Expr], nshards: usize) -> Result<Vec<Vec<Batch>>> {
+    let mut out: Vec<Vec<Batch>> = (0..nshards).map(|_| Vec::new()).collect();
+    let mut hashes = Vec::new();
+    for b in batches {
+        if b.num_rows() == 0 {
+            continue;
+        }
+        let key_cols: Vec<ColumnVector> = keys.iter().map(|e| e.eval(b)).collect::<Result<_>>()?;
+        hash_key_columns(&key_cols, b.num_rows(), &mut hashes);
+        let mut idx: Vec<Vec<usize>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (r, h) in hashes.iter().enumerate() {
+            idx[(h % nshards as u64) as usize].push(r);
+        }
+        for (t, rows) in idx.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let sub = b.take(&rows);
+            om::SHARD_SHUFFLE_ROWS.add(sub.num_rows() as u64);
+            om::SHARD_SHUFFLE_BATCHES.add(1);
+            om::SHARD_SHUFFLE_BYTES.add(batch_bytes(&sub));
+            out[t].push(sub);
+        }
+    }
+    Ok(out)
+}
+
+/// Approximate wire size of a batch (the obs `shard.shuffle.bytes` unit).
+fn batch_bytes(b: &Batch) -> u64 {
+    b.columns()
+        .iter()
+        .map(|c| match c {
+            ColumnVector::Int(v) => v.len() * 8,
+            ColumnVector::Float(v) => v.len() * 8,
+            ColumnVector::Bool(v) => v.len(),
+            ColumnVector::Str(v) => v.iter().map(|s| s.len() + 8).sum(),
+        } as u64)
+        .sum()
+}
+
+/// Is per-shard execution of `plan` over each shard's slice guaranteed to
+/// produce a disjoint partition of the full answer?
+///
+/// Returns `Some(contains_sharded_scan)` when safe, `None` when not. The
+/// rules mirror the partition-parallel `is_safe` one level up:
+/// * joins that combine two sharded subtrees must carry an equi-key pair
+///   tracing to the shard keys on both sides (co-partitioned rows meet on
+///   the shard that owns them);
+/// * aggregations over sharded rows must group on a shard key or on a
+///   unique column of a sharded table (then no group spans shards);
+/// * an interior `LIMIT` would multiply across shards.
+fn shard_safe(plan: &LogicalPlan, sharded: &[ShardedScan]) -> Option<bool> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            Some(sharded.iter().any(|s| Arc::ptr_eq(&s.table, table)))
+        }
+        LogicalPlan::Values { .. } => Some(false),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. } => shard_safe(input, sharded),
+        LogicalPlan::Limit { .. } => None,
+        LogicalPlan::Aggregate { input, group, .. } => {
+            let inner = shard_safe(input, sharded)?;
+            if !inner {
+                return Some(false);
+            }
+            let pinned = group.iter().any(|g| {
+                if let Expr::Column(i) = g {
+                    matches!(
+                        column_source(input, *i),
+                        Some((src, c)) if sharded.iter().any(|s| Arc::ptr_eq(&s.table, &src)
+                            && (s.key == c || src.is_unique_column(c)))
+                    )
+                } else {
+                    false
+                }
+            });
+            if pinned {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        LogicalPlan::CrossJoin { left, right, .. } => {
+            let l = shard_safe(left, sharded)?;
+            let r = shard_safe(right, sharded)?;
+            if l && r {
+                // Cross-shard pairs never meet on one shard.
+                None
+            } else {
+                Some(l || r)
+            }
+        }
+        LogicalPlan::HashJoin { left, right, left_keys, right_keys, .. } => {
+            let l = shard_safe(left, sharded)?;
+            let r = shard_safe(right, sharded)?;
+            if l && r {
+                let aligned = left_keys.iter().zip(right_keys).any(|(lk, rk)| {
+                    traces_to_shard_key(left, lk, sharded)
+                        && traces_to_shard_key(right, rk, sharded)
+                });
+                if aligned {
+                    Some(true)
+                } else {
+                    None
+                }
+            } else {
+                Some(l || r)
+            }
+        }
+    }
+}
+
+/// Does `expr`, evaluated against `side`, pass through a shard-key column?
+fn traces_to_shard_key(side: &LogicalPlan, expr: &Expr, sharded: &[ShardedScan]) -> bool {
+    if let Expr::Column(i) = expr {
+        matches!(
+            column_source(side, *i),
+            Some((t, c)) if sharded.iter().any(|s| Arc::ptr_eq(&s.table, &t) && s.key == c)
+        )
+    } else {
+        false
+    }
+}
+
+/// Flatten a conjunction into its `AND`-free conjuncts.
+fn split_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary { op: BinaryOp::And, left, right } = e {
+        split_and(left, out);
+        split_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn count_scans(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Scan { .. } => 1,
+        LogicalPlan::Values { .. } => 0,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => count_scans(input),
+        LogicalPlan::CrossJoin { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
+            count_scans(left) + count_scans(right)
+        }
+    }
+}
+
+/// Trace output column `idx` of `plan` to the scan instance it passes
+/// through: `(scan ordinal within this subtree, table, base column)`.
+/// Scan ordinals follow the left-to-right DFS order of
+/// [`collect_scan_tables`].
+fn trace_to_scan(plan: &LogicalPlan, idx: usize) -> Option<(usize, Arc<Table>, usize)> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Some((0, Arc::clone(table), idx)),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => trace_to_scan(input, idx),
+        LogicalPlan::Project { input, exprs, .. } => match exprs.get(idx)? {
+            Expr::Column(i) => trace_to_scan(input, *i),
+            _ => None,
+        },
+        LogicalPlan::Aggregate { input, group, .. } => match group.get(idx)? {
+            Expr::Column(i) => trace_to_scan(input, *i),
+            _ => None,
+        },
+        LogicalPlan::CrossJoin { left, right, .. } | LogicalPlan::HashJoin { left, right, .. } => {
+            let nleft = left.schema().len();
+            if idx < nleft {
+                trace_to_scan(left, idx)
+            } else {
+                trace_to_scan(right, idx - nleft).map(|(s, t, c)| (s + count_scans(left), t, c))
+            }
+        }
+        LogicalPlan::Values { .. } => None,
+    }
+}
+
+/// The shard-routing hash of one value — the same hash family rows are
+/// split with on insert, so `hash(literal) % N` names the owning shard.
+fn value_hash(v: &Value) -> u64 {
+    let col = match v {
+        Value::Int(i) => ColumnVector::Int(vec![*i]),
+        Value::Float(f) => ColumnVector::Float(vec![*f]),
+        Value::Bool(b) => ColumnVector::Bool(vec![*b]),
+        Value::Str(s) => ColumnVector::Str(vec![s.clone()]),
+    };
+    let mut hashes = Vec::new();
+    hash_key_columns(std::slice::from_ref(&col), 1, &mut hashes);
+    hashes[0]
+}
+
+/// Reorder `INSERT (cols...) VALUES` rows into schema order (same
+/// contract as the single engine: the list must cover every column).
+fn reorder_insert(
+    schema: &Schema,
+    cols: &[String],
+    rows: Vec<Vec<Value>>,
+) -> Result<Vec<Vec<Value>>> {
+    if cols.len() != schema.len() {
+        return Err(EngineError::Catalog(format!(
+            "INSERT column list must cover all {} columns (no NULL/default support)",
+            schema.len()
+        )));
+    }
+    let mut positions = Vec::with_capacity(cols.len());
+    for c in cols {
+        positions.push(
+            schema
+                .index_of(c)
+                .ok_or_else(|| EngineError::Catalog(format!("unknown column {c:?} in INSERT")))?,
+        );
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != positions.len() {
+            return Err(EngineError::Catalog("INSERT row arity mismatch".into()));
+        }
+        let mut reordered = vec![Value::Int(0); row.len()];
+        for (value, &pos) in row.into_iter().zip(&positions) {
+            reordered[pos] = value;
+        }
+        out.push(reordered);
+    }
+    Ok(out)
+}
+
+fn result_from(plan0: &LogicalPlan, batches: Vec<Batch>) -> QueryResult {
+    let names = plan0.schema().fields.iter().map(|f| f.name.clone()).collect();
+    let types = plan0.schema().types();
+    let b = concat_batches(&batches);
+    let columns = if b.num_columns() == 0 {
+        types.into_iter().map(ColumnVector::empty).collect()
+    } else {
+        b.into_columns()
+    };
+    QueryResult { names, columns, affected: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(shards: usize) -> ShardedEngine {
+        let cfg = EngineConfig { partitions: 2, parallelism: 2, ..Default::default() };
+        ShardedEngine::with_shards(cfg, shards)
+    }
+
+    /// `id` values 0..n, `v = id * 0.25` (dyadic, exact in binary),
+    /// `grp = id % 5`.
+    fn load_facts(e: &ShardedEngine, n: i64) {
+        e.execute("CREATE TABLE facts (id INT, grp INT, v FLOAT)").unwrap();
+        e.declare_sharded("facts", "id").unwrap();
+        e.declare_unique("facts", "id").unwrap();
+        e.insert_columns(
+            "facts",
+            vec![
+                ColumnVector::Int((0..n).collect()),
+                ColumnVector::Int((0..n).map(|i| i % 5).collect()),
+                ColumnVector::Float((0..n).map(|i| i as f64 * 0.25).collect()),
+            ],
+        )
+        .unwrap();
+    }
+
+    fn sorted_rows(r: &QueryResult) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = (0..r.num_rows())
+            .map(|i| r.row(i).iter().map(|v| format!("{v:?}")).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn oracle(n: i64) -> Engine {
+        let e = Engine::with_defaults();
+        e.execute("CREATE TABLE facts (id INT, grp INT, v FLOAT)").unwrap();
+        e.table("facts").unwrap().declare_unique("id").unwrap();
+        e.insert_columns(
+            "facts",
+            vec![
+                ColumnVector::Int((0..n).collect()),
+                ColumnVector::Int((0..n).map(|i| i % 5).collect()),
+                ColumnVector::Float((0..n).map(|i| i as f64 * 0.25).collect()),
+            ],
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn rows_split_across_shards_and_union_is_complete() {
+        let e = engine(3);
+        load_facts(&e, 100);
+        let per: Vec<usize> =
+            e.shards().iter().map(|s| s.table("facts").unwrap().row_count()).collect();
+        assert_eq!(per.iter().sum::<usize>(), 100);
+        assert!(per.iter().all(|&c| c > 0), "hash split left a shard empty: {per:?}");
+        let r = e.execute("SELECT COUNT(*) AS n FROM facts").unwrap();
+        assert_eq!(r.row(0), vec![Value::Int(100)]);
+    }
+
+    #[test]
+    fn point_query_routes_to_one_shard() {
+        let e = engine(4);
+        load_facts(&e, 64);
+        let route = e.route("SELECT v FROM facts WHERE id = 17").unwrap();
+        let Route::Single(t) = route else { panic!("expected routed point query, got {route:?}") };
+        // The owning shard really holds the row, and the facade answer
+        // matches the shard-local answer.
+        let local = e.shard(t).execute("SELECT v FROM facts WHERE id = 17").unwrap();
+        assert_eq!(local.num_rows(), 1);
+        let r = e.execute("SELECT v FROM facts WHERE id = 17").unwrap();
+        assert_eq!(r.row(0), vec![Value::Float(17.0 * 0.25)]);
+    }
+
+    #[test]
+    fn self_join_with_one_unpinned_side_is_not_routed() {
+        let e = engine(4);
+        load_facts(&e, 64);
+        // b is unpinned: routing to a's shard would miss b rows on other
+        // shards. The co-partitioned self-join is still scatter-safe.
+        let route = e
+            .route("SELECT a.v FROM facts AS a, facts AS b WHERE a.id = 5 AND a.id = b.id")
+            .unwrap();
+        assert_eq!(route, Route::Scatter);
+    }
+
+    #[test]
+    fn group_by_shard_key_scatters_and_matches_oracle() {
+        let e = engine(3);
+        load_facts(&e, 90);
+        let o = oracle(90);
+        let sql = "SELECT id, SUM(v) AS s FROM facts GROUP BY id ORDER BY id";
+        assert_eq!(e.route(sql).unwrap(), Route::Scatter);
+        assert_eq!(sorted_rows(&e.execute(sql).unwrap()), sorted_rows(&o.execute(sql).unwrap()));
+    }
+
+    #[test]
+    fn misaligned_group_by_uses_partial_aggregate_merge() {
+        let e = engine(3);
+        load_facts(&e, 90);
+        let o = oracle(90);
+        let sql = "SELECT grp, SUM(v) AS s, AVG(v) AS m, COUNT(*) AS n \
+                   FROM facts GROUP BY grp ORDER BY grp";
+        assert_eq!(e.route(sql).unwrap(), Route::PartialAgg);
+        assert_eq!(sorted_rows(&e.execute(sql).unwrap()), sorted_rows(&o.execute(sql).unwrap()));
+    }
+
+    #[test]
+    fn global_aggregate_over_shards_matches_oracle() {
+        let e = engine(8);
+        load_facts(&e, 200);
+        let o = oracle(200);
+        let sql = "SELECT SUM(v) AS s, MIN(id) AS lo, MAX(id) AS hi, COUNT(*) AS n FROM facts";
+        assert_eq!(e.route(sql).unwrap(), Route::PartialAgg);
+        assert_eq!(e.execute(sql).unwrap().row(0), o.execute(sql).unwrap().row(0));
+    }
+
+    #[test]
+    fn misaligned_join_shuffles_and_matches_oracle() {
+        let e = engine(3);
+        load_facts(&e, 60);
+        let o = oracle(60);
+        // Join on grp — not the shard key — forces the exchange.
+        let sql = "SELECT a.id, b.id FROM facts AS a, facts AS b \
+                   WHERE a.grp = b.grp AND a.v < 1.0 AND b.v < 1.0 ORDER BY 1, 2";
+        assert_eq!(e.route(sql).unwrap(), Route::Shuffle);
+        assert_eq!(sorted_rows(&e.execute(sql).unwrap()), sorted_rows(&o.execute(sql).unwrap()));
+        assert!(om::SHARD_SHUFFLE_ROWS.get() > 0, "exchange recorded no shuffled rows");
+    }
+
+    #[test]
+    fn replicated_join_against_sharded_side_scatters() {
+        let e = engine(3);
+        load_facts(&e, 60);
+        e.execute("CREATE TABLE dim (grp INT, label FLOAT)").unwrap();
+        for g in 0..5 {
+            e.execute(&format!("INSERT INTO dim VALUES ({g}, {})", g as f64 * 10.0)).unwrap();
+        }
+        let o = oracle(60);
+        o.execute("CREATE TABLE dim (grp INT, label FLOAT)").unwrap();
+        for g in 0..5 {
+            o.execute(&format!("INSERT INTO dim VALUES ({g}, {})", g as f64 * 10.0)).unwrap();
+        }
+        // dim is replicated on every shard: the join is shard-local.
+        let sql = "SELECT f.id, d.label FROM facts AS f, dim AS d \
+                   WHERE f.grp = d.grp ORDER BY f.id";
+        assert_eq!(e.route(sql).unwrap(), Route::Scatter);
+        assert_eq!(sorted_rows(&e.execute(sql).unwrap()), sorted_rows(&o.execute(sql).unwrap()));
+    }
+
+    #[test]
+    fn top_level_order_and_limit_apply_after_gather() {
+        let e = engine(4);
+        load_facts(&e, 100);
+        let o = oracle(100);
+        let sql = "SELECT id, v FROM facts ORDER BY id DESC LIMIT 7";
+        let r = e.execute(sql).unwrap();
+        let expect = o.execute(sql).unwrap();
+        assert_eq!(r.num_rows(), 7);
+        assert_eq!(
+            (0..7).map(|i| r.row(i)).collect::<Vec<_>>(),
+            (0..7).map(|i| expect.row(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn repeated_sharded_aggregate_runs_are_bit_identical() {
+        // Non-dyadic values so any merge-order wobble would flip low bits.
+        let e = engine(8);
+        e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+        e.declare_sharded("t", "id").unwrap();
+        let n = 500i64;
+        e.insert_columns(
+            "t",
+            vec![
+                ColumnVector::Int((0..n).collect()),
+                ColumnVector::Float((0..n).map(|i| i as f64 * 0.1).collect()),
+            ],
+        )
+        .unwrap();
+        let sql = "SELECT SUM(v) AS s, AVG(v) AS m FROM t";
+        let bits = |r: &QueryResult| -> Vec<u64> {
+            r.row(0)
+                .iter()
+                .map(|v| match v {
+                    Value::Float(f) => f.to_bits(),
+                    Value::Int(i) => *i as u64,
+                    other => panic!("unexpected value {other:?}"),
+                })
+                .collect()
+        };
+        let first = bits(&e.execute(sql).unwrap());
+        for _ in 0..10 {
+            assert_eq!(bits(&e.execute(sql).unwrap()), first, "merge order drifted");
+        }
+    }
+
+    #[test]
+    fn sharded_insert_statement_routes_rows() {
+        let e = engine(3);
+        e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+        e.declare_sharded("t", "id").unwrap();
+        let r = e.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5), (3, 2.5), (4, 3.5)").unwrap();
+        assert_eq!(r.affected, 4);
+        let total: usize = e.shards().iter().map(|s| s.table("t").unwrap().row_count()).sum();
+        assert_eq!(total, 4);
+        // Explicit column lists reorder into schema order before routing.
+        e.execute("INSERT INTO t (v, id) VALUES (9.5, 9)").unwrap();
+        let r = e.execute("SELECT v FROM t WHERE id = 9").unwrap();
+        assert_eq!(r.row(0), vec![Value::Float(9.5)]);
+    }
+
+    #[test]
+    fn declare_sharded_rejects_loaded_tables_and_unknown_keys() {
+        let e = engine(2);
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        assert!(e.declare_sharded("t", "nope").is_err());
+        e.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert!(e.declare_sharded("t", "id").is_err());
+    }
+
+    #[test]
+    fn cross_join_of_two_sharded_tables_is_unsupported() {
+        let e = engine(2);
+        load_facts(&e, 10);
+        e.execute("CREATE TABLE other (id INT)").unwrap();
+        e.declare_sharded("other", "id").unwrap();
+        e.execute("INSERT INTO other VALUES (1), (2)").unwrap();
+        let err = e.route("SELECT f.id FROM facts AS f, other AS o").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn single_shard_facade_matches_plain_engine() {
+        let e = engine(1);
+        load_facts(&e, 50);
+        let o = oracle(50);
+        for sql in [
+            "SELECT SUM(v) AS s FROM facts",
+            "SELECT grp, COUNT(*) AS n FROM facts GROUP BY grp ORDER BY grp",
+            "SELECT v FROM facts WHERE id = 3",
+        ] {
+            assert_eq!(
+                sorted_rows(&e.execute(sql).unwrap()),
+                sorted_rows(&o.execute(sql).unwrap()),
+                "{sql}"
+            );
+        }
+    }
+}

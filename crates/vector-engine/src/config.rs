@@ -71,6 +71,13 @@ pub struct EngineConfig {
     /// bound their overhead. The flag is process-global — constructing an
     /// engine stores it, and the last engine constructed wins.
     pub obs_spans: bool,
+    /// Number of in-process engine shards the sharded facade
+    /// (`crates/shard`) stands up: tables declared sharded are
+    /// hash-partitioned across this many independent `Engine` instances,
+    /// each a stand-in for one node of a distributed deployment. 1 (the
+    /// default) means unsharded single-engine execution; the knob is
+    /// ignored by a plain `Engine` and consumed only by `ShardedEngine`.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +98,7 @@ impl Default for EngineConfig {
             batch_flush_us: 200,
             quantized_inference: false,
             obs_spans: true,
+            shards: 1,
         }
     }
 }
@@ -127,7 +135,7 @@ impl EngineConfig {
              predicate_pushdown={}\ncolumn_pruning={}\nworker_threads={}\nunified_sched={}\n\
              rowwise_ops={}\n\
              plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\n\
-             quantized_inference={}\nobs_spans={}\n",
+             quantized_inference={}\nobs_spans={}\nshards={}\n",
             self.vector_size,
             self.partitions,
             self.parallelism,
@@ -143,6 +151,7 @@ impl EngineConfig {
             self.batch_flush_us,
             self.quantized_inference,
             self.obs_spans,
+            self.shards,
         )
     }
 
@@ -200,6 +209,7 @@ impl EngineConfig {
                     cfg.quantized_inference = value.parse().map_err(|_| bad(key, value))?
                 }
                 "obs_spans" => cfg.obs_spans = value.parse().map_err(|_| bad(key, value))?,
+                "shards" => cfg.shards = value.parse().map_err(|_| bad(key, value))?,
                 other => {
                     return Err(EngineError::Unsupported(format!("config: unknown knob {other:?}")))
                 }
@@ -229,6 +239,7 @@ mod tests {
         assert_eq!(c.batch_flush_us, 200);
         assert!(!c.quantized_inference, "inference defaults to exact fp32");
         assert!(c.obs_spans, "span timers default on (counters are unconditional)");
+        assert_eq!(c.shards, 1, "single-engine execution is the default");
     }
 
     #[test]
@@ -270,5 +281,51 @@ mod tests {
         assert!(EngineConfig::from_kv("no_such_knob=1").is_err());
         assert!(EngineConfig::from_kv("vector_size=banana").is_err());
         assert!(EngineConfig::from_kv("just a line").is_err());
+    }
+
+    // Every knob randomized independently; `to_kv` → `from_kv` must be the
+    // identity on all of them (a knob missing from either direction, or a
+    // typo'd key name, fails here instead of silently running a default).
+    proptest::proptest! {
+        #[test]
+        fn kv_round_trips_every_knob(
+            vector_size in 1usize..5000,
+            partitions in 1usize..64,
+            parallelism in 1usize..64,
+            sma_pruning in proptest::prelude::any::<bool>(),
+            hash_join in proptest::prelude::any::<bool>(),
+            predicate_pushdown in proptest::prelude::any::<bool>(),
+            column_pruning in proptest::prelude::any::<bool>(),
+            worker_threads in 0usize..64,
+            unified_sched in proptest::prelude::any::<bool>(),
+            rowwise_ops in proptest::prelude::any::<bool>(),
+            plan_cache_entries in 0usize..1000,
+            serve_queue_depth in 0usize..10000,
+            batch_flush_us in 0u64..1_000_000,
+            quantized_inference in proptest::prelude::any::<bool>(),
+            obs_spans in proptest::prelude::any::<bool>(),
+            shards in 1usize..16,
+        ) {
+            let cfg = EngineConfig {
+                vector_size,
+                partitions,
+                parallelism,
+                sma_pruning,
+                hash_join,
+                predicate_pushdown,
+                column_pruning,
+                worker_threads,
+                unified_sched,
+                rowwise_ops,
+                plan_cache_entries,
+                serve_queue_depth,
+                batch_flush_us,
+                quantized_inference,
+                obs_spans,
+                shards,
+            };
+            let round = EngineConfig::from_kv(&cfg.to_kv()).unwrap();
+            proptest::prop_assert_eq!(round, cfg);
+        }
     }
 }

@@ -358,7 +358,11 @@ fn choose_partition_table(plan: &LogicalPlan) -> Option<Arc<Table>> {
     None
 }
 
-fn collect_scan_tables(plan: &LogicalPlan, out: &mut Vec<Arc<Table>>) {
+/// Append every base table scanned by `plan` to `out` (one entry per scan,
+/// so a table referenced twice appears twice). Public for the shard
+/// planner, which applies the same scanned-exactly-once rule at the
+/// shard level that [`execute`] applies at the partition level.
+pub fn collect_scan_tables(plan: &LogicalPlan, out: &mut Vec<Arc<Table>>) {
     match plan {
         LogicalPlan::Scan { table, .. } => out.push(Arc::clone(table)),
         LogicalPlan::Filter { input, .. }
@@ -404,8 +408,10 @@ fn is_safe(plan: &LogicalPlan, table: &Arc<Table>) -> bool {
 }
 
 /// Trace an output column of `plan` back to a base table column, if the
-/// lineage is a pure passthrough.
-fn column_source(plan: &LogicalPlan, idx: usize) -> Option<(Arc<Table>, usize)> {
+/// lineage is a pure passthrough. Public for the shard planner, which
+/// needs the same lineage argument to decide whether a group key or an
+/// equality predicate pins the sharding column.
+pub fn column_source(plan: &LogicalPlan, idx: usize) -> Option<(Arc<Table>, usize)> {
     match plan {
         LogicalPlan::Scan { table, .. } => Some((Arc::clone(table), idx)),
         LogicalPlan::Filter { input, .. }
@@ -580,6 +586,70 @@ mod tests {
             &cat,
         );
         assert_eq!(rows.len(), 5);
+    }
+
+    // Regression test for merge-order determinism: partial aggregates over
+    // non-dyadic floats (0.1 steps do not sum associatively in binary) must
+    // fold in partition/morsel index order, so repeated runs of the same
+    // query produce bit-identical floats — on both the unified-scheduler
+    // morsel path and the legacy thread-scope path. The sharded facade
+    // (crates/shard) extends the same guarantee to shard index order.
+    #[test]
+    fn repeated_partial_aggregate_runs_are_bit_identical() {
+        for unified in [true, false] {
+            let cfg = EngineConfig {
+                vector_size: 8,
+                partitions: 4,
+                parallelism: 4,
+                unified_sched: unified,
+                ..Default::default()
+            };
+            let cat = Catalog::new();
+            let facts = cat
+                .create_table(
+                    "facts",
+                    Schema::new(vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::new("v", DataType::Float),
+                    ])
+                    .unwrap(),
+                    &cfg,
+                )
+                .unwrap();
+            let n = 200i64;
+            facts
+                .append(vec![
+                    ColumnVector::Int((0..n).collect()),
+                    ColumnVector::Float((0..n).map(|i| i as f64 * 0.1).collect()),
+                ])
+                .unwrap();
+            facts.declare_unique("id").unwrap();
+            let sql = "SELECT id % 7 AS g, SUM(v) AS s, AVG(v) AS m FROM facts \
+                       GROUP BY id % 7 ORDER BY 1";
+            // Compare raw float bit patterns, not `==` (which would let
+            // -0.0 == 0.0 slip through the bit-identity claim).
+            let bits = |rows: &Vec<Vec<Value>>| -> Vec<Vec<u64>> {
+                rows.iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(|v| match v {
+                                Value::Float(f) => f.to_bits(),
+                                Value::Int(i) => *i as u64,
+                                other => panic!("unexpected value {other:?}"),
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let first = bits(&run(sql, &cfg, &cat));
+            for _ in 0..11 {
+                let again = bits(&run(sql, &cfg, &cat));
+                assert_eq!(
+                    first, again,
+                    "partial-aggregate merge must be index-ordered (unified={unified})"
+                );
+            }
+        }
     }
 
     #[test]
