@@ -1,0 +1,364 @@
+//! Persistence sweep: what the paged storage layer costs and buys.
+//!
+//! ```text
+//! cargo run --release -p bench --bin persist_sweep [--quick]
+//! ```
+//!
+//! Cells:
+//! * `bulk_load` — columnar load throughput, in-memory vs persistent
+//!   (the persistent path logs every append to the WAL and encodes
+//!   blocks into checksummed pages).
+//! * `wal_append` — many small appends, in-memory vs persistent with
+//!   `wal_fsync` off and on: the per-statement WAL + group-commit cost.
+//! * `cold_start` — reopen the checkpointed directory (recovery reads
+//!   the page directory, the WAL is empty) and time the first full scan
+//!   (every page faults into the pool from disk) against the warm rerun
+//!   and the in-memory baseline.
+//! * `ml2sql_warm` — ML-To-SQL full-table inference, warm persistent vs
+//!   in-memory. The acceptance bar for the storage layer is the
+//!   `warm_ml2sql_persistent_vs_memory` ratio staying >= 0.85: once
+//!   pages are cached, reads go through pinned pages, not the disk.
+//! * `pool_scan` — scan throughput with the buffer pool sized at
+//!   {0.25x, 1x, 4x} of the data: the bounded-memory story. At 0.25x
+//!   every scan cycles the CLOCK replacer; at 4x the table is resident.
+//!
+//! Full runs write `BENCH_persist.json` including the `storage.*`
+//! counter snapshot (pool hits/misses/evictions, WAL appends/fsyncs/
+//! bytes, recovery records); `--quick` is a CI smoke that runs tiny
+//! cells and leaves the JSON untouched.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ml2sql::{ActivationDialect, GenOptions, OptLevel, SqlGenerator};
+use model_repr::{load_into_engine, Layout, ModelMeta};
+use vector_engine::{ColumnVector, Engine, EngineConfig, Value};
+
+const MODEL_TABLE: &str = "model_table";
+
+struct Sizes {
+    fact_rows: usize,
+    append_batches: usize,
+    append_rows: usize,
+    ml2sql_reps: usize,
+    scan_reps: usize,
+}
+
+impl Sizes {
+    fn new(quick: bool) -> Sizes {
+        if quick {
+            Sizes {
+                fact_rows: 1 << 12,
+                append_batches: 16,
+                append_rows: 64,
+                ml2sql_reps: 2,
+                scan_reps: 2,
+            }
+        } else {
+            Sizes {
+                fact_rows: 1 << 18,
+                append_batches: 256,
+                append_rows: 64,
+                ml2sql_reps: 8,
+                scan_reps: 5,
+            }
+        }
+    }
+}
+
+/// Exact dyadic inputs in [-2, 2) so repeated runs are bit-identical.
+fn dyadic(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut z = (i as u64).wrapping_add(salt).wrapping_mul(0x9e3779b97f4a7c15);
+            z ^= z >> 29;
+            (z % 256) as f64 / 64.0 - 2.0
+        })
+        .collect()
+}
+
+fn facts_ddl(input_dim: usize) -> String {
+    let mut ddl = String::from("CREATE TABLE facts (id INT");
+    for c in 0..input_dim {
+        ddl.push_str(&format!(", c{c} FLOAT"));
+    }
+    ddl.push(')');
+    ddl
+}
+
+fn facts_columns(lo: usize, hi: usize, input_dim: usize) -> Vec<ColumnVector> {
+    let mut cols = vec![ColumnVector::Int((lo as i64..hi as i64).collect())];
+    for c in 0..input_dim {
+        cols.push(ColumnVector::Float(dyadic(hi - lo, c as u64 + 1)[..hi - lo].to_vec()));
+    }
+    cols
+}
+
+fn mem_config() -> EngineConfig {
+    EngineConfig { vector_size: 1024, partitions: 4, parallelism: 2, ..Default::default() }
+}
+
+fn persist_config(dir: &std::path::Path, pool_pages: usize, fsync: bool) -> EngineConfig {
+    EngineConfig {
+        data_dir: Some(dir.to_str().expect("utf-8 temp path").to_string()),
+        buffer_pool_pages: pool_pages,
+        wal_fsync: fsync,
+        ..mem_config()
+    }
+}
+
+/// ML-To-SQL inference over the whole fact table (NodeId-optimized).
+fn ml2sql_statement(meta: &ModelMeta, input_cols: &[String]) -> String {
+    let refs: Vec<&str> = input_cols.iter().map(String::as_str).collect();
+    SqlGenerator::new(
+        meta,
+        MODEL_TABLE,
+        "facts",
+        "id",
+        &refs,
+        &[],
+        GenOptions { opt: OptLevel::NodeId, dialect: ActivationDialect::Native },
+    )
+    .expect("ml2sql generator")
+    .generate()
+    .expect("ml2sql generation")
+}
+
+fn load_facts(e: &Engine, rows: usize, input_dim: usize) {
+    e.execute(&facts_ddl(input_dim)).expect("facts ddl");
+    e.table("facts").expect("facts").declare_unique("id").expect("unique");
+    e.insert_columns("facts", facts_columns(0, rows, input_dim)).expect("facts load");
+}
+
+/// Median-of-reps seconds for one closed-loop operation.
+fn measure<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct CellRow {
+    name: String,
+    engine: String,
+    secs: f64,
+    per_sec: f64,
+}
+
+fn push_cell(cells: &mut Vec<CellRow>, name: &str, engine: &str, secs: f64, units: f64) {
+    let cell = CellRow {
+        name: name.to_string(),
+        engine: engine.to_string(),
+        secs,
+        per_sec: units / secs.max(1e-12),
+    };
+    println!("{},{},{:.4},{:.0}", cell.name, cell.engine, cell.secs, cell.per_sec);
+    cells.push(cell);
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = Sizes::new(quick);
+    let root = std::env::temp_dir().join(format!("idb-persist-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let model = nn::paper::dense_model(8, 2, 42);
+    let input_dim = model.input_dim();
+    let input_cols: Vec<String> = (0..input_dim).map(|c| format!("c{c}")).collect();
+    let scan_sql = format!("SELECT SUM(id) AS s, {} FROM facts", {
+        let sums: Vec<String> = input_cols.iter().map(|c| format!("SUM({c}) AS s_{c}")).collect();
+        sums.join(", ")
+    });
+
+    println!("# persist_sweep (fact_rows = {}, quick = {quick})", sizes.fact_rows);
+    println!("cell,engine,secs,units_per_sec");
+    let mut cells: Vec<CellRow> = Vec::new();
+
+    // ---- Bulk load + ML-To-SQL: in-memory baseline ---------------------
+    let mem = Arc::new(Engine::new(mem_config()));
+    let t0 = Instant::now();
+    load_facts(&mem, sizes.fact_rows, input_dim);
+    push_cell(
+        &mut cells,
+        "bulk_load",
+        "memory",
+        t0.elapsed().as_secs_f64(),
+        sizes.fact_rows as f64,
+    );
+    let (_, meta) = load_into_engine(&mem, MODEL_TABLE, &model, Layout::NodeId).expect("model");
+    let ml_sql = ml2sql_statement(&meta, &input_cols);
+
+    let mem_scan = measure(sizes.scan_reps, || {
+        mem.execute(&scan_sql).expect("mem scan");
+    });
+    push_cell(&mut cells, "warm_scan", "memory", mem_scan, sizes.fact_rows as f64);
+    mem.execute_cached(&ml_sql).expect("warm ml2sql plan");
+    let mem_ml = measure(sizes.ml2sql_reps, || {
+        mem.execute_cached(&ml_sql).expect("mem ml2sql");
+    });
+    push_cell(&mut cells, "ml2sql_warm", "memory", mem_ml, sizes.fact_rows as f64);
+
+    // ---- Bulk load: persistent (WAL + page encode on the write path) ---
+    let main_dir = root.join("main");
+    let expected_sum: i64;
+    {
+        let e = Engine::open(persist_config(&main_dir, 1 << 14, false)).expect("persistent open");
+        let t0 = Instant::now();
+        load_facts(&e, sizes.fact_rows, input_dim);
+        push_cell(
+            &mut cells,
+            "bulk_load",
+            "persistent",
+            t0.elapsed().as_secs_f64(),
+            sizes.fact_rows as f64,
+        );
+        load_into_engine(&e, MODEL_TABLE, &model, Layout::NodeId).expect("model");
+        let r = e.execute("SELECT SUM(id) AS s FROM facts").expect("sum");
+        expected_sum = match r.row(0)[0] {
+            Value::Int(v) => v,
+            ref other => panic!("unexpected SUM type {other:?}"),
+        };
+        e.checkpoint().expect("checkpoint");
+    }
+    let data_bytes =
+        std::fs::metadata(main_dir.join("data.idb")).expect("data file").len() as usize;
+    let data_pages = data_bytes / (16 * 1024);
+
+    // ---- WAL append overhead: many small statements --------------------
+    let wal_variants: [(&str, Option<bool>); 3] =
+        [("memory", None), ("persistent", Some(false)), ("persistent_fsync", Some(true))];
+    for (label, fsync) in wal_variants {
+        let dir = root.join(format!("wal-{label}"));
+        let e = match fsync {
+            None => Engine::new(mem_config()),
+            Some(f) => Engine::open(persist_config(&dir, 1 << 12, f)).expect("wal cell open"),
+        };
+        e.execute(&facts_ddl(input_dim)).expect("ddl");
+        let t0 = Instant::now();
+        for b in 0..sizes.append_batches {
+            let lo = b * sizes.append_rows;
+            e.insert_columns("facts", facts_columns(lo, lo + sizes.append_rows, input_dim))
+                .expect("append");
+        }
+        push_cell(
+            &mut cells,
+            "wal_append",
+            label,
+            t0.elapsed().as_secs_f64(),
+            sizes.append_batches as f64,
+        );
+    }
+
+    // ---- Cold start: directory recovery + first-touch scan -------------
+    {
+        let t0 = Instant::now();
+        let e = Engine::open(persist_config(&main_dir, data_pages.max(1), false)).expect("reopen");
+        let open_secs = t0.elapsed().as_secs_f64();
+        push_cell(&mut cells, "cold_open", "persistent", open_secs, 1.0);
+        let t0 = Instant::now();
+        let r = e.execute(&scan_sql).expect("cold scan");
+        assert_eq!(r.row(0)[0], Value::Int(expected_sum), "recovered data diverged");
+        push_cell(
+            &mut cells,
+            "cold_scan",
+            "persistent",
+            t0.elapsed().as_secs_f64(),
+            sizes.fact_rows as f64,
+        );
+        let warm = measure(sizes.scan_reps, || {
+            e.execute(&scan_sql).expect("warm scan");
+        });
+        push_cell(&mut cells, "warm_scan", "persistent", warm, sizes.fact_rows as f64);
+        e.execute_cached(&ml_sql).expect("warm ml2sql plan");
+        let ml = measure(sizes.ml2sql_reps, || {
+            e.execute_cached(&ml_sql).expect("persist ml2sql");
+        });
+        push_cell(&mut cells, "ml2sql_warm", "persistent", ml, sizes.fact_rows as f64);
+    }
+
+    // ---- Pool sizing: {0.25x, 1x, 4x} of the data ----------------------
+    for (label, pool) in [
+        ("pool_0.25x", (data_pages / 4).max(1)),
+        ("pool_1x", data_pages.max(1)),
+        ("pool_4x", data_pages * 4),
+    ] {
+        let e = Engine::open(persist_config(&main_dir, pool, false)).expect("pool cell open");
+        e.execute(&scan_sql).expect("first scan"); // populate up to the budget
+        let secs = measure(sizes.scan_reps, || {
+            e.execute(&scan_sql).expect("pool scan");
+        });
+        push_cell(&mut cells, label, "persistent", secs, sizes.fact_rows as f64);
+        let pool_ref = e.storage_env().expect("persistent").pool();
+        assert!(
+            pool_ref.occupancy() <= pool,
+            "{label}: occupancy {} exceeded budget {pool}",
+            pool_ref.occupancy()
+        );
+    }
+
+    let secs_of = |name: &str, engine: &str| {
+        cells
+            .iter()
+            .find(|c| c.name == name && c.engine == engine)
+            .map(|c| c.secs)
+            .unwrap_or(f64::NAN)
+    };
+    let ml_ratio = secs_of("ml2sql_warm", "memory") / secs_of("ml2sql_warm", "persistent");
+    let scan_ratio = secs_of("warm_scan", "memory") / secs_of("warm_scan", "persistent");
+    let load_overhead = secs_of("bulk_load", "persistent") / secs_of("bulk_load", "memory");
+    let wal_overhead = secs_of("wal_append", "persistent") / secs_of("wal_append", "memory");
+    let fsync_overhead =
+        secs_of("wal_append", "persistent_fsync") / secs_of("wal_append", "memory");
+    println!("\ndata: {data_pages} pages ({:.1} MiB)", data_bytes as f64 / (1024.0 * 1024.0));
+    println!("warm ml2sql persistent vs memory: {ml_ratio:.2}x (>= 0.85 required)");
+    println!("warm scan persistent vs memory: {scan_ratio:.2}x");
+    println!("bulk load overhead: {load_overhead:.2}x; wal append: {wal_overhead:.2}x (nofsync), {fsync_overhead:.2}x (fsync)");
+
+    let _ = std::fs::remove_dir_all(&root);
+    // Quick mode is a smoke test; don't clobber recorded full-sweep results.
+    if quick {
+        return;
+    }
+
+    // Hand-rolled JSON: the repository vendors no serializer.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"fact_rows\": {},\n", sizes.fact_rows));
+    json.push_str(&format!("  \"data_pages\": {data_pages},\n"));
+    json.push_str(&format!("  \"data_bytes\": {data_bytes},\n"));
+    json.push_str(
+        "  \"workload\": \"Dense(w=8,d=2) ML-To-SQL + full scans over paged columnar facts\",\n",
+    );
+    json.push_str(&format!("  \"warm_ml2sql_persistent_vs_memory\": {ml_ratio:.3},\n"));
+    json.push_str(&format!("  \"warm_scan_persistent_vs_memory\": {scan_ratio:.3},\n"));
+    json.push_str(&format!("  \"bulk_load_overhead\": {load_overhead:.3},\n"));
+    json.push_str(&format!("  \"wal_append_overhead\": {wal_overhead:.3},\n"));
+    json.push_str(&format!("  \"wal_append_fsync_overhead\": {fsync_overhead:.3},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"engine\": \"{}\", \"secs\": {:.6}, \"per_sec\": {:.1}}}{}\n",
+            c.name,
+            c.engine,
+            c.secs,
+            c.per_sec,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // storage.* counters (pool hits/misses/evictions, WAL appends/fsyncs/
+    // bytes, recovery records replayed) for the whole sweep.
+    json.push_str(&format!("  \"metrics\": {}\n", obs::snapshot().render_json("  ")));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

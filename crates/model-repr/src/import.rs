@@ -147,7 +147,7 @@ pub fn import_model(columns: &[ColumnVector], meta: &ModelMeta, layout: Layout) 
 
 /// Import from a stored engine table.
 pub fn import_from_table(table: &Table, meta: &ModelMeta, layout: Layout) -> Result<Model> {
-    let batches = table.all_batches();
+    let batches = table.all_batches()?;
     let schema_len = table.schema().len();
     let mut columns: Vec<ColumnVector> =
         (0..schema_len).map(|i| ColumnVector::empty(table.schema().column(i).dtype)).collect();

@@ -501,13 +501,12 @@ pub fn build_parallel(
                 let slabs = &slabs;
                 let router = &router;
                 Box::new(move || {
-                    let mut result = Ok(());
-                    for batch in table.partition_batches(p) {
-                        result = fill_from_batch(&batch, router, slabs);
-                        if result.is_err() {
-                            break;
+                    let result = table.partition_batches(p).and_then(|batches| {
+                        for batch in batches {
+                            fill_from_batch(&batch, router, slabs)?;
                         }
-                    }
+                        Ok(())
+                    });
                     *slot = Some(result);
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -529,7 +528,7 @@ pub fn build_parallel(
                 handles.push(scope.spawn(move || -> Result<()> {
                     let mut p = w;
                     while p < partitions {
-                        for batch in table.partition_batches(p) {
+                        for batch in table.partition_batches(p)? {
                             fill_from_batch(&batch, router, slabs)?;
                         }
                         p += workers;

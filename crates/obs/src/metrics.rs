@@ -126,6 +126,33 @@ pub static SHARD_ROWS_PER_SHARD: Histogram = Histogram::new();
 /// gathered, µs (span-gated).
 pub static SHARD_GATHER_WAIT_US: Histogram = Histogram::new();
 
+// --- storage: buffer pool + WAL + recovery --------------------------------
+
+/// Buffer-pool page requests answered from a resident frame.
+pub static STORAGE_POOL_HITS: Counter = Counter::new();
+/// Buffer-pool page requests that had to read the data file.
+pub static STORAGE_POOL_MISSES: Counter = Counter::new();
+/// Frames evicted by the CLOCK replacer to make room.
+pub static STORAGE_POOL_EVICTIONS: Counter = Counter::new();
+/// Dirty frames written back to the data file (evictions + flushes).
+pub static STORAGE_PAGES_WRITTEN: Counter = Counter::new();
+/// WAL records appended.
+pub static STORAGE_WAL_APPENDS: Counter = Counter::new();
+/// WAL `fsync` calls issued (group commit batches concurrent committers
+/// behind one, so this counts batches, not commits).
+pub static STORAGE_WAL_FSYNCS: Counter = Counter::new();
+/// Bytes appended to the WAL.
+pub static STORAGE_WAL_BYTES: Counter = Counter::new();
+/// Committed WAL records replayed by crash recovery.
+pub static STORAGE_RECOVERY_RECORDS_REPLAYED: Counter = Counter::new();
+/// Checkpoints completed (pages + directory durable, WAL truncated).
+pub static STORAGE_CHECKPOINTS: Counter = Counter::new();
+/// Frames currently resident in the buffer pool (bounded by the
+/// `buffer_pool_pages` knob — the scans-in-bounded-memory assertion).
+pub static STORAGE_POOL_OCCUPANCY: Gauge = Gauge::new();
+/// High-water mark of resident frames since process start.
+pub static STORAGE_POOL_OCCUPANCY_PEAK: Gauge = Gauge::new();
+
 // --- serve: concurrent inference server ----------------------------------
 
 /// Requests rejected at admission (queue full).
@@ -179,6 +206,15 @@ pub static COUNTERS: &[(&str, &Counter)] = &[
     ("shard.shuffle.rows", &SHARD_SHUFFLE_ROWS),
     ("shard.shuffle.batches", &SHARD_SHUFFLE_BATCHES),
     ("shard.shuffle.bytes", &SHARD_SHUFFLE_BYTES),
+    ("storage.pool.hits", &STORAGE_POOL_HITS),
+    ("storage.pool.misses", &STORAGE_POOL_MISSES),
+    ("storage.pool.evictions", &STORAGE_POOL_EVICTIONS),
+    ("storage.pages.written", &STORAGE_PAGES_WRITTEN),
+    ("storage.wal.appends", &STORAGE_WAL_APPENDS),
+    ("storage.wal.fsyncs", &STORAGE_WAL_FSYNCS),
+    ("storage.wal.bytes", &STORAGE_WAL_BYTES),
+    ("storage.recovery.records_replayed", &STORAGE_RECOVERY_RECORDS_REPLAYED),
+    ("storage.checkpoints", &STORAGE_CHECKPOINTS),
     ("serve.rejected", &SERVE_REJECTED),
     ("serve.timeouts", &SERVE_TIMEOUTS),
     ("serve.deadline.missed_at_submit", &SERVE_DEADLINE_MISSED_AT_SUBMIT),
@@ -193,6 +229,8 @@ pub static GAUGES: &[(&str, &Gauge)] = &[
     ("tensor.pool.workers", &TENSOR_POOL_WORKERS),
     ("serve.queue.depth", &SERVE_QUEUE_DEPTH),
     ("shard.count", &SHARD_COUNT),
+    ("storage.pool.occupancy", &STORAGE_POOL_OCCUPANCY),
+    ("storage.pool.occupancy_peak", &STORAGE_POOL_OCCUPANCY_PEAK),
 ];
 
 pub static HISTOGRAMS: &[(&str, &Histogram)] = &[

@@ -7,6 +7,7 @@
 //! engine, sorted) is pinned by `tests/equivalence.rs`.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use model_repr::{Layout, ModelMeta};
@@ -68,6 +69,9 @@ struct ShardedScan {
 /// over the global work-stealing pool.
 pub struct ShardedEngine {
     shards: Vec<Arc<Engine>>,
+    /// `data_dir` root when persistent: shard `i` lives under
+    /// `root/shard-i`, the sharding map in `root/sharding.kv`.
+    root: Option<PathBuf>,
     /// Lowercased table name -> lowercased shard-key column name.
     sharding: RwLock<HashMap<String, String>>,
     /// SQL text -> classified route. Routing depends only on the plan
@@ -84,16 +88,53 @@ const ROUTE_CACHE_MAX: usize = 4096;
 
 impl ShardedEngine {
     /// Stand up `config.shards` engine shards (minimum 1), each with the
-    /// given per-shard configuration.
+    /// given per-shard configuration. Panics if a persistent open or
+    /// recovery fails; use [`open`](ShardedEngine::open) to handle that.
     pub fn new(config: EngineConfig) -> ShardedEngine {
+        ShardedEngine::open(config).expect("sharded persistent storage open/recovery failed")
+    }
+
+    /// Like [`new`](ShardedEngine::new), surfacing open/recovery errors.
+    ///
+    /// When `config.data_dir` is set, shard `i` persists under
+    /// `data_dir/shard-i` (each shard recovers its own directory + WAL
+    /// independently) and the sharding map is reloaded from
+    /// `data_dir/sharding.kv`, so routed and scatter plans survive a
+    /// restart without re-declaring anything.
+    pub fn open(config: EngineConfig) -> Result<ShardedEngine> {
         let n = config.shards.max(1);
-        let shards = (0..n).map(|_| Arc::new(Engine::new(config.clone()))).collect();
-        om::SHARD_COUNT.set(n as i64);
-        ShardedEngine {
-            shards,
-            sharding: RwLock::new(HashMap::new()),
-            route_cache: RwLock::new(HashMap::new()),
+        let root = config.data_dir.as_deref().map(PathBuf::from);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let per_shard = match &root {
+                Some(r) => EngineConfig {
+                    data_dir: Some(r.join(format!("shard-{i}")).to_string_lossy().into_owned()),
+                    ..config.clone()
+                },
+                None => config.clone(),
+            };
+            shards.push(Arc::new(Engine::open(per_shard)?));
         }
+        om::SHARD_COUNT.set(n as i64);
+        let sharding = match &root {
+            Some(r) => load_sharding_map(r)?,
+            None => HashMap::new(),
+        };
+        Ok(ShardedEngine {
+            shards,
+            root,
+            sharding: RwLock::new(sharding),
+            route_cache: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Checkpoint every shard: flush dirty pages, write the page
+    /// directories, and truncate the per-shard WALs.
+    pub fn checkpoint(&self) -> Result<()> {
+        for s in &self.shards {
+            s.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Convenience: `config` with its `shards` knob overridden.
@@ -144,11 +185,25 @@ impl ShardedEngine {
                 )));
             }
         }
-        self.sharding
-            .write()
-            .expect("sharding map poisoned")
-            .insert(table.to_ascii_lowercase(), key.to_ascii_lowercase());
+        {
+            let mut map = self.sharding.write().expect("sharding map poisoned");
+            map.insert(table.to_ascii_lowercase(), key.to_ascii_lowercase());
+            self.persist_sharding_map(&map)?;
+        }
         self.invalidate_routes();
+        Ok(())
+    }
+
+    /// Write the sharding map to `root/sharding.kv` (atomic via rename);
+    /// a no-op for in-memory facades.
+    fn persist_sharding_map(&self, map: &HashMap<String, String>) -> Result<()> {
+        let Some(root) = &self.root else { return Ok(()) };
+        let mut lines: Vec<String> = map.iter().map(|(t, k)| format!("{t}={k}\n")).collect();
+        lines.sort();
+        let tmp = root.join("sharding.kv.tmp");
+        let io = |e: std::io::Error| EngineError::Io(format!("sharding map: {e}"));
+        std::fs::write(&tmp, lines.concat()).map_err(io)?;
+        std::fs::rename(&tmp, root.join("sharding.kv")).map_err(io)?;
         Ok(())
     }
 
@@ -196,10 +251,12 @@ impl ShardedEngine {
                 for s in &self.shards {
                     last = s.execute(sql)?;
                 }
-                self.sharding
-                    .write()
-                    .expect("sharding map poisoned")
-                    .remove(&name.to_ascii_lowercase());
+                {
+                    let mut map = self.sharding.write().expect("sharding map poisoned");
+                    if map.remove(&name.to_ascii_lowercase()).is_some() {
+                        self.persist_sharding_map(&map)?;
+                    }
+                }
                 self.invalidate_routes();
                 Ok(last)
             }
@@ -737,6 +794,25 @@ impl ShardedEngine {
         })?;
         Ok(results.into_iter().flatten().collect())
     }
+}
+
+/// Read `root/sharding.kv` (`table=key` per line); absent file means no
+/// sharded tables yet. A malformed file is an error, not a silent reset —
+/// losing the map would silently turn routed tables into replicated ones.
+fn load_sharding_map(root: &Path) -> Result<HashMap<String, String>> {
+    let body = match std::fs::read_to_string(root.join("sharding.kv")) {
+        Ok(body) => body,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(EngineError::Io(format!("sharding map: {e}"))),
+    };
+    let mut map = HashMap::new();
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        let (table, key) = line
+            .split_once('=')
+            .ok_or_else(|| EngineError::Io(format!("sharding map: malformed line {line:?}")))?;
+        map.insert(table.to_string(), key.to_string());
+    }
+    Ok(map)
 }
 
 /// Run borrowed tasks on the global scheduler as `Query`-class work,

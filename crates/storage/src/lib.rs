@@ -1,0 +1,71 @@
+//! Persistent paged storage: the buffer-manager / file-manager / log /
+//! recovery component set under the engine's persistent mode.
+//!
+//! The crate is deliberately engine-agnostic — it moves *bytes*, not
+//! column vectors. Four layers:
+//!
+//! - [`page`]: the on-disk unit. Fixed-size pages ([`page::PAGE_SIZE`])
+//!   carrying a header (page id, payload length) and a CRC32-C checksum
+//!   over the payload, so torn or corrupted writes are detected on read
+//!   instead of being served as data.
+//! - [`file`]: positioned page IO over one data file (`data.pages`).
+//! - [`pool`]: the buffer manager. A fixed number of frames
+//!   (`buffer_pool_pages` in the engine config), a CLOCK replacer that
+//!   skips pinned frames, write-back of dirty frames on eviction, and an
+//!   occupancy gauge so scans over data larger than the pool can be
+//!   *asserted* to run in bounded memory. A page is pinned exactly while
+//!   a [`pool::PageRef`] to it is alive (pin count = `Arc` strong count
+//!   minus the pool's own reference).
+//! - [`wal`]: the write-ahead log. Append-only records framed as
+//!   `[len | lsn | kind | payload | crc]`, group-commit fsync batching
+//!   (concurrent committers share one `fsync`), and a reader that yields
+//!   exactly the *committed prefix*: it stops at the first record whose
+//!   frame is truncated or whose checksum fails, and drops any trailing
+//!   records not covered by a commit mark — the contract the engine's
+//!   ARIES-lite redo recovery replays against.
+//!
+//! What interprets the bytes — column-chunk encoding, WAL record
+//! payloads, the page directory, checkpointing — lives in
+//! `vector-engine::persist`, which composes these pieces into the
+//! engine's persistent table variant.
+
+pub mod file;
+pub mod page;
+pub mod pool;
+pub mod wal;
+
+use std::fmt;
+
+/// Errors the storage layer surfaces.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem/IO failure.
+    Io(std::io::Error),
+    /// A page or WAL record failed its checksum or structural validation.
+    Corrupt(String),
+    /// The buffer pool could not find an evictable frame (every frame
+    /// pinned) — a caller is holding too many pages for the pool size.
+    PoolExhausted,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage io error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "storage corruption: {m}"),
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: every frame is pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,131 @@
+//! The fixed-size page: header, payload, checksum.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [0..4)   magic  "IDBP"
+//! [4..12)  page id (u64)
+//! [12..16) payload length (u32, <= PAYLOAD_SIZE)
+//! [16..20) CRC32-C over the payload bytes
+//! [20..)   payload (PAYLOAD_SIZE bytes, tail zero-padded)
+//! ```
+//!
+//! The checksum is computed when a page is flushed and verified when a
+//! page is read from disk, so a torn write (partial page at the end of
+//! the file after a crash) or bit rot surfaces as
+//! [`StorageError::Corrupt`] instead of decoding as garbage data.
+
+use crate::{Result, StorageError};
+
+/// On-disk page size in bytes. 16 KiB holds one default-sized column
+/// chunk (1024 × 8-byte values) with header room to spare.
+pub const PAGE_SIZE: usize = 16 * 1024;
+/// Bytes of payload a page carries.
+pub const PAYLOAD_SIZE: usize = PAGE_SIZE - HEADER_SIZE;
+/// Header bytes preceding the payload.
+pub const HEADER_SIZE: usize = 20;
+
+const MAGIC: [u8; 4] = *b"IDBP";
+
+/// CRC32-C (Castagnoli), table-driven. Small, standard, and good enough
+/// to reject torn pages and truncated WAL records; this is an integrity
+/// check, not an adversarial MAC.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0x82f6_3b78 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Assemble a full on-disk page image for `payload` (checksummed).
+pub fn encode_page(page_id: u64, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= PAYLOAD_SIZE, "payload exceeds page capacity");
+    let mut buf = vec![0u8; PAGE_SIZE];
+    buf[0..4].copy_from_slice(&MAGIC);
+    buf[4..12].copy_from_slice(&page_id.to_le_bytes());
+    buf[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf[16..20].copy_from_slice(&crc32c(payload).to_le_bytes());
+    buf[HEADER_SIZE..HEADER_SIZE + payload.len()].copy_from_slice(payload);
+    buf
+}
+
+/// Validate a page image read from disk; returns the payload slice.
+pub fn decode_page(page_id: u64, buf: &[u8]) -> Result<&[u8]> {
+    if buf.len() != PAGE_SIZE || buf[0..4] != MAGIC {
+        return Err(StorageError::Corrupt(format!("page {page_id}: bad size or magic")));
+    }
+    let stored_id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    if stored_id != page_id {
+        return Err(StorageError::Corrupt(format!(
+            "page {page_id}: header claims page {stored_id}"
+        )));
+    }
+    let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    if len > PAYLOAD_SIZE {
+        return Err(StorageError::Corrupt(format!("page {page_id}: payload length {len}")));
+    }
+    let crc = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+    let payload = &buf[HEADER_SIZE..HEADER_SIZE + len];
+    if crc32c(payload) != crc {
+        return Err(StorageError::Corrupt(format!("page {page_id}: checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+/// Number of pages a payload of `bytes` bytes spans.
+pub fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAYLOAD_SIZE).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_vector() {
+        // RFC 3720 test vector: 32 bytes of zeros.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn page_round_trip() {
+        let payload = vec![7u8; 1000];
+        let img = encode_page(42, &payload);
+        assert_eq!(img.len(), PAGE_SIZE);
+        assert_eq!(decode_page(42, &img).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_id_and_corruption() {
+        let img = encode_page(1, b"hello");
+        assert!(decode_page(2, &img).is_err(), "id mismatch");
+        let mut torn = img.clone();
+        torn[HEADER_SIZE + 2] ^= 0xff;
+        assert!(matches!(decode_page(1, &torn), Err(StorageError::Corrupt(_))));
+        let mut bad_len = img;
+        bad_len[12..16].copy_from_slice(&(PAYLOAD_SIZE as u32 + 1).to_le_bytes());
+        assert!(decode_page(1, &bad_len).is_err());
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 1);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAYLOAD_SIZE), 1);
+        assert_eq!(pages_for(PAYLOAD_SIZE + 1), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! The write-ahead log: append-only record frames, group-commit fsync
+//! batching, and a committed-prefix reader.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [0..4)      body length L (u32)
+//! [4..4+L)    body: lsn (u64) | kind (u8) | payload | crc32c (u32)
+//! ```
+//!
+//! The CRC covers `lsn | kind | payload`. Kind [`COMMIT_KIND`] is
+//! reserved for the commit marker the log writes itself; data records
+//! use caller-chosen kinds.
+//!
+//! **Committed-prefix semantics.** [`Wal::open`] scans the file from the
+//! start and stops at the first frame that is truncated (length field or
+//! body runs past EOF) or fails its checksum — everything after a torn
+//! frame is unreachable garbage by definition. Within the valid prefix,
+//! data records only become visible when a commit marker follows them;
+//! a valid-but-uncommitted tail (crash between a record write and its
+//! commit) is dropped. The file is then truncated back to the end of the
+//! last committed frame so new appends never follow garbage.
+//!
+//! **Group commit.** [`Wal::commit`] makes everything up to a byte
+//! offset durable. Concurrent committers coalesce: one becomes the sync
+//! leader and issues a single `fsync` covering every record appended so
+//! far; the rest wait on a condvar and return as soon as the leader's
+//! sync covers their offset. With `fsync` disabled (the
+//! `wal_fsync=false` knob) commit is a no-op — contents still reach the
+//! OS on append, so same-process reopen tests stay exact, but a power
+//! failure may lose the tail.
+
+use crate::page::crc32c;
+use crate::{Result, StorageError};
+use obs::metrics as om;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+
+/// Record kind reserved for commit markers.
+pub const COMMIT_KIND: u8 = 0xff;
+
+/// One committed data record yielded by [`Wal::open`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    pub lsn: u64,
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+struct WalInner {
+    file: File,
+    /// Byte offset one past the last appended frame.
+    offset: u64,
+    next_lsn: u64,
+}
+
+struct SyncState {
+    /// Everything below this offset is known durable.
+    synced: u64,
+    /// A sync leader is currently inside `fsync`.
+    syncing: bool,
+}
+
+/// The write-ahead log over one file. See the module docs.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    /// Separate handle for `fsync` so appends proceed while the group
+    /// leader syncs.
+    sync_file: File,
+    sync: Mutex<SyncState>,
+    sync_cond: Condvar,
+    fsync: bool,
+}
+
+impl Wal {
+    /// Open the log at `path`, replaying its committed prefix. Returns
+    /// the log positioned for appending plus every committed record in
+    /// order. `lsn_base` seeds the LSN counter for a fresh/truncated log
+    /// (the engine passes its checkpoint LSN).
+    pub fn open(path: &Path, fsync: bool, lsn_base: u64) -> Result<(Wal, Vec<WalRecord>)> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut committed = Vec::new();
+        let mut pending: Vec<WalRecord> = Vec::new();
+        let mut pos = 0usize;
+        let mut committed_end = 0usize;
+        let mut max_lsn = lsn_base;
+        while pos + 4 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            // lsn + kind + crc is the minimum body.
+            if len < 13 || pos + 4 + len > bytes.len() {
+                break; // truncated tail
+            }
+            let body = &bytes[pos + 4..pos + 4 + len];
+            let stored_crc = u32::from_le_bytes(body[len - 4..].try_into().unwrap());
+            if crc32c(&body[..len - 4]) != stored_crc {
+                break; // torn frame: everything after is unreachable
+            }
+            let lsn = u64::from_le_bytes(body[0..8].try_into().unwrap());
+            let kind = body[8];
+            pos += 4 + len;
+            max_lsn = max_lsn.max(lsn);
+            if kind == COMMIT_KIND {
+                committed.append(&mut pending);
+                committed_end = pos;
+            } else {
+                pending.push(WalRecord { lsn, kind, payload: body[9..len - 4].to_vec() });
+            }
+        }
+        // Drop the torn/uncommitted tail so new appends follow the last
+        // committed frame.
+        file.set_len(committed_end as u64)?;
+        file.seek(SeekFrom::Start(committed_end as u64))?;
+        let sync_file = file.try_clone()?;
+        Ok((
+            Wal {
+                inner: Mutex::new(WalInner {
+                    file,
+                    offset: committed_end as u64,
+                    next_lsn: max_lsn + 1,
+                }),
+                sync_file,
+                sync: Mutex::new(SyncState { synced: committed_end as u64, syncing: false }),
+                sync_cond: Condvar::new(),
+                fsync,
+            },
+            committed,
+        ))
+    }
+
+    /// Append one data record. Returns `(lsn, end_offset)`; pass the
+    /// offset to [`Wal::commit`] after the transaction's commit marker.
+    pub fn append(&self, kind: u8, payload: &[u8]) -> Result<(u64, u64)> {
+        assert_ne!(kind, COMMIT_KIND, "kind 0xff is reserved for commit markers");
+        self.append_frame(kind, payload)
+    }
+
+    /// Append the commit marker ending the current transaction's record
+    /// group. Returns `(lsn, end_offset)`.
+    pub fn append_commit(&self) -> Result<(u64, u64)> {
+        self.append_frame(COMMIT_KIND, &[])
+    }
+
+    fn append_frame(&self, kind: u8, payload: &[u8]) -> Result<(u64, u64)> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let len = 8 + 1 + payload.len() + 4;
+        let mut frame = Vec::with_capacity(4 + len);
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.extend_from_slice(&lsn.to_le_bytes());
+        frame.push(kind);
+        frame.extend_from_slice(payload);
+        let crc = crc32c(&frame[4..]);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        inner.file.write_all(&frame)?;
+        inner.offset += frame.len() as u64;
+        om::STORAGE_WAL_APPENDS.add(1);
+        om::STORAGE_WAL_BYTES.add(frame.len() as u64);
+        Ok((lsn, inner.offset))
+    }
+
+    /// Make the log durable up to `offset` (group commit). Returns once
+    /// an fsync covering `offset` has completed.
+    pub fn commit(&self, offset: u64) -> Result<()> {
+        if !self.fsync {
+            return Ok(());
+        }
+        loop {
+            let mut s = self.sync.lock().expect("wal sync lock poisoned");
+            if s.synced >= offset {
+                return Ok(());
+            }
+            if !s.syncing {
+                s.syncing = true;
+                break;
+            }
+            // A leader is syncing; wait for its result and re-check.
+            let _unused = self.sync_cond.wait(s).expect("wal sync lock poisoned");
+        }
+        // Leader: one fsync covers every record appended so far — the
+        // group-commit batch.
+        let end = self.inner.lock().expect("wal lock poisoned").offset;
+        let result = self.sync_file.sync_data();
+        om::STORAGE_WAL_FSYNCS.add(1);
+        let mut s = self.sync.lock().expect("wal sync lock poisoned");
+        if result.is_ok() {
+            s.synced = s.synced.max(end);
+        }
+        s.syncing = false;
+        self.sync_cond.notify_all();
+        drop(s);
+        result.map_err(StorageError::Io)
+    }
+
+    /// Current end-of-log byte offset (the crash-recovery tests truncate
+    /// copies of the log at offsets below this).
+    pub fn size(&self) -> u64 {
+        self.inner.lock().expect("wal lock poisoned").offset
+    }
+
+    /// The LSN the next appended record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.inner.lock().expect("wal lock poisoned").next_lsn
+    }
+
+    /// Discard every record — called after a checkpoint has made their
+    /// effects durable elsewhere. LSNs keep counting monotonically.
+    pub fn reset(&self) -> Result<()> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        inner.file.set_len(0)?;
+        inner.file.seek(SeekFrom::Start(0))?;
+        inner.offset = 0;
+        drop(inner);
+        let mut s = self.sync.lock().expect("wal sync lock poisoned");
+        s.synced = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn write_txns(path: &Path, txns: &[&[&[u8]]]) -> Vec<u64> {
+        let (wal, recovered) = Wal::open(path, false, 0).unwrap();
+        assert!(recovered.is_empty());
+        let mut ends = Vec::new();
+        for txn in txns {
+            for payload in *txn {
+                wal.append(1, payload).unwrap();
+            }
+            let (_, end) = wal.append_commit().unwrap();
+            wal.commit(end).unwrap();
+            ends.push(end);
+        }
+        ends
+    }
+
+    #[test]
+    fn committed_records_replay_in_order() {
+        let path = tmp("replay");
+        write_txns(&path, &[&[b"a", b"b"], &[b"c"]]);
+        let (_, rec) = Wal::open(&path, false, 0).unwrap();
+        let payloads: Vec<&[u8]> = rec.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"a".as_slice(), b"b", b"c"]);
+        assert!(rec.windows(2).all(|w| w[0].lsn < w[1].lsn), "LSNs monotone");
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_a_committed_prefix() {
+        let path = tmp("prefix");
+        let ends = write_txns(&path, &[&[b"t0"], &[b"t1", b"t1x"], &[b"t2"]]);
+        let bytes = std::fs::read(&path).unwrap();
+        let counts_per_txn = [1usize, 2, 1];
+        for cut in 0..=bytes.len() {
+            let cut_path = tmp(&format!("prefix-cut-{cut}"));
+            std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+            let (_, rec) = Wal::open(&cut_path, false, 0).unwrap();
+            // Expected: all txns whose commit end <= cut.
+            let k = ends.iter().filter(|&&e| e <= cut as u64).count();
+            let expected: usize = counts_per_txn[..k].iter().sum();
+            assert_eq!(rec.len(), expected, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_cuts_the_log_there() {
+        let path = tmp("corrupt");
+        let ends = write_txns(&path, &[&[b"first"], &[b"second"]]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second transaction's record.
+        let poke = ends[0] as usize + 6;
+        bytes[poke] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, rec) = Wal::open(&path, false, 0).unwrap();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].payload, b"first");
+        // The torn tail was truncated away; appends resume cleanly.
+        assert_eq!(wal.size(), ends[0]);
+        let (_, end) = wal.append(1, b"third").unwrap();
+        let (_, end2) = wal.append_commit().unwrap();
+        assert!(end2 > end);
+        drop(wal);
+        let (_, rec) = Wal::open(&path, false, 0).unwrap();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec[1].payload, b"third");
+    }
+
+    #[test]
+    fn uncommitted_tail_is_dropped() {
+        let path = tmp("uncommitted");
+        {
+            let (wal, _) = Wal::open(&path, false, 0).unwrap();
+            wal.append(1, b"committed").unwrap();
+            let (_, end) = wal.append_commit().unwrap();
+            wal.commit(end).unwrap();
+            wal.append(1, b"dangling").unwrap();
+            // No commit marker for the second record.
+        }
+        let (_, rec) = Wal::open(&path, false, 0).unwrap();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].payload, b"committed");
+    }
+
+    #[test]
+    fn reset_clears_but_lsn_continues() {
+        let path = tmp("reset");
+        let (wal, _) = Wal::open(&path, false, 5).unwrap();
+        wal.append(1, b"x").unwrap();
+        let lsn_before = wal.next_lsn();
+        wal.reset().unwrap();
+        assert_eq!(wal.size(), 0);
+        assert_eq!(wal.next_lsn(), lsn_before, "reset never reuses LSNs");
+        let (lsn, _) = wal.append(1, b"y").unwrap();
+        assert!(lsn >= lsn_before);
+    }
+
+    #[test]
+    fn group_commit_under_concurrency_is_durable_and_ordered() {
+        let path = tmp("group");
+        let (wal, _) = Wal::open(&path, true, 0).unwrap();
+        let wal = std::sync::Arc::new(wal);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let wal = std::sync::Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..25 {
+                        let payload = format!("t{t}-{i}");
+                        wal.append(1, payload.as_bytes()).unwrap();
+                        let (_, end) = wal.append_commit().unwrap();
+                        wal.commit(end).unwrap();
+                    }
+                });
+            }
+        });
+        drop(wal);
+        let (_, rec) = Wal::open(&path, true, 0).unwrap();
+        assert_eq!(rec.len(), 100);
+        // Fewer fsyncs than commits would prove batching, but timing
+        // makes that flaky; correctness here is completeness + order.
+        assert!(rec.windows(2).all(|w| w[0].lsn < w[1].lsn));
+    }
+}

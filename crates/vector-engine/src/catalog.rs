@@ -2,6 +2,7 @@
 
 use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
+use crate::persist::{self, StorageEnv};
 use crate::storage::{Schema, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -19,17 +20,44 @@ use std::sync::Arc;
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     epoch: Arc<AtomicU64>,
+    /// Persistent environment shared by every table; `None` for the
+    /// (default) in-memory catalog.
+    env: Option<Arc<StorageEnv>>,
 }
 
 impl Default for Catalog {
     fn default() -> Catalog {
-        Catalog { tables: RwLock::new(HashMap::new()), epoch: Arc::new(AtomicU64::new(0)) }
+        Catalog::with_env(None)
     }
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// A catalog whose DDL/DML is write-ahead logged through `env`.
+    pub(crate) fn with_env(env: Option<Arc<StorageEnv>>) -> Catalog {
+        Catalog { tables: RwLock::new(HashMap::new()), epoch: Arc::new(AtomicU64::new(0)), env }
+    }
+
+    pub(crate) fn env(&self) -> Option<&Arc<StorageEnv>> {
+        self.env.as_ref()
+    }
+
+    /// The shared epoch counter (recovery threads it into rebuilt
+    /// tables).
+    pub(crate) fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// Insert a table rebuilt from the checkpoint directory (recovery
+    /// only: no WAL record, but the epoch still moves).
+    pub(crate) fn install_restored(&self, table: Arc<Table>) {
+        let mut tables = self.tables.write();
+        tables.insert(table.name().to_string(), table);
+        self.epoch.fetch_add(1, Ordering::Release);
+        obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
     }
 
     /// The catalog epoch: monotonic, bumped on CREATE / DROP / INSERT.
@@ -49,7 +77,29 @@ impl Catalog {
         if tables.contains_key(&key) {
             return Err(EngineError::Catalog(format!("table {key:?} already exists")));
         }
-        let table = Arc::new(Table::with_epoch(&key, schema, config, Arc::clone(&self.epoch)));
+        // Log before inserting (WAL order == catalog order; the tables
+        // write lock serializes DDL), and skip logging during replay.
+        if let Some(env) = &self.env {
+            if !env.is_replaying() {
+                let _dml = env.dml_lock.read();
+                env.log_committed(
+                    persist::REC_CREATE,
+                    &persist::encode_create(
+                        &key,
+                        &schema,
+                        config.partitions.max(1),
+                        config.vector_size.max(1),
+                    ),
+                )?;
+            }
+        }
+        let table = Arc::new(Table::with_storage(
+            &key,
+            schema,
+            config,
+            Arc::clone(&self.epoch),
+            self.env.clone(),
+        ));
         tables.insert(key, Arc::clone(&table));
         self.epoch.fetch_add(1, Ordering::Release);
         obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
@@ -71,6 +121,14 @@ impl Catalog {
         let key = name.to_ascii_lowercase();
         let removed = {
             let mut tables = self.tables.write();
+            if tables.contains_key(&key) {
+                if let Some(env) = &self.env {
+                    if !env.is_replaying() {
+                        let _dml = env.dml_lock.read();
+                        env.log_committed(persist::REC_DROP, &persist::encode_drop(&key))?;
+                    }
+                }
+            }
             let removed = tables.remove(&key).is_some();
             if removed {
                 self.epoch.fetch_add(1, Ordering::Release);

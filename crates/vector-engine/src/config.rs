@@ -78,6 +78,24 @@ pub struct EngineConfig {
     /// default) means unsharded single-engine execution; the knob is
     /// ignored by a plain `Engine` and consumed only by `ShardedEngine`.
     pub shards: usize,
+    /// Root directory of the persistent storage layer. `None` (the
+    /// default) keeps the engine purely in-memory with bit-identical
+    /// pre-persistence behavior. When set, tables live in a paged
+    /// columnar data file read through the buffer pool, DDL and DML are
+    /// write-ahead logged, and [`crate::Engine::open`] replays the
+    /// committed WAL prefix on startup (crash recovery). A sharded
+    /// facade derives per-shard subdirectories (`shard-0`, `shard-1`, …)
+    /// under this root.
+    pub data_dir: Option<String>,
+    /// Buffer-pool capacity in pages (16 KiB each): the bound on
+    /// resident page frames, so scans over tables larger than the pool
+    /// run in this much page memory. Ignored in in-memory mode.
+    pub buffer_pool_pages: usize,
+    /// `fsync` the WAL on commit (group-commit batched). Turning it off
+    /// trades power-failure durability for load speed — contents still
+    /// reach the OS on every append, so process-crash recovery within a
+    /// running system is unaffected. Ignored in in-memory mode.
+    pub wal_fsync: bool,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +117,9 @@ impl Default for EngineConfig {
             quantized_inference: false,
             obs_spans: true,
             shards: 1,
+            data_dir: None,
+            buffer_pool_pages: 4096,
+            wal_fsync: true,
         }
     }
 }
@@ -135,7 +156,8 @@ impl EngineConfig {
              predicate_pushdown={}\ncolumn_pruning={}\nworker_threads={}\nunified_sched={}\n\
              rowwise_ops={}\n\
              plan_cache_entries={}\nserve_queue_depth={}\nbatch_flush_us={}\n\
-             quantized_inference={}\nobs_spans={}\nshards={}\n",
+             quantized_inference={}\nobs_spans={}\nshards={}\n\
+             data_dir={}\nbuffer_pool_pages={}\nwal_fsync={}\n",
             self.vector_size,
             self.partitions,
             self.parallelism,
@@ -152,6 +174,9 @@ impl EngineConfig {
             self.quantized_inference,
             self.obs_spans,
             self.shards,
+            self.data_dir.as_deref().unwrap_or(""),
+            self.buffer_pool_pages,
+            self.wal_fsync,
         )
     }
 
@@ -210,6 +235,22 @@ impl EngineConfig {
                 }
                 "obs_spans" => cfg.obs_spans = value.parse().map_err(|_| bad(key, value))?,
                 "shards" => cfg.shards = value.parse().map_err(|_| bad(key, value))?,
+                // The empty string means "in-memory" so the knob always
+                // serializes; a path with '=' or '#' would not round-trip
+                // through this line format and is rejected up front.
+                "data_dir" => {
+                    cfg.data_dir = if value.is_empty() {
+                        None
+                    } else if value.contains(['#', '=']) {
+                        return Err(bad(key, value));
+                    } else {
+                        Some(value.to_string())
+                    }
+                }
+                "buffer_pool_pages" => {
+                    cfg.buffer_pool_pages = value.parse().map_err(|_| bad(key, value))?
+                }
+                "wal_fsync" => cfg.wal_fsync = value.parse().map_err(|_| bad(key, value))?,
                 other => {
                     return Err(EngineError::Unsupported(format!("config: unknown knob {other:?}")))
                 }
@@ -222,6 +263,7 @@ impl EngineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::strategy::Strategy;
 
     #[test]
     fn defaults_match_paper_setup() {
@@ -240,6 +282,9 @@ mod tests {
         assert!(!c.quantized_inference, "inference defaults to exact fp32");
         assert!(c.obs_spans, "span timers default on (counters are unconditional)");
         assert_eq!(c.shards, 1, "single-engine execution is the default");
+        assert_eq!(c.data_dir, None, "in-memory storage is the default");
+        assert_eq!(c.buffer_pool_pages, 4096, "64 MiB pool at 16 KiB pages");
+        assert!(c.wal_fsync, "durability on by default");
     }
 
     #[test]
@@ -257,9 +302,20 @@ mod tests {
             batch_flush_us: 12345,
             quantized_inference: true,
             obs_spans: false,
+            data_dir: Some("/tmp/idb data".into()),
+            buffer_pool_pages: 17,
+            wal_fsync: false,
             ..EngineConfig::default()
         };
         assert_eq!(EngineConfig::from_kv(&modified.to_kv()).unwrap(), modified);
+    }
+
+    #[test]
+    fn kv_rejects_data_dir_that_cannot_round_trip() {
+        assert!(EngineConfig::from_kv("data_dir=a=b").is_err());
+        assert!(EngineConfig::from_kv("data_dir=a#b").is_err());
+        let cfg = EngineConfig::from_kv("data_dir=").unwrap();
+        assert_eq!(cfg.data_dir, None, "empty value means in-memory");
     }
 
     #[test]
@@ -305,6 +361,15 @@ mod tests {
             quantized_inference in proptest::prelude::any::<bool>(),
             obs_spans in proptest::prelude::any::<bool>(),
             shards in 1usize..16,
+            // None, or a varied non-empty path (kv cannot represent '='
+            // or '#' in the value, and trims surrounding whitespace, so
+            // only paths free of those round-trip; see from_kv).
+            data_dir in proptest::prelude::prop_oneof![
+                proptest::prelude::Just(None),
+                (1usize..100_000).prop_map(|n| Some(format!("/tmp/dir {n}/db.d")))
+            ],
+            buffer_pool_pages in 1usize..100_000,
+            wal_fsync in proptest::prelude::any::<bool>(),
         ) {
             let cfg = EngineConfig {
                 vector_size,
@@ -323,6 +388,9 @@ mod tests {
                 quantized_inference,
                 obs_spans,
                 shards,
+                data_dir,
+                buffer_pool_pages,
+                wal_fsync,
             };
             let round = EngineConfig::from_kv(&cfg.to_kv()).unwrap();
             proptest::prop_assert_eq!(round, cfg);

@@ -17,6 +17,9 @@ pub enum EngineError {
     Catalog(String),
     /// A feature the engine deliberately does not support.
     Unsupported(String),
+    /// Persistent-storage failure: filesystem IO, a checksum-rejected
+    /// (torn) page or WAL record, or buffer-pool exhaustion.
+    Io(String),
 }
 
 impl fmt::Display for EngineError {
@@ -28,11 +31,18 @@ impl fmt::Display for EngineError {
             EngineError::Execution(m) => write!(f, "execution error: {m}"),
             EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Io(m) => write!(f, "storage error: {m}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<storage::StorageError> for EngineError {
+    fn from(e: storage::StorageError) -> EngineError {
+        EngineError::Io(e.to_string())
+    }
+}
 
 /// Convenience alias used across the engine.
 pub type Result<T> = std::result::Result<T, EngineError>;

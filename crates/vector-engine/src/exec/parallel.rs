@@ -213,7 +213,7 @@ fn execute_partial_agg(
                     slots[p] = Some(r);
                 }
             }
-            Ok(())
+            Ok::<(), EngineError>(())
         })?;
         slots.into_iter().map(|s| s.expect("every partition was assigned to a worker")).collect()
     };

@@ -23,6 +23,12 @@ pub struct ScanExec {
     /// partition — the sub-partition morsel unit the unified scheduler
     /// steals, so one skewed partition can be balanced across workers.
     blocks: Option<(usize, usize)>,
+    /// Per-partition block counts captured at construction: the scan's
+    /// snapshot. Blocks are immutable and append-only, so bounding the
+    /// cursor by these counts pins a consistent prefix of the table —
+    /// concurrent appends (and their WAL/page traffic in persistent
+    /// mode) are invisible to an in-flight scan.
+    snapshot: Vec<usize>,
     /// (partition, block) cursor.
     cursor: (usize, usize),
     /// Statistics: blocks skipped by SMA pruning.
@@ -50,11 +56,13 @@ impl ScanExec {
     ) -> ScanExec {
         let start_p = partition.unwrap_or(0);
         let start_b = blocks.map_or(0, |(s, _)| s);
+        let snapshot = table.snapshot();
         ScanExec {
             table,
             pruning,
             partition,
             blocks,
+            snapshot,
             cursor: (start_p, start_b),
             blocks_pruned: 0,
             blocks_read: 0,
@@ -92,12 +100,14 @@ impl Operator for ScanExec {
             enum Step {
                 EndOfPartition,
                 Pruned,
-                Read(Batch),
+                Read(Result<Batch>),
             }
             let step = self.table.with_partitions(|parts| {
                 let part = &parts[p];
-                let end_block =
-                    self.blocks.map_or(part.block_count(), |(_, e)| e.min(part.block_count()));
+                // Bound by the construction-time snapshot: blocks
+                // appended since then stay invisible to this scan.
+                let snap = self.snapshot.get(p).copied().unwrap_or(0);
+                let end_block = self.blocks.map_or(snap, |(_, e)| e.min(snap));
                 if b >= end_block {
                     return Step::EndOfPartition;
                 }
@@ -107,7 +117,7 @@ impl Operator for ScanExec {
                         return Step::Pruned;
                     }
                 }
-                Step::Read(part.block_batch(b))
+                Step::Read(part.block_batch(b, self.table.storage_env()))
             });
             match step {
                 Step::EndOfPartition => {
@@ -120,7 +130,7 @@ impl Operator for ScanExec {
                 Step::Read(batch) => {
                     self.blocks_read += 1;
                     self.cursor = (p, b + 1);
-                    return Ok(Some(batch));
+                    return Ok(Some(batch?));
                 }
             }
         }

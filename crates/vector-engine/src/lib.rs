@@ -25,6 +25,7 @@ pub mod config;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod persist;
 pub mod plan;
 pub mod session;
 pub mod sql;

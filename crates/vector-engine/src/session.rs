@@ -154,7 +154,21 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// Construct an engine, panicking if persistent-storage open or
+    /// crash recovery fails. Kept infallible for the (default) in-memory
+    /// mode, where it cannot fail; persistent callers who want to handle
+    /// recovery errors use [`Engine::open`].
     pub fn new(config: EngineConfig) -> Engine {
+        Engine::open(config).expect("persistent storage open/recovery failed")
+    }
+
+    /// Construct an engine. With [`EngineConfig::data_dir`] set, this
+    /// opens (or creates) the paged storage under that directory and
+    /// runs crash recovery: the checkpointed page directory is loaded
+    /// and the WAL's committed prefix replayed, so the returned engine
+    /// is bit-identical to one that executed exactly the committed
+    /// statement prefix before the crash.
+    pub fn open(config: EngineConfig) -> Result<Engine> {
         // The span gate is process-global (metrics are process-wide, see
         // the obs crate docs); the last engine constructed wins.
         obs::set_spans_enabled(config.obs_spans);
@@ -163,11 +177,31 @@ impl Engine {
             // engine's workload; every compute layer shares the pool.
             sched::configure_workers(config.effective_worker_threads());
         }
-        Engine {
-            catalog: Arc::new(Catalog::new()),
-            config,
-            plan_cache: Mutex::new(PlanCache::default()),
-        }
+        let catalog = match &config.data_dir {
+            None => Arc::new(Catalog::new()),
+            Some(dir) => crate::persist::open_catalog(std::path::Path::new(dir), &config)?,
+        };
+        Ok(Engine { catalog, config, plan_cache: Mutex::new(PlanCache::default()) })
+    }
+
+    /// Checkpoint the persistent storage: flush dirty pool pages, write
+    /// the page directory atomically, truncate the WAL. A no-op for
+    /// in-memory engines.
+    pub fn checkpoint(&self) -> Result<()> {
+        crate::persist::checkpoint(&self.catalog)
+    }
+
+    /// Current WAL size in bytes (`None` in in-memory mode). The
+    /// crash-recovery tests record this after each statement to build
+    /// their committed-prefix oracle.
+    pub fn wal_size(&self) -> Option<u64> {
+        self.catalog.env().map(|e| e.wal_size())
+    }
+
+    /// The persistent storage environment (`None` in in-memory mode) —
+    /// tests and benchmarks read buffer-pool occupancy through it.
+    pub fn storage_env(&self) -> Option<&Arc<crate::persist::StorageEnv>> {
+        self.catalog.env()
     }
 
     /// Engine with the paper's evaluation configuration.

@@ -10,8 +10,9 @@
 use crate::column::{Batch, ColumnVector};
 use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
+use crate::persist::{self, PagedChunk, StorageEnv};
 use crate::types::{DataType, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
@@ -73,34 +74,91 @@ impl Schema {
     }
 }
 
+/// Where a block's values live: resident in memory (the in-memory
+/// engine's only variant) or as a paged column chunk read back through
+/// the buffer pool on demand.
+#[derive(Clone, Debug)]
+enum BlockData {
+    Mem(ColumnVector),
+    Paged(PagedChunk),
+}
+
+/// Min/max of a column vector (the block SMA).
+fn minmax(data: &ColumnVector) -> (Value, Value) {
+    assert!(!data.is_empty(), "blocks are never empty");
+    let mut min = data.value(0);
+    let mut max = data.value(0);
+    for i in 1..data.len() {
+        let v = data.value(i);
+        if v.total_cmp(&min) == Ordering::Less {
+            min = v.clone();
+        }
+        if v.total_cmp(&max) == Ordering::Greater {
+            max = v;
+        }
+    }
+    (min, max)
+}
+
 /// One storage block: up to `vector_size` values of one column plus its
-/// min/max SMA.
+/// min/max SMA. SMAs always stay in memory (pruning must not fault
+/// pages in); the values themselves may be paged out.
 #[derive(Clone, Debug)]
 pub struct Block {
-    data: ColumnVector,
+    data: BlockData,
     min: Value,
     max: Value,
 }
 
+/// Checkpoint-time description of one paged block (chunk location plus
+/// its SMA), the unit the page directory stores.
+#[derive(Clone, Debug)]
+pub(crate) struct BlockMeta {
+    pub(crate) chunk: PagedChunk,
+    pub(crate) min: Value,
+    pub(crate) max: Value,
+}
+
+/// Checkpoint-time description of one partition.
+pub(crate) struct PartitionMeta {
+    pub(crate) rows: usize,
+    /// `columns[c]` lists column `c`'s blocks in order.
+    pub(crate) columns: Vec<Vec<BlockMeta>>,
+}
+
 impl Block {
     fn new(data: ColumnVector) -> Block {
-        assert!(!data.is_empty(), "blocks are never empty");
-        let mut min = data.value(0);
-        let mut max = data.value(0);
-        for i in 1..data.len() {
-            let v = data.value(i);
-            if v.total_cmp(&min) == Ordering::Less {
-                min = v.clone();
-            }
-            if v.total_cmp(&max) == Ordering::Greater {
-                max = v;
-            }
-        }
-        Block { data, min, max }
+        let (min, max) = minmax(&data);
+        Block { data: BlockData::Mem(data), min, max }
     }
 
-    pub fn data(&self) -> &ColumnVector {
-        &self.data
+    fn paged(chunk: PagedChunk, min: Value, max: Value) -> Block {
+        Block { data: BlockData::Paged(chunk), min, max }
+    }
+
+    /// Materialize the block's values, reading through the buffer pool
+    /// when paged.
+    pub fn load(&self, env: Option<&StorageEnv>) -> Result<ColumnVector> {
+        match &self.data {
+            BlockData::Mem(v) => Ok(v.clone()),
+            BlockData::Paged(chunk) => {
+                let env = env.ok_or_else(|| {
+                    EngineError::Io("paged block read without a storage environment".into())
+                })?;
+                let bytes = env.read_chunk(chunk)?;
+                let mut r = persist::Reader::new(&bytes);
+                let col = persist::decode_column(&mut r)?;
+                if col.len() != chunk.rows as usize {
+                    return Err(EngineError::Io(format!(
+                        "chunk at page {} decoded {} rows, directory says {}",
+                        chunk.first_page,
+                        col.len(),
+                        chunk.rows
+                    )));
+                }
+                Ok(col)
+            }
+        }
     }
 
     pub fn min(&self) -> &Value {
@@ -112,11 +170,32 @@ impl Block {
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.data {
+            BlockData::Mem(v) => v.len(),
+            BlockData::Paged(chunk) => chunk.rows as usize,
+        }
     }
 
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    fn byte_size(&self) -> usize {
+        match &self.data {
+            BlockData::Mem(v) => v.byte_size(),
+            BlockData::Paged(chunk) => chunk.bytes as usize,
+        }
+    }
+
+    fn meta(&self) -> Result<BlockMeta> {
+        match &self.data {
+            BlockData::Paged(chunk) => {
+                Ok(BlockMeta { chunk: *chunk, min: self.min.clone(), max: self.max.clone() })
+            }
+            BlockData::Mem(_) => Err(EngineError::Io(
+                "checkpoint found a memory-resident block in a persistent table".into(),
+            )),
+        }
     }
 }
 
@@ -142,9 +221,12 @@ impl Partition {
         self.columns.first().map_or(0, Vec::len)
     }
 
-    /// The `b`-th block of every column as a batch.
-    pub fn block_batch(&self, b: usize) -> Batch {
-        Batch::new(self.columns.iter().map(|col| col[b].data.clone()).collect())
+    /// The `b`-th block of every column as a batch, reading paged blocks
+    /// through the buffer pool.
+    pub fn block_batch(&self, b: usize, env: Option<&StorageEnv>) -> Result<Batch> {
+        let columns: Result<Vec<ColumnVector>> =
+            self.columns.iter().map(|col| col[b].load(env)).collect();
+        Ok(Batch::new(columns?))
     }
 
     /// SMA of column `c` in block `b`.
@@ -159,6 +241,32 @@ impl Partition {
             col.push(Block::new(vec.clone()));
         }
         self.rows += chunk.first().map_or(0, ColumnVector::len);
+    }
+
+    /// Publish one already-paged chunk: one block per column, `rows` new
+    /// rows.
+    fn append_paged_chunk(&mut self, blocks: Vec<Block>, rows: usize) {
+        debug_assert_eq!(blocks.len(), self.columns.len());
+        for (col, block) in self.columns.iter_mut().zip(blocks) {
+            col.push(block);
+        }
+        self.rows += rows;
+    }
+
+    /// Rebuild a partition from its checkpointed description.
+    fn from_meta(meta: PartitionMeta) -> Partition {
+        let columns = meta
+            .columns
+            .into_iter()
+            .map(|blocks| blocks.into_iter().map(|m| Block::paged(m.chunk, m.min, m.max)).collect())
+            .collect();
+        Partition { columns, rows: meta.rows }
+    }
+
+    fn meta(&self) -> Result<PartitionMeta> {
+        let columns: Result<Vec<Vec<BlockMeta>>> =
+            self.columns.iter().map(|blocks| blocks.iter().map(Block::meta).collect()).collect();
+        Ok(PartitionMeta { rows: self.rows, columns: columns? })
     }
 }
 
@@ -184,6 +292,13 @@ pub struct Table {
     /// created through a [`crate::catalog::Catalog`]); appends bump it so
     /// epoch-keyed caches — the engine's plan cache — also observe DML.
     catalog_epoch: Arc<AtomicU64>,
+    /// Persistent environment (buffer pool + WAL); `None` keeps the
+    /// table purely in memory.
+    env: Option<Arc<StorageEnv>>,
+    /// Serializes persistent appends on this table so WAL order equals
+    /// publish order — the invariant that makes redo replay
+    /// deterministic. Uncontended (and untouched) in in-memory mode.
+    append_lock: Mutex<()>,
 }
 
 impl Table {
@@ -200,6 +315,18 @@ impl Table {
         config: &EngineConfig,
         catalog_epoch: Arc<AtomicU64>,
     ) -> Table {
+        Table::with_storage(name, schema, config, catalog_epoch, None)
+    }
+
+    /// Full constructor: a table backed by a persistent environment when
+    /// `env` is set.
+    pub(crate) fn with_storage(
+        name: impl Into<String>,
+        schema: Schema,
+        config: &EngineConfig,
+        catalog_epoch: Arc<AtomicU64>,
+        env: Option<Arc<StorageEnv>>,
+    ) -> Table {
         let width = schema.len();
         Table {
             name: name.into().to_ascii_lowercase(),
@@ -212,7 +339,67 @@ impl Table {
             unique_columns: RwLock::new(Vec::new()),
             data_version: AtomicU64::new(0),
             catalog_epoch,
+            env,
+            append_lock: Mutex::new(()),
         }
+    }
+
+    /// Rebuild a table from its checkpointed directory entry. The stored
+    /// layout (partition count, vector size, round-robin cursor) wins
+    /// over the current config so the rebuilt table is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        name: &str,
+        schema: Schema,
+        vector_size: usize,
+        partitions: Vec<PartitionMeta>,
+        next_partition: u64,
+        unique_columns: Vec<usize>,
+        catalog_epoch: Arc<AtomicU64>,
+        env: Arc<StorageEnv>,
+    ) -> Table {
+        Table {
+            name: name.to_ascii_lowercase(),
+            schema,
+            partitions: RwLock::new(partitions.into_iter().map(Partition::from_meta).collect()),
+            vector_size: vector_size.max(1),
+            next_partition: AtomicUsize::new(next_partition as usize),
+            unique_columns: RwLock::new(unique_columns),
+            data_version: AtomicU64::new(0),
+            catalog_epoch,
+            env: Some(env),
+            append_lock: Mutex::new(()),
+        }
+    }
+
+    /// The persistent environment backing this table, if any.
+    pub(crate) fn storage_env(&self) -> Option<&StorageEnv> {
+        self.env.as_deref()
+    }
+
+    pub(crate) fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Checkpoint description: round-robin cursor, unique columns, and
+    /// every partition's paged block layout. Errors if any block is
+    /// memory-resident (never the case for a persistent table).
+    pub(crate) fn checkpoint_meta(&self) -> Result<(u64, Vec<usize>, Vec<PartitionMeta>)> {
+        let parts = self.partitions.read();
+        let metas: Result<Vec<PartitionMeta>> = parts.iter().map(Partition::meta).collect();
+        Ok((
+            self.next_partition.load(AtomicOrdering::Acquire) as u64,
+            self.unique_columns.read().clone(),
+            metas?,
+        ))
+    }
+
+    /// Per-partition block counts right now — the snapshot a scan pins
+    /// at construction. Blocks are immutable and only ever appended, so
+    /// bounding a scan by these counts yields a consistent
+    /// prefix-of-the-table view without blocking writers.
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.partitions.read().iter().map(Partition::block_count).collect()
     }
 
     /// Monotonic data version: 0 at creation, +1 per non-empty append.
@@ -229,9 +416,25 @@ impl Table {
                 self.name
             ))
         })?;
-        let mut cols = self.unique_columns.write();
-        if !cols.contains(&idx) {
-            cols.push(idx);
+        let added = {
+            let mut cols = self.unique_columns.write();
+            if cols.contains(&idx) {
+                false
+            } else {
+                cols.push(idx);
+                true
+            }
+        };
+        if added {
+            if let Some(env) = &self.env {
+                if !env.is_replaying() {
+                    let _dml = env.dml_lock.read();
+                    env.log_committed(
+                        persist::REC_UNIQUE,
+                        &persist::encode_unique(&self.name, column),
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -291,6 +494,14 @@ impl Table {
         if rows == 0 {
             return Ok(());
         }
+        match self.env.clone() {
+            None => self.append_mem(&columns, rows),
+            Some(env) => self.append_persistent(&env, &columns, rows),
+        }
+    }
+
+    /// The in-memory append path (unchanged pre-persistence behavior).
+    fn append_mem(&self, columns: &[ColumnVector], rows: usize) -> Result<()> {
         let mut parts = self.partitions.write();
         let pcount = parts.len();
         let mut start = 0;
@@ -304,6 +515,52 @@ impl Table {
         // Version bumps happen while the partition write lock is still
         // held, so a reader that observes the old version has not yet seen
         // any of the new blocks either.
+        self.data_version.fetch_add(1, AtomicOrdering::Release);
+        self.catalog_epoch.fetch_add(1, AtomicOrdering::Release);
+        obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
+        Ok(())
+    }
+
+    /// WAL-then-page append: log the statement as a committed record
+    /// group (durability point), serialize each chunk's columns into
+    /// pages through the buffer pool, then publish the blocks under a
+    /// short partition write lock. Readers never wait on the fsync. The
+    /// per-table append lock keeps WAL order identical to round-robin
+    /// cursor order, so redo replay lands every chunk on the same
+    /// partition it was on before the crash.
+    fn append_persistent(
+        &self,
+        env: &Arc<StorageEnv>,
+        columns: &[ColumnVector],
+        rows: usize,
+    ) -> Result<()> {
+        let _dml = env.dml_lock.read();
+        let _order = self.append_lock.lock();
+        if !env.is_replaying() {
+            env.log_committed(persist::REC_APPEND, &persist::encode_append(&self.name, columns))?;
+        }
+        let pcount = self.partitions.read().len();
+        let mut pending: Vec<(usize, Vec<Block>, usize)> = Vec::new();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + self.vector_size).min(rows);
+            let p = self.next_partition.fetch_add(1, AtomicOrdering::Relaxed) % pcount;
+            let mut blocks = Vec::with_capacity(columns.len());
+            for col in columns {
+                let chunk_data = col.slice(start, end);
+                let (min, max) = minmax(&chunk_data);
+                let mut bytes = Vec::new();
+                persist::encode_column(&mut bytes, &chunk_data);
+                let chunk = env.write_chunk(&bytes, end - start)?;
+                blocks.push(Block::paged(chunk, min, max));
+            }
+            pending.push((p, blocks, end - start));
+            start = end;
+        }
+        let mut parts = self.partitions.write();
+        for (p, blocks, chunk_rows) in pending {
+            parts[p].append_paged_chunk(blocks, chunk_rows);
+        }
         self.data_version.fetch_add(1, AtomicOrdering::Release);
         self.catalog_epoch.fetch_add(1, AtomicOrdering::Release);
         obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
@@ -337,18 +594,23 @@ impl Table {
 
     /// Materialize one partition as a list of batches (one per block row
     /// group).
-    pub fn partition_batches(&self, p: usize) -> Vec<Batch> {
+    pub fn partition_batches(&self, p: usize) -> Result<Vec<Batch>> {
         let parts = self.partitions.read();
         let part = &parts[p];
-        (0..part.block_count()).map(|b| part.block_batch(b)).collect()
+        (0..part.block_count()).map(|b| part.block_batch(b, self.storage_env())).collect()
     }
 
     /// Materialize the whole table as one batch per block.
-    pub fn all_batches(&self) -> Vec<Batch> {
-        (0..self.partition_count()).flat_map(|p| self.partition_batches(p)).collect()
+    pub fn all_batches(&self) -> Result<Vec<Batch>> {
+        let mut out = Vec::new();
+        for p in 0..self.partition_count() {
+            out.extend(self.partition_batches(p)?);
+        }
+        Ok(out)
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate data footprint in bytes (heap for memory-resident
+    /// blocks, on-disk chunk size for paged ones).
     pub fn byte_size(&self) -> usize {
         let parts = self.partitions.read();
         parts
@@ -356,7 +618,7 @@ impl Table {
             .map(|p| {
                 p.columns
                     .iter()
-                    .map(|blocks| blocks.iter().map(|b| b.data.byte_size()).sum::<usize>())
+                    .map(|blocks| blocks.iter().map(Block::byte_size).sum::<usize>())
                     .sum::<usize>()
             })
             .sum()
@@ -464,7 +726,7 @@ mod tests {
             vec![Value::Int(2), Value::Float(0.2)],
         ])
         .unwrap();
-        let batches = t.all_batches();
+        let batches = t.all_batches().unwrap();
         let total: usize = batches.iter().map(Batch::num_rows).sum();
         assert_eq!(total, 2);
     }
@@ -474,7 +736,7 @@ mod tests {
         let t = Table::new("t", int_schema(), &config());
         t.append(vec![ColumnVector::Int(vec![]), ColumnVector::Float(vec![])]).unwrap();
         assert_eq!(t.row_count(), 0);
-        assert!(t.all_batches().is_empty());
+        assert!(t.all_batches().unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Bounded-memory scan: a table ~4x the buffer pool must scan to
+//! completion while pool occupancy never exceeds the configured page
+//! budget.
+//!
+//! This lives in its own integration-test binary because the occupancy
+//! gauges in `obs` are process-global; sharing a process with other
+//! persistent-engine tests would make the peak meaningless.
+
+use vector_engine::{ColumnVector, Engine, EngineConfig, Value};
+
+#[test]
+fn scan_of_table_four_times_pool_size_stays_within_page_budget() {
+    let dir = std::env::temp_dir().join(format!("idb-pool-bounds-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    const POOL_PAGES: usize = 16;
+    let e = Engine::open(EngineConfig {
+        vector_size: 1024,
+        partitions: 4,
+        parallelism: 2,
+        data_dir: Some(dir.to_str().unwrap().to_string()),
+        buffer_pool_pages: POOL_PAGES,
+        wal_fsync: false,
+        ..Default::default()
+    })
+    .unwrap();
+
+    // 64 blocks of 1024 int64s: ~8 KiB per block, one 16 KiB page each,
+    // so the table spans ~64 pages against a 16-page pool.
+    const ROWS: i64 = 64 * 1024;
+    e.execute("CREATE TABLE big (id INT)").unwrap();
+    e.insert_columns("big", vec![ColumnVector::Int((0..ROWS).collect())]).unwrap();
+
+    let pool = e.storage_env().expect("persistent engine").pool();
+    assert!(
+        pool.capacity() * 4 <= ROWS as usize / 1024,
+        "table must be at least 4x the pool ({} pages vs {} blocks)",
+        pool.capacity(),
+        ROWS / 1024
+    );
+
+    // Full scans that materialize every block, twice (cold then warm).
+    for _ in 0..2 {
+        let q = e.execute("SELECT SUM(id) AS s, COUNT(*) AS n FROM big").unwrap();
+        assert_eq!(q.rows(), vec![vec![Value::Int(ROWS * (ROWS - 1) / 2), Value::Int(ROWS)]]);
+    }
+
+    // The pool never held more pages than it was given.
+    assert!(pool.occupancy() <= POOL_PAGES, "occupancy {} > budget", pool.occupancy());
+    let peak = obs::metrics::STORAGE_POOL_OCCUPANCY_PEAK.get();
+    assert!(
+        peak > 0 && peak <= POOL_PAGES as i64,
+        "peak occupancy {peak} outside (0, {POOL_PAGES}]"
+    );
+    // And the scans really did cycle pages through it.
+    assert!(obs::metrics::STORAGE_POOL_EVICTIONS.get() > 0, "no evictions despite 4x pressure");
+    let _ = std::fs::remove_dir_all(&dir);
+}
