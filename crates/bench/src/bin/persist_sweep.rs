@@ -254,6 +254,61 @@ fn main() {
         );
     }
 
+    // ---- Transaction grouping: the same appends, one COMMIT per 16 -----
+    {
+        let dir = root.join("wal-txn");
+        let e = Engine::open(persist_config(&dir, 1 << 12, false)).expect("txn cell open");
+        e.execute(&facts_ddl(input_dim)).expect("ddl");
+        const GROUP: usize = 16;
+        let t0 = Instant::now();
+        let mut b = 0;
+        while b < sizes.append_batches {
+            let group = GROUP.min(sizes.append_batches - b);
+            e.execute("BEGIN").expect("begin");
+            for g in 0..group {
+                let lo = (b + g) * sizes.append_rows;
+                e.insert_columns("facts", facts_columns(lo, lo + sizes.append_rows, input_dim))
+                    .expect("txn append");
+            }
+            e.execute("COMMIT").expect("commit");
+            b += group;
+        }
+        push_cell(
+            &mut cells,
+            "wal_append",
+            "persistent_txn16",
+            t0.elapsed().as_secs_f64(),
+            sizes.append_batches as f64,
+        );
+    }
+
+    // ---- Vacuum: rebuild a file whose majority is dropped pages --------
+    let vacuum_reclaimed: u64;
+    {
+        let dir = root.join("vacuum");
+        let e = Engine::open(persist_config(&dir, 1 << 14, false)).expect("vacuum cell open");
+        load_facts(&e, sizes.fact_rows / 2, input_dim);
+        e.execute(&facts_ddl(input_dim).replace("facts", "facts_dead")).expect("dead ddl");
+        e.insert_columns("facts_dead", facts_columns(0, sizes.fact_rows, input_dim))
+            .expect("dead load");
+        e.execute("DROP TABLE facts_dead").expect("drop dead");
+        e.checkpoint().expect("pre-vacuum checkpoint");
+        let env = e.storage_env().expect("persistent");
+        let before = std::fs::metadata(env.data_path()).expect("data file").len();
+        let t0 = Instant::now();
+        e.execute("VACUUM").expect("vacuum");
+        let secs = t0.elapsed().as_secs_f64();
+        let after = std::fs::metadata(env.data_path()).expect("rebuilt data file").len();
+        vacuum_reclaimed = before.saturating_sub(after);
+        push_cell(&mut cells, "vacuum", "persistent", secs, vacuum_reclaimed as f64);
+        let r = e.execute("SELECT COUNT(*) AS n FROM facts").expect("post-vacuum count");
+        assert_eq!(
+            r.row(0)[0],
+            Value::Int((sizes.fact_rows / 2) as i64),
+            "vacuum changed the surviving table"
+        );
+    }
+
     // ---- Cold start: directory recovery + first-touch scan -------------
     {
         let t0 = Instant::now();
@@ -314,10 +369,16 @@ fn main() {
     let wal_overhead = secs_of("wal_append", "persistent") / secs_of("wal_append", "memory");
     let fsync_overhead =
         secs_of("wal_append", "persistent_fsync") / secs_of("wal_append", "memory");
+    let txn_speedup =
+        secs_of("wal_append", "persistent") / secs_of("wal_append", "persistent_txn16");
     println!("\ndata: {data_pages} pages ({:.1} MiB)", data_bytes as f64 / (1024.0 * 1024.0));
     println!("warm ml2sql persistent vs memory: {ml_ratio:.2}x (>= 0.85 required)");
     println!("warm scan persistent vs memory: {scan_ratio:.2}x");
     println!("bulk load overhead: {load_overhead:.2}x; wal append: {wal_overhead:.2}x (nofsync), {fsync_overhead:.2}x (fsync)");
+    println!(
+        "txn grouping (1 COMMIT / 16 appends) vs autocommit: {txn_speedup:.2}x; vacuum reclaimed {:.1} MiB",
+        vacuum_reclaimed as f64 / (1024.0 * 1024.0)
+    );
 
     let _ = std::fs::remove_dir_all(&root);
     // Quick mode is a smoke test; don't clobber recorded full-sweep results.
@@ -339,6 +400,8 @@ fn main() {
     json.push_str(&format!("  \"bulk_load_overhead\": {load_overhead:.3},\n"));
     json.push_str(&format!("  \"wal_append_overhead\": {wal_overhead:.3},\n"));
     json.push_str(&format!("  \"wal_append_fsync_overhead\": {fsync_overhead:.3},\n"));
+    json.push_str(&format!("  \"txn_group16_speedup\": {txn_speedup:.3},\n"));
+    json.push_str(&format!("  \"vacuum_reclaimed_bytes\": {vacuum_reclaimed},\n"));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(

@@ -147,11 +147,39 @@ pub static STORAGE_WAL_BYTES: Counter = Counter::new();
 pub static STORAGE_RECOVERY_RECORDS_REPLAYED: Counter = Counter::new();
 /// Checkpoints completed (pages + directory durable, WAL truncated).
 pub static STORAGE_CHECKPOINTS: Counter = Counter::new();
+/// Page reads served unbuffered because every frame was pinned — the
+/// graceful-degradation path that keeps a scan alive on a tiny pool.
+pub static STORAGE_POOL_BYPASS_READS: Counter = Counter::new();
+/// Page writes sent straight to the data file because every frame was
+/// pinned (same degradation path as bypass reads).
+pub static STORAGE_POOL_BYPASS_WRITES: Counter = Counter::new();
+/// Pages handed back to the free list (DROP TABLE, rollback, orphan GC).
+pub static STORAGE_PAGES_FREED: Counter = Counter::new();
+/// Freed pages handed out again by the allocator instead of growing the
+/// data file.
+pub static STORAGE_PAGES_REUSED: Counter = Counter::new();
+/// VACUUM runs completed (live chunks rewritten into a fresh file).
+pub static STORAGE_VACUUM_RUNS: Counter = Counter::new();
+/// Pages copied into the fresh data file across all VACUUM runs.
+pub static STORAGE_VACUUM_PAGES_COPIED: Counter = Counter::new();
+/// Bytes reclaimed by VACUUM (old file size minus rebuilt file size).
+pub static STORAGE_VACUUM_BYTES_RECLAIMED: Counter = Counter::new();
+/// Multi-statement transactions opened with BEGIN.
+pub static STORAGE_TXN_BEGINS: Counter = Counter::new();
+/// Multi-statement transactions ended with COMMIT.
+pub static STORAGE_TXN_COMMITS: Counter = Counter::new();
+/// Multi-statement transactions ended with ROLLBACK.
+pub static STORAGE_TXN_ROLLBACKS: Counter = Counter::new();
+/// Logical undo records applied while rolling back.
+pub static STORAGE_TXN_UNDO_RECORDS: Counter = Counter::new();
 /// Frames currently resident in the buffer pool (bounded by the
 /// `buffer_pool_pages` knob — the scans-in-bounded-memory assertion).
 pub static STORAGE_POOL_OCCUPANCY: Gauge = Gauge::new();
 /// High-water mark of resident frames since process start.
 pub static STORAGE_POOL_OCCUPANCY_PEAK: Gauge = Gauge::new();
+/// Pages currently on the free list of the most recently opened
+/// storage environment.
+pub static STORAGE_FREE_PAGES: Gauge = Gauge::new();
 
 // --- serve: concurrent inference server ----------------------------------
 
@@ -215,6 +243,17 @@ pub static COUNTERS: &[(&str, &Counter)] = &[
     ("storage.wal.bytes", &STORAGE_WAL_BYTES),
     ("storage.recovery.records_replayed", &STORAGE_RECOVERY_RECORDS_REPLAYED),
     ("storage.checkpoints", &STORAGE_CHECKPOINTS),
+    ("storage.pool.bypass_reads", &STORAGE_POOL_BYPASS_READS),
+    ("storage.pool.bypass_writes", &STORAGE_POOL_BYPASS_WRITES),
+    ("storage.pages.freed", &STORAGE_PAGES_FREED),
+    ("storage.pages.reused", &STORAGE_PAGES_REUSED),
+    ("storage.vacuum.runs", &STORAGE_VACUUM_RUNS),
+    ("storage.vacuum.pages_copied", &STORAGE_VACUUM_PAGES_COPIED),
+    ("storage.vacuum.bytes_reclaimed", &STORAGE_VACUUM_BYTES_RECLAIMED),
+    ("storage.txn.begins", &STORAGE_TXN_BEGINS),
+    ("storage.txn.commits", &STORAGE_TXN_COMMITS),
+    ("storage.txn.rollbacks", &STORAGE_TXN_ROLLBACKS),
+    ("storage.txn.undo_records", &STORAGE_TXN_UNDO_RECORDS),
     ("serve.rejected", &SERVE_REJECTED),
     ("serve.timeouts", &SERVE_TIMEOUTS),
     ("serve.deadline.missed_at_submit", &SERVE_DEADLINE_MISSED_AT_SUBMIT),
@@ -231,6 +270,7 @@ pub static GAUGES: &[(&str, &Gauge)] = &[
     ("shard.count", &SHARD_COUNT),
     ("storage.pool.occupancy", &STORAGE_POOL_OCCUPANCY),
     ("storage.pool.occupancy_peak", &STORAGE_POOL_OCCUPANCY_PEAK),
+    ("storage.free_pages", &STORAGE_FREE_PAGES),
 ];
 
 pub static HISTOGRAMS: &[(&str, &Histogram)] = &[

@@ -79,6 +79,10 @@ pub struct ShardedEngine {
     /// its literal), never on table *contents*, so entries stay valid
     /// across DML and are dropped wholesale on DDL or re-sharding.
     route_cache: RwLock<HashMap<String, Route>>,
+    /// Sharded tables dropped inside an open transaction: the sharding
+    /// map entry is only removed at `COMMIT` — `ROLLBACK` resurrects the
+    /// table on every shard, and it must stay sharded.
+    pending_unshard: RwLock<Vec<String>>,
 }
 
 /// Bound on the route cache; a serve workload cycling more distinct
@@ -125,6 +129,7 @@ impl ShardedEngine {
             root,
             sharding: RwLock::new(sharding),
             route_cache: RwLock::new(HashMap::new()),
+            pending_unshard: RwLock::new(Vec::new()),
         })
     }
 
@@ -251,9 +256,12 @@ impl ShardedEngine {
                 for s in &self.shards {
                     last = s.execute(sql)?;
                 }
-                {
+                let key = name.to_ascii_lowercase();
+                if self.shards[0].catalog().transaction_open() {
+                    self.pending_unshard.write().expect("pending unshard poisoned").push(key);
+                } else {
                     let mut map = self.sharding.write().expect("sharding map poisoned");
-                    if map.remove(&name.to_ascii_lowercase()).is_some() {
+                    if map.remove(&key).is_some() {
                         self.persist_sharding_map(&map)?;
                     }
                 }
@@ -268,7 +276,65 @@ impl ShardedEngine {
                 self.invalidate_routes();
                 Ok(last)
             }
+            // Transaction control replicates: every shard opens (or
+            // seals) its own engine-global transaction, so a cross-shard
+            // statement group commits or rolls back on all shards alike.
+            // ROLLBACK can resurrect dropped tables and VACUUM relocates
+            // chunks, so both invalidate cached routes.
+            Statement::Begin => {
+                let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
+                for s in &self.shards {
+                    last = s.execute(sql)?;
+                }
+                Ok(last)
+            }
+            Statement::Commit => {
+                let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
+                for s in &self.shards {
+                    last = s.execute(sql)?;
+                }
+                let pending: Vec<String> = self
+                    .pending_unshard
+                    .write()
+                    .expect("pending unshard poisoned")
+                    .drain(..)
+                    .collect();
+                if !pending.is_empty() {
+                    let mut map = self.sharding.write().expect("sharding map poisoned");
+                    let mut changed = false;
+                    for name in pending {
+                        changed |= map.remove(&name).is_some();
+                    }
+                    if changed {
+                        self.persist_sharding_map(&map)?;
+                    }
+                }
+                Ok(last)
+            }
+            Statement::Rollback => {
+                let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
+                for s in &self.shards {
+                    last = s.execute(sql)?;
+                }
+                self.pending_unshard.write().expect("pending unshard poisoned").clear();
+                self.invalidate_routes();
+                Ok(last)
+            }
+            Statement::Vacuum => {
+                self.vacuum()?;
+                Ok(QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 })
+            }
         }
+    }
+
+    /// Rebuild every shard's data file, reclaiming dead pages. Cached
+    /// routes are invalidated (chunk relocation moves page ids).
+    pub fn vacuum(&self) -> Result<()> {
+        for s in &self.shards {
+            s.vacuum()?;
+        }
+        self.invalidate_routes();
+        Ok(())
     }
 
     /// `INSERT`: replicated tables get the statement verbatim on every

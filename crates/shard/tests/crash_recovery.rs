@@ -120,6 +120,77 @@ fn run_case(shards: usize, sizes: &[usize], boundary: usize, tears: &[u64]) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Like [`apply`], but statement group `i >= 1` is a whole
+/// `BEGIN` .. `COMMIT` transaction of `groups[i-1]` appends.
+fn apply_txn(e: &ShardedEngine, groups: &[Vec<usize>], committed: usize) {
+    if committed == 0 {
+        return;
+    }
+    e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+    e.declare_sharded("t", "id").unwrap();
+    let mut next_id = 0i64;
+    for g in groups.iter().take(committed - 1) {
+        for &n in g {
+            let ids: Vec<i64> = (next_id..next_id + n as i64).collect();
+            let vs: Vec<f64> = ids.iter().map(|&x| x as f64 * 0.25).collect();
+            next_id += n as i64;
+            e.insert_columns("t", vec![ColumnVector::Int(ids), ColumnVector::Float(vs)]).unwrap();
+        }
+    }
+}
+
+/// Crash with every shard's WAL torn inside transaction group `b`'s
+/// bytes (never keeping its COMMIT marker): recovery must land on the
+/// state as of group `b - 1`'s COMMIT on every shard — transactions are
+/// all-or-nothing per shard, even when the torn group routed rows to
+/// only some of them.
+fn run_txn_case(shards: usize, groups: &[Vec<usize>], boundary: usize, tears: &[u64]) {
+    let dir = fresh_dir(&format!("txn-n{shards}"));
+    let cfg = config(Some(&dir), shards);
+    let mut after: Vec<Vec<u64>> = Vec::new();
+    {
+        let e = ShardedEngine::open(cfg.clone()).unwrap();
+        apply_txn(&e, groups, 1);
+        after.push(wal_sizes(&e));
+        let mut next_id: i64 = 0;
+        for g in groups {
+            e.execute("BEGIN").unwrap();
+            for &n in g {
+                let ids: Vec<i64> = (next_id..next_id + n as i64).collect();
+                let vs: Vec<f64> = ids.iter().map(|&x| x as f64 * 0.25).collect();
+                next_id += n as i64;
+                e.insert_columns("t", vec![ColumnVector::Int(ids), ColumnVector::Float(vs)])
+                    .unwrap();
+            }
+            e.execute("COMMIT").unwrap();
+            after.push(wal_sizes(&e));
+        }
+    }
+    let b = boundary % after.len();
+    for (i, &keep) in after[b].iter().enumerate() {
+        let cut = match after.get(b + 1) {
+            Some(next) if next[i] > keep => keep + tears[i % tears.len()] % (next[i] - keep),
+            _ => keep,
+        };
+        let wal = dir.join(format!("shard-{i}")).join("wal.log");
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..cut as usize]).unwrap();
+    }
+
+    let recovered = ShardedEngine::open(cfg).unwrap();
+    let oracle = ShardedEngine::open(config(None, shards)).unwrap();
+    apply_txn(&oracle, groups, b + 1);
+    for i in 0..shards {
+        assert_eq!(
+            shard_rows(recovered.shard(i)),
+            shard_rows(oracle.shard(i)),
+            "shard {i} of {shards} diverged after crash inside txn group {b}"
+        );
+    }
+    assert_eq!(recovered.shard_key("t").as_deref(), Some("id"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12 })]
 
@@ -139,5 +210,25 @@ proptest! {
         tears in proptest::collection::vec(0u64..1_000_000, 4),
     ) {
         run_case(4, &sizes, boundary, &tears);
+    }
+
+    #[test]
+    fn torn_wals_inside_a_transaction_recover_its_last_commit_on_one_shard(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(1usize..8, 1..4), 1..4),
+        boundary in 0usize..6,
+        tears in proptest::collection::vec(0u64..1_000_000, 1),
+    ) {
+        run_txn_case(1, &groups, boundary, &tears);
+    }
+
+    #[test]
+    fn torn_wals_inside_a_transaction_recover_its_last_commit_on_four_shards(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(1usize..8, 1..4), 1..4),
+        boundary in 0usize..6,
+        tears in proptest::collection::vec(0u64..1_000_000, 4),
+    ) {
+        run_txn_case(4, &groups, boundary, &tears);
     }
 }

@@ -52,6 +52,17 @@ impl PageFile {
         self.file.lock().sync_data()?;
         Ok(())
     }
+
+    /// Swap this handle onto a different file (the vacuum rebuild swaps
+    /// the pool onto the freshly written data file). The old handle is
+    /// closed; callers must guarantee no page of the old file is still
+    /// expected to be readable.
+    pub fn reopen(&self, path: &Path) -> Result<()> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        *self.file.lock() = file;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

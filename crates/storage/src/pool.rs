@@ -92,7 +92,16 @@ impl BufferPool {
         self.file.read_page(page_id, &mut buf)?;
         let payload_len = decode_page(page_id, &buf)?.len();
         let data = Arc::new(buf);
-        self.install(&mut state, page_id, Arc::clone(&data), false)?;
+        match self.install(&mut state, page_id, Arc::clone(&data), false) {
+            Ok(()) => {}
+            Err(StorageError::PoolExhausted) => {
+                // Every frame is pinned — serve the read unbuffered
+                // instead of failing the scan. The page is simply not
+                // cached; correctness is unaffected.
+                om::STORAGE_POOL_BYPASS_READS.add(1);
+            }
+            Err(e) => return Err(e),
+        }
         Ok(PageRef { data, payload_len })
     }
 
@@ -108,7 +117,33 @@ impl BufferPool {
             frame.ref_bit = true;
             return Ok(());
         }
-        self.install(&mut state, page_id, image, true)
+        match self.install(&mut state, page_id, image, true) {
+            Err(StorageError::PoolExhausted) => {
+                // Every frame is pinned — write straight through to the
+                // data file. The page id is not resident (checked above),
+                // so no stale frame can shadow this write; `flush_all`
+                // syncs the file, which covers direct writes too.
+                self.file.write_page(page_id, &encode_page(page_id, payload))?;
+                om::STORAGE_PAGES_WRITTEN.add(1);
+                om::STORAGE_POOL_BYPASS_WRITES.add(1);
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Discard every frame and point the pool at a different data file —
+    /// the vacuum swap. The caller must have made all live data durable
+    /// in the new file and hold the pool quiescent (no outstanding pins
+    /// that expect old-file pages to stay readable); dirty frames are
+    /// dropped, not written back.
+    pub fn swap_file(&self, path: &Path) -> Result<()> {
+        let mut state = self.state.lock();
+        state.frames.clear();
+        state.map.clear();
+        state.clock = 0;
+        om::STORAGE_POOL_OCCUPANCY.set(0);
+        self.file.reopen(path)
     }
 
     /// Write back every dirty frame and sync the data file — the
@@ -237,13 +272,42 @@ mod tests {
     }
 
     #[test]
-    fn all_pinned_reports_exhaustion() {
+    fn all_pinned_degrades_to_unbuffered_io() {
         let pool = BufferPool::open(&tmp("exhaust"), 2).unwrap();
         pool.write_page(0, b"a").unwrap();
         pool.write_page(1, b"b").unwrap();
-        let _p0 = pool.fetch(0).unwrap();
-        let _p1 = pool.fetch(1).unwrap();
-        assert!(matches!(pool.write_page(2, b"c"), Err(StorageError::PoolExhausted)));
+        let p0 = pool.fetch(0).unwrap();
+        let p1 = pool.fetch(1).unwrap();
+        // With every frame pinned, writes bypass the pool straight to the
+        // data file instead of erroring out...
+        pool.write_page(2, b"c").unwrap();
+        assert_eq!(pool.occupancy(), 2, "bypass writes never grow residency");
+        // ...and reads of non-resident pages are served unbuffered.
+        assert_eq!(pool.fetch(2).unwrap().payload(), b"c");
+        assert_eq!(pool.occupancy(), 2);
+        // The pins themselves stay valid throughout.
+        assert_eq!(p0.payload(), b"a");
+        assert_eq!(p1.payload(), b"b");
+        drop(p0);
+        drop(p1);
+        // Once unpinned, the same page is cacheable again.
+        assert_eq!(pool.fetch(2).unwrap().payload(), b"c");
+    }
+
+    #[test]
+    fn swap_file_discards_frames_and_reads_the_new_file() {
+        let old = tmp("swap-old");
+        let new = tmp("swap-new");
+        {
+            let fresh = BufferPool::open(&new, 2).unwrap();
+            fresh.write_page(0, b"rebuilt").unwrap();
+            fresh.flush_all().unwrap();
+        }
+        let pool = BufferPool::open(&old, 2).unwrap();
+        pool.write_page(0, b"stale").unwrap();
+        pool.swap_file(&new).unwrap();
+        assert_eq!(pool.occupancy(), 0, "swap drops every frame");
+        assert_eq!(pool.fetch(0).unwrap().payload(), b"rebuilt");
     }
 
     #[test]

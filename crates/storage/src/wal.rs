@@ -41,6 +41,10 @@ use std::sync::{Condvar, Mutex};
 /// Record kind reserved for commit markers.
 pub const COMMIT_KIND: u8 = 0xff;
 
+/// Largest payload a single frame can carry: the body length field is a
+/// `u32` and the body wraps the payload in `lsn(8) + kind(1) + crc(4)`.
+pub const MAX_PAYLOAD: usize = u32::MAX as usize - 13;
+
 /// One committed data record yielded by [`Wal::open`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct WalRecord {
@@ -146,11 +150,23 @@ impl Wal {
         self.append_frame(COMMIT_KIND, &[])
     }
 
+    /// Body length of a frame carrying `payload_len` bytes, or an error
+    /// if it would overflow the u32 length field (a silent `as u32` cast
+    /// here would write a corrupt frame).
+    fn frame_len_checked(payload_len: usize) -> Result<u32> {
+        if payload_len > MAX_PAYLOAD {
+            return Err(StorageError::Corrupt(format!(
+                "wal payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+            )));
+        }
+        Ok((8 + 1 + payload_len + 4) as u32)
+    }
+
     fn append_frame(&self, kind: u8, payload: &[u8]) -> Result<(u64, u64)> {
+        let len = Wal::frame_len_checked(payload.len())? as usize;
         let mut inner = self.inner.lock().expect("wal lock poisoned");
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
-        let len = 8 + 1 + payload.len() + 4;
         let mut frame = Vec::with_capacity(4 + len);
         frame.extend_from_slice(&(len as u32).to_le_bytes());
         frame.extend_from_slice(&lsn.to_le_bytes());
@@ -207,6 +223,28 @@ impl Wal {
     /// The LSN the next appended record will carry.
     pub fn next_lsn(&self) -> u64 {
         self.inner.lock().expect("wal lock poisoned").next_lsn
+    }
+
+    /// Truncate the log back to `offset`, discarding every frame after
+    /// it. Used by transaction rollback: the offset recorded at `BEGIN`
+    /// marks the last committed frame, so cutting there erases the open
+    /// transaction's (never-committed) record group. LSNs keep counting
+    /// monotonically — truncation never reuses them.
+    pub fn truncate_to(&self, offset: u64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        if offset > inner.offset {
+            return Err(StorageError::Corrupt(format!(
+                "wal truncate_to({offset}) past end of log ({})",
+                inner.offset
+            )));
+        }
+        inner.file.set_len(offset)?;
+        inner.file.seek(SeekFrom::Start(offset))?;
+        inner.offset = offset;
+        drop(inner);
+        let mut s = self.sync.lock().expect("wal sync lock poisoned");
+        s.synced = s.synced.min(offset);
+        Ok(())
     }
 
     /// Discard every record — called after a checkpoint has made their
@@ -325,6 +363,51 @@ mod tests {
         assert_eq!(wal.next_lsn(), lsn_before, "reset never reuses LSNs");
         let (lsn, _) = wal.append(1, b"y").unwrap();
         assert!(lsn >= lsn_before);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_writing() {
+        let path = tmp("oversize");
+        let (wal, _) = Wal::open(&path, false, 0).unwrap();
+        // The boundary check itself, without allocating a 4 GiB buffer.
+        assert_eq!(Wal::frame_len_checked(MAX_PAYLOAD).unwrap(), u32::MAX);
+        assert!(Wal::frame_len_checked(MAX_PAYLOAD + 1).is_err());
+        // A modest real payload still appends fine and the log stays
+        // clean for later readers.
+        wal.append(1, &vec![0u8; 1024]).unwrap();
+        let (_, end) = wal.append_commit().unwrap();
+        wal.commit(end).unwrap();
+        let size_before = wal.size();
+        drop(wal);
+        let (_, rec) = Wal::open(&path, false, 0).unwrap();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].payload.len(), 1024);
+        assert_eq!(size_before, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn truncate_to_erases_the_open_record_group() {
+        let path = tmp("truncate-to");
+        let (wal, _) = Wal::open(&path, false, 0).unwrap();
+        wal.append(1, b"committed").unwrap();
+        let (_, end) = wal.append_commit().unwrap();
+        wal.commit(end).unwrap();
+        let begin_offset = wal.size();
+        let lsn_watermark = wal.next_lsn();
+        wal.append(1, b"doomed-a").unwrap();
+        wal.append(1, b"doomed-b").unwrap();
+        wal.truncate_to(begin_offset).unwrap();
+        assert_eq!(wal.size(), begin_offset);
+        assert!(wal.next_lsn() >= lsn_watermark, "truncation never reuses LSNs");
+        assert!(wal.truncate_to(begin_offset + 1).is_err(), "cannot truncate past the end");
+        // New appends land cleanly after the cut.
+        wal.append(1, b"after").unwrap();
+        let (_, end) = wal.append_commit().unwrap();
+        wal.commit(end).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path, false, 0).unwrap();
+        let payloads: Vec<&[u8]> = rec.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"committed".as_slice(), b"after"]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
-use crate::persist::{self, StorageEnv};
+use crate::persist::{self, OpenTxn, StorageEnv, TxnState, UndoRecord};
 use crate::storage::{Schema, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -23,6 +23,9 @@ pub struct Catalog {
     /// Persistent environment shared by every table; `None` for the
     /// (default) in-memory catalog.
     env: Option<Arc<StorageEnv>>,
+    /// Engine-wide multi-statement transaction state, shared with every
+    /// table this catalog creates.
+    txn: Arc<TxnState>,
 }
 
 impl Default for Catalog {
@@ -38,11 +41,25 @@ impl Catalog {
 
     /// A catalog whose DDL/DML is write-ahead logged through `env`.
     pub(crate) fn with_env(env: Option<Arc<StorageEnv>>) -> Catalog {
-        Catalog { tables: RwLock::new(HashMap::new()), epoch: Arc::new(AtomicU64::new(0)), env }
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            epoch: Arc::new(AtomicU64::new(0)),
+            env,
+            txn: Arc::default(),
+        }
     }
 
     pub(crate) fn env(&self) -> Option<&Arc<StorageEnv>> {
         self.env.as_ref()
+    }
+
+    pub(crate) fn txn_state(&self) -> &Arc<TxnState> {
+        &self.txn
+    }
+
+    /// Whether a multi-statement transaction is currently open.
+    pub fn transaction_open(&self) -> bool {
+        self.txn.is_open()
     }
 
     /// The shared epoch counter (recovery threads it into rebuilt
@@ -79,10 +96,12 @@ impl Catalog {
         }
         // Log before inserting (WAL order == catalog order; the tables
         // write lock serializes DDL), and skip logging during replay.
-        if let Some(env) = &self.env {
-            if !env.is_replaying() {
+        let undo = || UndoRecord::Create { name: key.clone() };
+        match &self.env {
+            Some(env) if !env.is_replaying() => {
                 let _dml = env.dml_lock.read();
-                env.log_committed(
+                env.log_statement(
+                    &self.txn,
                     persist::REC_CREATE,
                     &persist::encode_create(
                         &key,
@@ -90,7 +109,12 @@ impl Catalog {
                         config.partitions.max(1),
                         config.vector_size.max(1),
                     ),
+                    undo,
                 )?;
+            }
+            Some(_) => {}
+            None => {
+                self.txn.record(undo);
             }
         }
         let table = Arc::new(Table::with_storage(
@@ -99,6 +123,7 @@ impl Catalog {
             config,
             Arc::clone(&self.epoch),
             self.env.clone(),
+            Arc::clone(&self.txn),
         ));
         tables.insert(key, Arc::clone(&table));
         self.epoch.fetch_add(1, Ordering::Release);
@@ -116,16 +141,37 @@ impl Catalog {
             .ok_or_else(|| EngineError::Catalog(format!("unknown table {key:?}")))
     }
 
-    /// Drop a table; errors if missing unless `if_exists`.
+    /// Drop a table; errors if missing unless `if_exists`. Outside a
+    /// transaction the table's pages return to the free list at once;
+    /// inside one they stay reserved (the undo log retains the table for
+    /// `ROLLBACK`) and are freed at `COMMIT`.
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
         let key = name.to_ascii_lowercase();
         let removed = {
             let mut tables = self.tables.write();
-            if tables.contains_key(&key) {
-                if let Some(env) = &self.env {
-                    if !env.is_replaying() {
+            if let Some(table) = tables.get(&key).cloned() {
+                let pages = table.all_pages();
+                let undo = || UndoRecord::Drop { table, pages: pages.clone() };
+                match &self.env {
+                    Some(env) if !env.is_replaying() => {
                         let _dml = env.dml_lock.read();
-                        env.log_committed(persist::REC_DROP, &persist::encode_drop(&key))?;
+                        let in_txn = env.log_statement(
+                            &self.txn,
+                            persist::REC_DROP,
+                            &persist::encode_drop(&key),
+                            undo,
+                        )?;
+                        if !in_txn {
+                            env.free_pages(pages);
+                        }
+                    }
+                    Some(env) => {
+                        // Replay of a committed DROP frees immediately,
+                        // mirroring the original autocommit execution.
+                        env.free_pages(pages);
+                    }
+                    None => {
+                        self.txn.record(undo);
                     }
                 }
             }
@@ -147,6 +193,103 @@ impl Catalog {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Open a multi-statement transaction. Statements executed while it
+    /// is open append WAL records without commit markers (a crash
+    /// recovers to the last `COMMIT`) and record logical undo. Nested
+    /// `BEGIN` errors. The transaction is engine-global: statements from
+    /// any thread join it.
+    pub fn begin_transaction(&self) -> Result<()> {
+        // The shared DML lock keeps BEGIN from interleaving with a
+        // running checkpoint: the recorded WAL offset is stable.
+        let _dml = self.env.as_ref().map(|e| e.dml_lock.read());
+        let mut guard = self.txn.inner.lock();
+        if guard.is_some() {
+            return Err(EngineError::Execution("a transaction is already open".into()));
+        }
+        let wal_offset = self.env.as_ref().map_or(0, |e| e.wal_size());
+        *guard = Some(OpenTxn { wal_offset, undo: Vec::new() });
+        obs::metrics::STORAGE_TXN_BEGINS.add(1);
+        Ok(())
+    }
+
+    /// Commit the open transaction: one commit marker seals the whole
+    /// record group (group-fsynced), and pages of tables dropped inside
+    /// the transaction go to the free list.
+    pub fn commit_transaction(&self) -> Result<()> {
+        // Exclusive: no statement is mid-flight while the group seals.
+        let _dml = self.env.as_ref().map(|e| e.dml_lock.write());
+        let open =
+            self.txn.inner.lock().take().ok_or_else(|| {
+                EngineError::Execution("COMMIT without an open transaction".into())
+            })?;
+        if let Some(env) = &self.env {
+            env.seal_group()?;
+            let mut freed = Vec::new();
+            for rec in &open.undo {
+                if let UndoRecord::Drop { pages, .. } = rec {
+                    freed.extend_from_slice(pages);
+                }
+            }
+            if !freed.is_empty() {
+                env.free_pages(freed);
+            }
+        }
+        obs::metrics::STORAGE_TXN_COMMITS.add(1);
+        Ok(())
+    }
+
+    /// Roll the open transaction back: apply the undo log in reverse
+    /// (truncate appends, remove created tables, reinstall dropped ones,
+    /// retract unique declarations), then truncate the WAL to the
+    /// `BEGIN` offset so recovery and live state agree.
+    pub fn rollback_transaction(&self) -> Result<()> {
+        // Exclusive: undo must not race in-flight statements.
+        let _dml = self.env.as_ref().map(|e| e.dml_lock.write());
+        let open =
+            self.txn.inner.lock().take().ok_or_else(|| {
+                EngineError::Execution("ROLLBACK without an open transaction".into())
+            })?;
+        for rec in open.undo.into_iter().rev() {
+            obs::metrics::STORAGE_TXN_UNDO_RECORDS.add(1);
+            match rec {
+                UndoRecord::Create { name } => {
+                    let removed = {
+                        let mut tables = self.tables.write();
+                        tables.remove(&name)
+                    };
+                    if let (Some(table), Some(env)) = (removed, &self.env) {
+                        env.free_pages(table.all_pages());
+                    }
+                    self.epoch.fetch_add(1, Ordering::Release);
+                    obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
+                }
+                UndoRecord::Drop { table, .. } => {
+                    // The deferred page list is discarded: the table
+                    // lives again, its pages stay reserved.
+                    self.install_restored(table);
+                }
+                UndoRecord::Append { name, parts, next_partition } => {
+                    if let Some(table) = self.tables.read().get(&name).cloned() {
+                        let freed = table.truncate_to_prestate(&parts, next_partition);
+                        if let Some(env) = &self.env {
+                            env.free_pages(freed);
+                        }
+                    }
+                }
+                UndoRecord::Unique { name, column } => {
+                    if let Some(table) = self.tables.read().get(&name).cloned() {
+                        table.undeclare_unique(&column);
+                    }
+                }
+            }
+        }
+        if let Some(env) = &self.env {
+            env.truncate_wal_to(open.wal_offset)?;
+        }
+        obs::metrics::STORAGE_TXN_ROLLBACKS.add(1);
+        Ok(())
     }
 }
 

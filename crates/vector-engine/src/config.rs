@@ -83,9 +83,13 @@ pub struct EngineConfig {
     /// pre-persistence behavior. When set, tables live in a paged
     /// columnar data file read through the buffer pool, DDL and DML are
     /// write-ahead logged, and [`crate::Engine::open`] replays the
-    /// committed WAL prefix on startup (crash recovery). A sharded
-    /// facade derives per-shard subdirectories (`shard-0`, `shard-1`, …)
-    /// under this root.
+    /// committed WAL prefix on startup (crash recovery). Pages freed by
+    /// `DROP TABLE` (or orphaned by a crash-torn append) go to a free
+    /// list and are re-used by later appends; `VACUUM` rebuilds the data
+    /// file to return the space to the filesystem. `BEGIN` / `COMMIT` /
+    /// `ROLLBACK` group statements into one atomically-recovered WAL
+    /// record group. A sharded facade derives per-shard subdirectories
+    /// (`shard-0`, `shard-1`, …) under this root.
     pub data_dir: Option<String>,
     /// Buffer-pool capacity in pages (16 KiB each): the bound on
     /// resident page frames, so scans over tables larger than the pool

@@ -33,9 +33,28 @@
 //! truncates the WAL. LSNs keep counting across resets so a crash
 //! between the directory rename and the WAL reset replays nothing twice.
 //!
-//! **What leaks, deliberately.** Page allocation is monotonic; dropped
-//! tables and pre-crash orphan pages are never reclaimed. Reclamation is
-//! a free-list away but out of scope for this reproduction.
+//! **Space reclamation.** Page allocation prefers a persisted free list:
+//! `DROP TABLE` returns a table's pages to it (deferred to `COMMIT`
+//! inside a transaction so `ROLLBACK` can reinstall the table), and
+//! every open recomputes it as "allocated minus live" after replay, which
+//! also reclaims orphans left by crash-torn appends. `VACUUM` rebuilds
+//! the data file: live chunks are copied into a fresh generation file
+//! (`data.idb` is generation 0, `data.idb.<n>` after n vacuums) under a
+//! full quiesce, the buffer pool is swapped onto it, and the old file is
+//! deleted after the directory + WAL reach their post-vacuum state. A
+//! crash anywhere inside a vacuum loses nothing: the directory rename is
+//! the atomic switch point, and stale generation files are swept on the
+//! next open.
+//!
+//! **Multi-statement transactions.** `BEGIN` records the WAL offset and
+//! opens a logical-undo log shared by the catalog and every table.
+//! Statements inside the transaction append their WAL records *without*
+//! the commit marker, so the committed-prefix scan already recovers a
+//! crashed transaction to the last `COMMIT` with no new record kinds.
+//! `COMMIT` seals the whole group with one marker (+ group fsync);
+//! `ROLLBACK` applies the undo log in reverse (truncate appends, drop
+//! created tables, reinstall dropped ones) and truncates the WAL back to
+//! the `BEGIN` offset.
 
 use crate::catalog::Catalog;
 use crate::column::ColumnVector;
@@ -43,11 +62,12 @@ use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
 use crate::storage::{BlockMeta, ColumnDef, PartitionMeta, Schema, Table};
 use crate::types::{DataType, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use storage::page::{pages_for, PAYLOAD_SIZE};
+use storage::file::PageFile;
+use storage::page::{encode_page, pages_for, PAGE_SIZE, PAYLOAD_SIZE};
 use storage::pool::BufferPool;
 use storage::wal::{Wal, WalRecord};
 
@@ -58,7 +78,28 @@ pub const REC_APPEND: u8 = 3;
 pub const REC_UNIQUE: u8 = 4;
 
 const DIRECTORY_MAGIC: &[u8; 4] = b"IDBD";
-const DIRECTORY_VERSION: u8 = 1;
+/// v2 added the data-file generation and the free-page list; v1 files
+/// (no reclamation state) still decode.
+const DIRECTORY_VERSION: u8 = 2;
+
+/// File name of data generation `gen`: generation 0 keeps the original
+/// `data.idb` name, later generations (one per completed vacuum) get a
+/// numeric suffix.
+fn data_file_name(gen: u64) -> String {
+    if gen == 0 {
+        "data.idb".to_string()
+    } else {
+        format!("data.idb.{gen}")
+    }
+}
+
+/// Parse a root-directory file name back to a data-file generation.
+fn parse_data_file_gen(name: &str) -> Option<u64> {
+    if name == "data.idb" {
+        return Some(0);
+    }
+    name.strip_prefix("data.idb.")?.parse().ok()
+}
 
 /// A column chunk's location in the data file: `pages` consecutive pages
 /// starting at `first_page`, holding `bytes` of serialized column data
@@ -71,6 +112,60 @@ pub struct PagedChunk {
     pub rows: u32,
 }
 
+// ---------------------------------------------------------------------
+// Multi-statement transaction state (logical undo).
+// ---------------------------------------------------------------------
+
+/// One logical undo action, recorded (in statement order) while a
+/// transaction is open and applied in reverse by `ROLLBACK`.
+pub(crate) enum UndoRecord {
+    /// Undo a CREATE TABLE: remove it (and free any pages it grew).
+    Create { name: String },
+    /// Undo a DROP TABLE: reinstall the retained table. `pages` is the
+    /// table's page footprint at drop time — freed at COMMIT, discarded
+    /// (the table lives on) at ROLLBACK.
+    Drop { table: Arc<Table>, pages: Vec<u64> },
+    /// Undo an append: truncate each partition back to its pre-append
+    /// (block count, row count) and restore the round-robin cursor.
+    Append { name: String, parts: Vec<(usize, usize)>, next_partition: usize },
+    /// Undo a unique-column declaration.
+    Unique { name: String, column: String },
+}
+
+/// An open transaction: where the WAL stood at `BEGIN` (the rollback
+/// truncation point) plus the undo log.
+pub(crate) struct OpenTxn {
+    pub(crate) wal_offset: u64,
+    pub(crate) undo: Vec<UndoRecord>,
+}
+
+/// Engine-wide transaction state, shared by the catalog and every table
+/// it owns (in-memory tables too — `BEGIN`/`ROLLBACK` work without a
+/// data directory; only WAL truncation is persistent-only).
+#[derive(Default)]
+pub(crate) struct TxnState {
+    pub(crate) inner: Mutex<Option<OpenTxn>>,
+}
+
+impl TxnState {
+    pub(crate) fn is_open(&self) -> bool {
+        self.inner.lock().is_some()
+    }
+
+    /// Push an undo record if a transaction is open; returns whether the
+    /// statement joined one.
+    pub(crate) fn record(&self, undo: impl FnOnce() -> UndoRecord) -> bool {
+        let mut guard = self.inner.lock();
+        match guard.as_mut() {
+            Some(open) => {
+                open.undo.push(undo());
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// One engine's persistent environment: the buffer pool and WAL over a
 /// data directory, the page allocator, and the replay/checkpoint state
 /// threaded through every table the catalog owns.
@@ -78,16 +173,21 @@ pub struct StorageEnv {
     root: PathBuf,
     pool: BufferPool,
     wal: Wal,
-    /// Monotonic page allocator (allocate-only; see module docs).
+    /// Next never-allocated page id; the allocator prefers `free`.
     next_page: AtomicU64,
+    /// Freed page ids available for reuse, kept sorted ascending so
+    /// allocation (first fit) is deterministic under WAL replay.
+    free: Mutex<Vec<u64>>,
+    /// Data-file generation: 0 until the first vacuum, +1 per vacuum.
+    generation: AtomicU64,
     /// Records with `lsn <= checkpoint_lsn` are reflected in the
     /// directory and must not be replayed.
     checkpoint_lsn: AtomicU64,
     /// Set while recovery replays the WAL: DDL/DML skip logging.
     replaying: AtomicBool,
-    /// Shared by DML and DDL, exclusive for checkpoint: a checkpoint
-    /// observes no in-flight statement between its pool flush, directory
-    /// write, and WAL truncation.
+    /// Shared by DML and DDL, exclusive for checkpoint / vacuum /
+    /// COMMIT / ROLLBACK: the exclusive holders observe no in-flight
+    /// statement.
     pub(crate) dml_lock: RwLock<()>,
 }
 
@@ -101,9 +201,50 @@ impl StorageEnv {
         self.replaying.load(Ordering::Acquire)
     }
 
-    /// Reserve `n` consecutive pages; returns the first page id.
+    /// Path of the current data file (generation-dependent).
+    pub fn data_path(&self) -> PathBuf {
+        self.root.join(data_file_name(self.generation.load(Ordering::Acquire)))
+    }
+
+    /// Pages currently on the free list (tests assert reclamation).
+    pub fn free_page_count(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Reserve `n` consecutive pages, preferring a free-list run (first
+    /// fit over the sorted list, so replay re-allocates identically);
+    /// falls back to growing the file. Returns the first page id.
     pub(crate) fn allocate_pages(&self, n: usize) -> u64 {
+        let mut free = self.free.lock();
+        if n > 0 && free.len() >= n {
+            let mut run_start = 0usize;
+            for i in 0..free.len() {
+                if i > run_start && free[i] != free[i - 1] + 1 {
+                    run_start = i;
+                }
+                if i - run_start + 1 == n {
+                    let first = free[run_start];
+                    free.drain(run_start..=i);
+                    obs::metrics::STORAGE_PAGES_REUSED.add(n as u64);
+                    obs::metrics::STORAGE_FREE_PAGES.set(free.len() as i64);
+                    return first;
+                }
+            }
+        }
+        drop(free);
         self.next_page.fetch_add(n as u64, Ordering::Relaxed)
+    }
+
+    /// Return pages to the free list (DROP TABLE, rollback truncation,
+    /// open-time orphan GC). Duplicates are tolerated and collapsed.
+    pub(crate) fn free_pages(&self, pages: impl IntoIterator<Item = u64>) {
+        let mut free = self.free.lock();
+        let before = free.len();
+        free.extend(pages);
+        free.sort_unstable();
+        free.dedup();
+        obs::metrics::STORAGE_PAGES_FREED.add((free.len() - before) as u64);
+        obs::metrics::STORAGE_FREE_PAGES.set(free.len() as i64);
     }
 
     /// Log one statement as a committed record group: the record, its
@@ -112,6 +253,50 @@ impl StorageEnv {
         self.wal.append(kind, payload)?;
         let (_, end) = self.wal.append_commit()?;
         self.wal.commit(end)?;
+        Ok(())
+    }
+
+    /// Log one statement, transaction-aware: inside an open transaction
+    /// the record is appended *without* a commit marker (the group stays
+    /// open until `COMMIT`) and `undo` is pushed onto the undo log, both
+    /// under one txn-lock hold so the WAL and the undo log never
+    /// disagree. Outside a transaction this is `log_committed`. Returns
+    /// whether the statement joined an open transaction.
+    pub(crate) fn log_statement(
+        &self,
+        txn: &TxnState,
+        kind: u8,
+        payload: &[u8],
+        undo: impl FnOnce() -> UndoRecord,
+    ) -> Result<bool> {
+        let mut guard = txn.inner.lock();
+        match guard.as_mut() {
+            Some(open) => {
+                self.wal.append(kind, payload)?;
+                open.undo.push(undo());
+                Ok(true)
+            }
+            None => {
+                drop(guard);
+                self.log_committed(kind, payload)?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Seal the current (transaction-spanning) record group with one
+    /// commit marker and group-fsync it — the durability point of
+    /// `COMMIT`.
+    pub(crate) fn seal_group(&self) -> Result<()> {
+        let (_, end) = self.wal.append_commit()?;
+        self.wal.commit(end)?;
+        Ok(())
+    }
+
+    /// Truncate the WAL back to `offset` — the `ROLLBACK` erase of the
+    /// open transaction's record group.
+    pub(crate) fn truncate_wal_to(&self, offset: u64) -> Result<()> {
+        self.wal.truncate_to(offset)?;
         Ok(())
     }
 
@@ -411,6 +596,8 @@ pub(crate) fn encode_unique(name: &str, column: &str) -> Vec<u8> {
 struct DirectoryFile {
     next_page: u64,
     checkpoint_lsn: u64,
+    generation: u64,
+    free: Vec<u64>,
     tables: Vec<TableEntry>,
 }
 
@@ -429,6 +616,14 @@ fn encode_directory(catalog: &Catalog, env: &StorageEnv, checkpoint_lsn: u64) ->
     out.push(DIRECTORY_VERSION);
     out.extend_from_slice(&env.next_page.load(Ordering::Acquire).to_le_bytes());
     out.extend_from_slice(&checkpoint_lsn.to_le_bytes());
+    out.extend_from_slice(&env.generation.load(Ordering::Acquire).to_le_bytes());
+    {
+        let free = env.free.lock();
+        out.extend_from_slice(&(free.len() as u32).to_le_bytes());
+        for page in free.iter() {
+            out.extend_from_slice(&page.to_le_bytes());
+        }
+    }
     let names = catalog.table_names();
     out.extend_from_slice(&(names.len() as u32).to_le_bytes());
     for name in names {
@@ -465,11 +660,23 @@ fn decode_directory(bytes: &[u8]) -> Result<DirectoryFile> {
         return Err(EngineError::Io("directory.bin: bad magic".into()));
     }
     let version = r.u8()?;
-    if version != DIRECTORY_VERSION {
+    if version == 0 || version > DIRECTORY_VERSION {
         return Err(EngineError::Io(format!("directory.bin: unknown version {version}")));
     }
     let next_page = r.u64()?;
     let checkpoint_lsn = r.u64()?;
+    // v1 predates reclamation: generation 0, nothing free.
+    let (generation, free) = if version >= 2 {
+        let generation = r.u64()?;
+        let nfree = r.u32()? as usize;
+        let mut free = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            free.push(r.u64()?);
+        }
+        (generation, free)
+    } else {
+        (0, Vec::new())
+    };
     let ntables = r.u32()? as usize;
     let mut tables = Vec::with_capacity(ntables);
     for _ in 0..ntables {
@@ -513,7 +720,7 @@ fn decode_directory(bytes: &[u8]) -> Result<DirectoryFile> {
     if !r.is_empty() {
         return Err(EngineError::Io("directory.bin: trailing garbage".into()));
     }
-    Ok(DirectoryFile { next_page, checkpoint_lsn, tables })
+    Ok(DirectoryFile { next_page, checkpoint_lsn, generation, free, tables })
 }
 
 // ---------------------------------------------------------------------
@@ -536,16 +743,33 @@ pub(crate) fn open_catalog(root: &Path, config: &EngineConfig) -> Result<Arc<Cat
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
         Err(e) => return Err(io(e)),
     };
-    let (next_page, checkpoint_lsn) =
-        directory.as_ref().map_or((0, 0), |d| (d.next_page, d.checkpoint_lsn));
+    let (next_page, checkpoint_lsn, generation, free) =
+        directory.as_ref().map_or((0, 0, 0, Vec::new()), |d| {
+            (d.next_page, d.checkpoint_lsn, d.generation, d.free.clone())
+        });
 
-    let pool = BufferPool::open(&root.join("data.idb"), config.buffer_pool_pages)?;
+    // Sweep stale data generations: a crash inside a vacuum leaves
+    // either a half-written next-generation file (directory still names
+    // the old one) or the superseded old file (directory already names
+    // the new one). Only the generation the directory names is live.
+    for entry in std::fs::read_dir(root).map_err(io)? {
+        let entry = entry.map_err(io)?;
+        if let Some(gen) = entry.file_name().to_str().and_then(parse_data_file_gen) {
+            if gen != generation {
+                std::fs::remove_file(entry.path()).map_err(io)?;
+            }
+        }
+    }
+
+    let pool = BufferPool::open(&root.join(data_file_name(generation)), config.buffer_pool_pages)?;
     let (wal, records) = Wal::open(&root.join("wal.log"), config.wal_fsync, checkpoint_lsn)?;
     let env = Arc::new(StorageEnv {
         root: root.to_path_buf(),
         pool,
         wal,
         next_page: AtomicU64::new(next_page),
+        free: Mutex::new(free),
+        generation: AtomicU64::new(generation),
         checkpoint_lsn: AtomicU64::new(checkpoint_lsn),
         replaying: AtomicBool::new(true),
         dml_lock: RwLock::new(()),
@@ -563,6 +787,7 @@ pub(crate) fn open_catalog(root: &Path, config: &EngineConfig) -> Result<Arc<Cat
                 entry.unique_columns,
                 catalog.epoch_handle(),
                 Arc::clone(&env),
+                Arc::clone(catalog.txn_state()),
             );
             catalog.install_restored(Arc::new(table));
         }
@@ -576,6 +801,21 @@ pub(crate) fn open_catalog(root: &Path, config: &EngineConfig) -> Result<Arc<Cat
         obs::metrics::STORAGE_RECOVERY_RECORDS_REPLAYED.add(1);
     }
     env.replaying.store(false, Ordering::Release);
+
+    // Orphan GC: recompute the free list as allocated-minus-live. This
+    // reclaims pages of tables dropped before reclamation existed and of
+    // appends torn by a crash, and subsumes the checkpointed list.
+    let mut live = std::collections::HashSet::new();
+    for name in catalog.table_names() {
+        live.extend(catalog.table(&name)?.all_pages());
+    }
+    let end = env.next_page.load(Ordering::Acquire);
+    let orphaned: Vec<u64> = (0..end).filter(|p| !live.contains(p)).collect();
+    {
+        let mut free = env.free.lock();
+        free.clear();
+    }
+    env.free_pages(orphaned);
     Ok(catalog)
 }
 
@@ -617,19 +857,13 @@ fn apply_record(catalog: &Catalog, config: &EngineConfig, record: &WalRecord) ->
     Ok(())
 }
 
-/// Checkpoint the catalog: flush dirty pages, atomically replace the
-/// directory, truncate the WAL. No-op for in-memory catalogs.
-pub(crate) fn checkpoint(catalog: &Catalog) -> Result<()> {
-    let Some(env) = catalog.env() else {
-        return Ok(());
-    };
-    // Exclusive against every DML/DDL statement: nothing moves between
-    // the pool flush, the directory image, and the WAL truncation.
-    let _excl = env.dml_lock.write();
-    let checkpoint_lsn = env.wal.next_lsn().saturating_sub(1);
-    env.pool.flush_all()?;
+/// Atomically replace `directory.bin` with the catalog's current image:
+/// temp file + fsync + rename + parent-directory fsync. Every error —
+/// including the parent fsync, without which the rename itself may not
+/// survive a power failure — propagates to the caller, which must then
+/// *not* discard the WAL that could redo the checkpointed state.
+fn write_directory(catalog: &Catalog, env: &StorageEnv, checkpoint_lsn: u64) -> Result<()> {
     let bytes = encode_directory(catalog, env, checkpoint_lsn)?;
-
     let tmp = env.root.join("directory.tmp");
     let final_path = env.root.join("directory.bin");
     {
@@ -639,13 +873,128 @@ pub(crate) fn checkpoint(catalog: &Catalog) -> Result<()> {
         f.sync_all().map_err(io)?;
     }
     std::fs::rename(&tmp, &final_path).map_err(io)?;
-    // Make the rename itself durable before discarding the WAL.
-    if let Ok(d) = std::fs::File::open(&env.root) {
-        let _unused = d.sync_all();
+    let d = std::fs::File::open(&env.root).map_err(io)?;
+    d.sync_all().map_err(io)?;
+    Ok(())
+}
+
+/// Checkpoint the catalog: flush dirty pages, atomically replace the
+/// directory, truncate the WAL. No-op for in-memory catalogs. Errors
+/// while a transaction is open — a checkpoint would make uncommitted
+/// statements durable and discard the WAL prefix `ROLLBACK` truncates.
+pub(crate) fn checkpoint(catalog: &Catalog) -> Result<()> {
+    let Some(env) = catalog.env() else {
+        return Ok(());
+    };
+    // Exclusive against every DML/DDL statement: nothing moves between
+    // the pool flush, the directory image, and the WAL truncation.
+    let _excl = env.dml_lock.write();
+    if catalog.txn_state().is_open() {
+        return Err(EngineError::Execution(
+            "cannot checkpoint while a transaction is open; COMMIT or ROLLBACK first".into(),
+        ));
     }
+    let checkpoint_lsn = env.wal.next_lsn().saturating_sub(1);
+    env.pool.flush_all()?;
+    write_directory(catalog, env, checkpoint_lsn)?;
     env.checkpoint_lsn.store(checkpoint_lsn, Ordering::Release);
     env.wal.reset()?;
     obs::metrics::STORAGE_CHECKPOINTS.add(1);
+    Ok(())
+}
+
+/// Rebuild the data file, reclaiming all dead space: copy every live
+/// chunk into a fresh generation file, swap the buffer pool onto it,
+/// checkpoint the post-vacuum state, and delete the old file. Runs under
+/// the exclusive DML lock *and* every table's partition write lock, so
+/// no scan holds a pin into the old file across the swap (block reads
+/// happen under the partition read lock). No-op for in-memory catalogs.
+///
+/// Crash safety: the directory rename inside the final checkpoint is the
+/// atomic switch — before it, recovery sees the old directory + old file
+/// (the half-built new generation is swept at open); after it, the new
+/// directory + new file (the stale old generation is swept at open).
+pub(crate) fn vacuum(catalog: &Catalog) -> Result<()> {
+    let Some(env) = catalog.env() else {
+        return Ok(());
+    };
+    let _excl = env.dml_lock.write();
+    if catalog.txn_state().is_open() {
+        return Err(EngineError::Execution(
+            "cannot VACUUM while a transaction is open; COMMIT or ROLLBACK first".into(),
+        ));
+    }
+    let names = catalog.table_names();
+    let tables: std::result::Result<Vec<Arc<Table>>, _> =
+        names.iter().map(|n| catalog.table(n)).collect();
+    let tables = tables?;
+    let mut guards: Vec<_> = tables.iter().map(|t| t.lock_partitions_exclusive()).collect();
+
+    let old_path = env.data_path();
+    let old_bytes = std::fs::metadata(&old_path).map(|m| m.len()).unwrap_or(0);
+    let generation = env.generation.load(Ordering::Acquire) + 1;
+    let new_path = env.root.join(data_file_name(generation));
+    // A crash-orphaned file of this generation would have been swept at
+    // open; anything here is leftover from a failed in-process vacuum.
+    let _ = std::fs::remove_file(&new_path);
+    let dst = PageFile::open(&new_path)?;
+
+    // Pass 1: copy every live chunk into the new file at sequentially
+    // allocated pages, collecting the relocations without touching the
+    // in-memory tables — an IO error here aborts with all state intact.
+    let mut next_page: u64 = 0;
+    let mut moves: Vec<(usize, usize, usize, usize, PagedChunk)> = Vec::new();
+    for (ti, guard) in guards.iter().enumerate() {
+        for (pi, part) in guard.iter().enumerate() {
+            for (ci, blocks) in part.columns().iter().enumerate() {
+                for (bi, block) in blocks.iter().enumerate() {
+                    let Some(chunk) = block.paged_chunk() else { continue };
+                    let bytes = env.read_chunk(&chunk)?;
+                    let pages = pages_for(bytes.len()).max(1);
+                    for i in 0..pages {
+                        let start = i * PAYLOAD_SIZE;
+                        let end = ((i + 1) * PAYLOAD_SIZE).min(bytes.len());
+                        let page_id = next_page + i as u64;
+                        dst.write_page(page_id, &encode_page(page_id, &bytes[start..end]))?;
+                    }
+                    let moved = PagedChunk {
+                        first_page: next_page,
+                        pages: pages as u32,
+                        bytes: chunk.bytes,
+                        rows: chunk.rows,
+                    };
+                    next_page += pages as u64;
+                    moves.push((ti, pi, ci, bi, moved));
+                }
+            }
+        }
+    }
+    dst.sync()?;
+    obs::metrics::STORAGE_VACUUM_PAGES_COPIED.add(next_page);
+
+    // Pass 2: the copy is durable — apply the relocations and swap the
+    // pool onto the new file while every reader is still locked out.
+    for (ti, pi, ci, bi, moved) in moves {
+        guards[ti][pi].columns_mut()[ci][bi].set_paged_chunk(moved);
+    }
+    env.pool.swap_file(&new_path)?;
+    env.next_page.store(next_page, Ordering::Release);
+    env.free.lock().clear();
+    obs::metrics::STORAGE_FREE_PAGES.set(0);
+    env.generation.store(generation, Ordering::Release);
+    drop(guards);
+
+    // Checkpoint the post-vacuum state (the directory rename is the
+    // atomic switch to the new generation), then drop the old file.
+    let checkpoint_lsn = env.wal.next_lsn().saturating_sub(1);
+    write_directory(catalog, env, checkpoint_lsn)?;
+    env.checkpoint_lsn.store(checkpoint_lsn, Ordering::Release);
+    env.wal.reset()?;
+    std::fs::remove_file(&old_path).map_err(io)?;
+    obs::metrics::STORAGE_CHECKPOINTS.add(1);
+    obs::metrics::STORAGE_VACUUM_RUNS.add(1);
+    obs::metrics::STORAGE_VACUUM_BYTES_RECLAIMED
+        .add(old_bytes.saturating_sub(next_page * PAGE_SIZE as u64));
     Ok(())
 }
 

@@ -191,6 +191,14 @@ impl Engine {
         crate::persist::checkpoint(&self.catalog)
     }
 
+    /// Rebuild the data file, copying only live chunks and truncating
+    /// away dead pages (dropped tables, crash-torn appends). Runs under
+    /// the checkpoint lock; errors if a transaction is open. A no-op for
+    /// in-memory engines.
+    pub fn vacuum(&self) -> Result<()> {
+        crate::persist::vacuum(&self.catalog)
+    }
+
     /// Current WAL size in bytes (`None` in in-memory mode). The
     /// crash-recovery tests record this after each statement to build
     /// their committed-prefix oracle.
@@ -315,6 +323,22 @@ impl Engine {
             }
             Statement::DropTable { name, if_exists } => {
                 self.catalog.drop_table(&name, if_exists)?;
+                Ok(QueryResult::empty(0))
+            }
+            Statement::Begin => {
+                self.catalog.begin_transaction()?;
+                Ok(QueryResult::empty(0))
+            }
+            Statement::Commit => {
+                self.catalog.commit_transaction()?;
+                Ok(QueryResult::empty(0))
+            }
+            Statement::Rollback => {
+                self.catalog.rollback_transaction()?;
+                Ok(QueryResult::empty(0))
+            }
+            Statement::Vacuum => {
+                self.vacuum()?;
                 Ok(QueryResult::empty(0))
             }
         }

@@ -23,6 +23,14 @@ pub enum Statement {
         name: String,
         if_exists: bool,
     },
+    /// `BEGIN [TRANSACTION]` — open a multi-statement transaction.
+    Begin,
+    /// `COMMIT` — seal the open transaction's WAL record group.
+    Commit,
+    /// `ROLLBACK` — logically undo the open transaction.
+    Rollback,
+    /// `VACUUM` — rebuild the data file, reclaiming dead pages.
+    Vacuum,
 }
 
 /// A `SELECT` query.

@@ -42,6 +42,11 @@ pub enum Keyword {
     Cross,
     On,
     Between,
+    Begin,
+    Commit,
+    Rollback,
+    Transaction,
+    Vacuum,
 }
 
 impl Keyword {
@@ -82,6 +87,11 @@ impl Keyword {
             "CROSS" => Keyword::Cross,
             "ON" => Keyword::On,
             "BETWEEN" => Keyword::Between,
+            "BEGIN" => Keyword::Begin,
+            "COMMIT" => Keyword::Commit,
+            "ROLLBACK" => Keyword::Rollback,
+            "TRANSACTION" => Keyword::Transaction,
+            "VACUUM" => Keyword::Vacuum,
             _ => return None,
         })
     }

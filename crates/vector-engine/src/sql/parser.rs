@@ -78,6 +78,23 @@ impl Parser {
             Token::Keyword(Keyword::Create) => self.create_table(),
             Token::Keyword(Keyword::Insert) => self.insert(),
             Token::Keyword(Keyword::Drop) => self.drop_table(),
+            Token::Keyword(Keyword::Begin) => {
+                self.advance();
+                self.eat_kw(Keyword::Transaction);
+                Ok(Statement::Begin)
+            }
+            Token::Keyword(Keyword::Commit) => {
+                self.advance();
+                Ok(Statement::Commit)
+            }
+            Token::Keyword(Keyword::Rollback) => {
+                self.advance();
+                Ok(Statement::Rollback)
+            }
+            Token::Keyword(Keyword::Vacuum) => {
+                self.advance();
+                Ok(Statement::Vacuum)
+            }
             other => Err(EngineError::Parse(format!("expected a statement, found {other}"))),
         }
     }

@@ -10,9 +10,9 @@
 use crate::column::{Batch, ColumnVector};
 use crate::config::EngineConfig;
 use crate::error::{EngineError, Result};
-use crate::persist::{self, PagedChunk, StorageEnv};
+use crate::persist::{self, PagedChunk, StorageEnv, TxnState, UndoRecord};
 use crate::types::{DataType, Value};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
@@ -197,6 +197,19 @@ impl Block {
             )),
         }
     }
+
+    /// The block's chunk location, if paged (vacuum relocates these).
+    pub(crate) fn paged_chunk(&self) -> Option<PagedChunk> {
+        match &self.data {
+            BlockData::Paged(chunk) => Some(*chunk),
+            BlockData::Mem(_) => None,
+        }
+    }
+
+    /// Point the block at a relocated chunk (vacuum pass 2).
+    pub(crate) fn set_paged_chunk(&mut self, chunk: PagedChunk) {
+        self.data = BlockData::Paged(chunk);
+    }
 }
 
 /// One horizontal partition: per column, the list of blocks. Row `i` of the
@@ -268,6 +281,32 @@ impl Partition {
             self.columns.iter().map(|blocks| blocks.iter().map(Block::meta).collect()).collect();
         Ok(PartitionMeta { rows: self.rows, columns: columns? })
     }
+
+    /// Per-column block lists (vacuum walks these under the exclusive
+    /// partition lock).
+    pub(crate) fn columns(&self) -> &[Vec<Block>] {
+        &self.columns
+    }
+
+    pub(crate) fn columns_mut(&mut self) -> &mut [Vec<Block>] {
+        &mut self.columns
+    }
+
+    /// Drop every block past `keep` in each column, resetting the row
+    /// count to `rows` — rollback's per-partition truncation. Returns the
+    /// page ids of the removed paged chunks.
+    fn truncate_blocks(&mut self, keep: usize, rows: usize) -> Vec<u64> {
+        let mut freed = Vec::new();
+        for blocks in &mut self.columns {
+            while blocks.len() > keep {
+                if let Some(chunk) = blocks.pop().and_then(|b| b.paged_chunk()) {
+                    freed.extend(chunk.first_page..chunk.first_page + chunk.pages as u64);
+                }
+            }
+        }
+        self.rows = rows;
+        freed
+    }
 }
 
 /// A partitioned, block-organized table.
@@ -295,6 +334,10 @@ pub struct Table {
     /// Persistent environment (buffer pool + WAL); `None` keeps the
     /// table purely in memory.
     env: Option<Arc<StorageEnv>>,
+    /// Engine-wide transaction state (shared with the owning catalog):
+    /// appends inside an open transaction defer their commit marker and
+    /// record logical undo.
+    txn: Arc<TxnState>,
     /// Serializes persistent appends on this table so WAL order equals
     /// publish order — the invariant that makes redo replay
     /// deterministic. Uncontended (and untouched) in in-memory mode.
@@ -315,17 +358,18 @@ impl Table {
         config: &EngineConfig,
         catalog_epoch: Arc<AtomicU64>,
     ) -> Table {
-        Table::with_storage(name, schema, config, catalog_epoch, None)
+        Table::with_storage(name, schema, config, catalog_epoch, None, Arc::default())
     }
 
     /// Full constructor: a table backed by a persistent environment when
-    /// `env` is set.
+    /// `env` is set, sharing the owning catalog's transaction state.
     pub(crate) fn with_storage(
         name: impl Into<String>,
         schema: Schema,
         config: &EngineConfig,
         catalog_epoch: Arc<AtomicU64>,
         env: Option<Arc<StorageEnv>>,
+        txn: Arc<TxnState>,
     ) -> Table {
         let width = schema.len();
         Table {
@@ -340,6 +384,7 @@ impl Table {
             data_version: AtomicU64::new(0),
             catalog_epoch,
             env,
+            txn,
             append_lock: Mutex::new(()),
         }
     }
@@ -357,6 +402,7 @@ impl Table {
         unique_columns: Vec<usize>,
         catalog_epoch: Arc<AtomicU64>,
         env: Arc<StorageEnv>,
+        txn: Arc<TxnState>,
     ) -> Table {
         Table {
             name: name.to_ascii_lowercase(),
@@ -368,6 +414,7 @@ impl Table {
             data_version: AtomicU64::new(0),
             catalog_epoch,
             env: Some(env),
+            txn,
             append_lock: Mutex::new(()),
         }
     }
@@ -426,17 +473,33 @@ impl Table {
             }
         };
         if added {
-            if let Some(env) = &self.env {
-                if !env.is_replaying() {
+            let undo =
+                || UndoRecord::Unique { name: self.name.clone(), column: column.to_string() };
+            match &self.env {
+                Some(env) if !env.is_replaying() => {
                     let _dml = env.dml_lock.read();
-                    env.log_committed(
+                    env.log_statement(
+                        &self.txn,
                         persist::REC_UNIQUE,
                         &persist::encode_unique(&self.name, column),
+                        undo,
                     )?;
+                }
+                Some(_) => {}
+                None => {
+                    self.txn.record(undo);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Remove a unique-column declaration (rollback of
+    /// [`Table::declare_unique`]; never logged).
+    pub(crate) fn undeclare_unique(&self, column: &str) {
+        if let Some(idx) = self.schema.index_of(column) {
+            self.unique_columns.write().retain(|&c| c != idx);
+        }
     }
 
     /// Is column `idx` declared unique?
@@ -500,9 +563,22 @@ impl Table {
         }
     }
 
+    /// Pre-append undo record: per-partition (block count, rows) plus
+    /// the round-robin cursor, captured before any block of this append
+    /// publishes.
+    fn append_undo(&self, parts: &[Partition]) -> UndoRecord {
+        UndoRecord::Append {
+            name: self.name.clone(),
+            parts: parts.iter().map(|p| (p.block_count(), p.rows())).collect(),
+            next_partition: self.next_partition.load(AtomicOrdering::Acquire),
+        }
+    }
+
     /// The in-memory append path (unchanged pre-persistence behavior).
     fn append_mem(&self, columns: &[ColumnVector], rows: usize) -> Result<()> {
         let mut parts = self.partitions.write();
+        let undo = self.append_undo(&parts);
+        self.txn.record(|| undo);
         let pcount = parts.len();
         let mut start = 0;
         while start < rows {
@@ -537,7 +613,15 @@ impl Table {
         let _dml = env.dml_lock.read();
         let _order = self.append_lock.lock();
         if !env.is_replaying() {
-            env.log_committed(persist::REC_APPEND, &persist::encode_append(&self.name, columns))?;
+            // The undo pre-state is captured before any chunk is written
+            // or published; the append lock keeps it exact.
+            let undo = self.append_undo(&self.partitions.read());
+            env.log_statement(
+                &self.txn,
+                persist::REC_APPEND,
+                &persist::encode_append(&self.name, columns),
+                || undo,
+            )?;
         }
         let pcount = self.partitions.read().len();
         let mut pending: Vec<(usize, Vec<Block>, usize)> = Vec::new();
@@ -590,6 +674,51 @@ impl Table {
     /// Run `f` over every (partition index, partition) pair.
     pub fn with_partitions<R>(&self, f: impl FnOnce(&[Partition]) -> R) -> R {
         f(&self.partitions.read())
+    }
+
+    /// Write-lock every partition — the vacuum rebuild holds these
+    /// guards (for every table at once) across the copy + pool swap so
+    /// no reader pins a page of the file being replaced.
+    pub(crate) fn lock_partitions_exclusive(&self) -> RwLockWriteGuard<'_, Vec<Partition>> {
+        self.partitions.write()
+    }
+
+    /// Every data-file page this table's paged chunks occupy (the pages
+    /// DROP TABLE returns to the free list).
+    pub(crate) fn all_pages(&self) -> Vec<u64> {
+        let parts = self.partitions.read();
+        let mut pages = Vec::new();
+        for part in parts.iter() {
+            for blocks in part.columns() {
+                for block in blocks {
+                    if let Some(chunk) = block.paged_chunk() {
+                        pages.extend(chunk.first_page..chunk.first_page + chunk.pages as u64);
+                    }
+                }
+            }
+        }
+        pages
+    }
+
+    /// Roll an append back: truncate each partition to its pre-append
+    /// (block count, rows) and restore the round-robin cursor. Returns
+    /// the freed page ids. Versions bump (they are monotonic watermarks,
+    /// never restored) so caches built on the rolled-back data die.
+    pub(crate) fn truncate_to_prestate(
+        &self,
+        prestate: &[(usize, usize)],
+        next_partition: usize,
+    ) -> Vec<u64> {
+        let mut parts = self.partitions.write();
+        let mut freed = Vec::new();
+        for (part, &(keep, rows)) in parts.iter_mut().zip(prestate) {
+            freed.extend(part.truncate_blocks(keep, rows));
+        }
+        self.next_partition.store(next_partition, AtomicOrdering::Release);
+        self.data_version.fetch_add(1, AtomicOrdering::Release);
+        self.catalog_epoch.fetch_add(1, AtomicOrdering::Release);
+        obs::metrics::EXEC_CATALOG_EPOCH_BUMPS.add(1);
+        freed
     }
 
     /// Materialize one partition as a list of batches (one per block row

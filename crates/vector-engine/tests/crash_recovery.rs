@@ -123,6 +123,123 @@ proptest! {
     }
 }
 
+proptest! {
+    // Group the appends into BEGIN..COMMIT transactions and truncate the
+    // WAL at an arbitrary offset — possibly inside an open group, whose
+    // records carry no commit marker. Recovery must land exactly on the
+    // state as of the last COMMIT whose marker survived the cut:
+    // transactions are all-or-nothing across a crash.
+    #[test]
+    fn wal_cut_inside_a_transaction_recovers_to_the_last_commit(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(1usize..8, 1..4), 1..5),
+        cut_seed in 0u64..1_000_000,
+    ) {
+        let dir = fresh_dir("txn");
+        let cfg = config(&dir);
+        // WAL end offset after each durability point (the CREATE's own
+        // commit, then each transaction's COMMIT).
+        let mut ends = Vec::new();
+        {
+            let e = Engine::open(cfg.clone()).unwrap();
+            e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+            ends.push(e.wal_size().unwrap());
+            let mut next_id = 0i64;
+            for g in &groups {
+                e.execute("BEGIN").unwrap();
+                for &n in g {
+                    let ids: Vec<i64> = (next_id..next_id + n as i64).collect();
+                    let vs: Vec<f64> = ids.iter().map(|&x| x as f64 * 0.25).collect();
+                    next_id += n as i64;
+                    e.insert_columns(
+                        "t",
+                        vec![ColumnVector::Int(ids), ColumnVector::Float(vs)],
+                    ).unwrap();
+                }
+                e.execute("COMMIT").unwrap();
+                ends.push(e.wal_size().unwrap());
+            }
+        }
+        let wal_path = dir.join("wal.log");
+        let wal_len = std::fs::metadata(&wal_path).unwrap().len();
+        let cut = cut_seed % (wal_len + 1);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..cut as usize]).unwrap();
+
+        // A whole transaction survives iff its COMMIT marker landed at
+        // or before the cut; a cut inside a group drops the entire group.
+        let committed = ends.iter().filter(|&&end| end <= cut).count();
+
+        let recovered = Engine::open(cfg.clone()).unwrap();
+        let reference = {
+            let e = Engine::new(EngineConfig { data_dir: None, ..cfg.clone() });
+            if committed >= 1 {
+                e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+                let mut next_id = 0i64;
+                for g in groups.iter().take(committed - 1) {
+                    for &n in g {
+                        let ids: Vec<i64> = (next_id..next_id + n as i64).collect();
+                        let vs: Vec<f64> = ids.iter().map(|&x| x as f64 * 0.25).collect();
+                        next_id += n as i64;
+                        e.insert_columns(
+                            "t",
+                            vec![ColumnVector::Int(ids), ColumnVector::Float(vs)],
+                        ).unwrap();
+                    }
+                }
+            }
+            e
+        };
+        if committed == 0 {
+            prop_assert!(recovered.table("t").is_err());
+        } else {
+            prop_assert_eq!(physical_rows(&recovered), physical_rows(&reference));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn rollback_then_crash_recovers_only_the_surrounding_commits() {
+    let dir = fresh_dir("rollback-crash");
+    let cfg = config(&dir);
+    {
+        let e = Engine::open(cfg.clone()).unwrap();
+        e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+        e.insert_columns(
+            "t",
+            vec![ColumnVector::Int(vec![1, 2]), ColumnVector::Float(vec![0.25, 0.5])],
+        )
+        .unwrap();
+        e.execute("BEGIN").unwrap();
+        e.insert_columns(
+            "t",
+            vec![ColumnVector::Int(vec![90, 91]), ColumnVector::Float(vec![9.0, 9.1])],
+        )
+        .unwrap();
+        e.execute("ROLLBACK").unwrap();
+        // Autocommit traffic after the rollback reuses the truncated
+        // WAL tail; a crash here must see it, and nothing rolled back.
+        e.insert_columns("t", vec![ColumnVector::Int(vec![3]), ColumnVector::Float(vec![0.75])])
+            .unwrap();
+    }
+    let recovered = Engine::open(cfg.clone()).unwrap();
+    let reference = {
+        let e = Engine::new(EngineConfig { data_dir: None, ..cfg });
+        e.execute("CREATE TABLE t (id INT, v FLOAT)").unwrap();
+        e.insert_columns(
+            "t",
+            vec![ColumnVector::Int(vec![1, 2]), ColumnVector::Float(vec![0.25, 0.5])],
+        )
+        .unwrap();
+        e.insert_columns("t", vec![ColumnVector::Int(vec![3]), ColumnVector::Float(vec![0.75])])
+            .unwrap();
+        e
+    };
+    assert_eq!(physical_rows(&recovered), physical_rows(&reference));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn corrupted_wal_byte_cuts_recovery_at_the_torn_record() {
     let dir = fresh_dir("torn-wal");
