@@ -283,15 +283,50 @@ impl ShardedEngine {
             // chunks, so both invalidate cached routes.
             Statement::Begin => {
                 let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
-                for s in &self.shards {
-                    last = s.execute(sql)?;
+                for (i, s) in self.shards.iter().enumerate() {
+                    match s.execute(sql) {
+                        Ok(r) => last = r,
+                        Err(e) => {
+                            // Close the transactions already opened so a
+                            // failed BEGIN leaves no shard half-started.
+                            for t in &self.shards[..i] {
+                                let _ = t.execute("ROLLBACK");
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
                 Ok(last)
             }
+            // COMMIT seals the shard WALs one at a time — there is no
+            // cross-shard atomic commit. A crash mid-loop can therefore
+            // land earlier shards committed while later shards' open
+            // groups are discarded by their recovery. An *error*
+            // mid-loop is contained below: the unsealed shards are
+            // force-rolled-back and the divergence is surfaced instead
+            // of returning a silent partial commit.
             Statement::Commit => {
                 let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
-                for s in &self.shards {
-                    last = s.execute(sql)?;
+                for (i, s) in self.shards.iter().enumerate() {
+                    if let Err(e) = s.execute(sql).map(|r| last = r) {
+                        // Shards 0..i sealed; shard i's seal failed (its
+                        // transaction stays open) and shards i+1.. were
+                        // never reached. Roll every still-open shard
+                        // back so none is left mid-transaction.
+                        for t in &self.shards[i..] {
+                            if t.catalog().transaction_open() {
+                                let _ = t.execute("ROLLBACK");
+                            }
+                        }
+                        self.pending_unshard.write().expect("pending unshard poisoned").clear();
+                        self.invalidate_routes();
+                        return Err(EngineError::Execution(format!(
+                            "COMMIT diverged across shards: {i} of {} shards committed, \
+                             then shard {i} failed ({e}); the remaining shards were \
+                             rolled back",
+                            self.shards.len()
+                        )));
+                    }
                 }
                 let pending: Vec<String> = self
                     .pending_unshard
@@ -312,13 +347,27 @@ impl ShardedEngine {
                 Ok(last)
             }
             Statement::Rollback => {
+                // Every shard is attempted even if one errors, so a
+                // facade ROLLBACK never leaves later shards with open
+                // transactions; the first error still surfaces.
                 let mut last = QueryResult { names: Vec::new(), columns: Vec::new(), affected: 0 };
+                let mut first_err = None;
                 for s in &self.shards {
-                    last = s.execute(sql)?;
+                    match s.execute(sql) {
+                        Ok(r) => last = r,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
                 }
                 self.pending_unshard.write().expect("pending unshard poisoned").clear();
                 self.invalidate_routes();
-                Ok(last)
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(last),
+                }
             }
             Statement::Vacuum => {
                 self.vacuum()?;

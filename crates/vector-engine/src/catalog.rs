@@ -201,9 +201,13 @@ impl Catalog {
     /// `BEGIN` errors. The transaction is engine-global: statements from
     /// any thread join it.
     pub fn begin_transaction(&self) -> Result<()> {
-        // The shared DML lock keeps BEGIN from interleaving with a
-        // running checkpoint: the recorded WAL offset is stable.
-        let _dml = self.env.as_ref().map(|e| e.dml_lock.read());
+        // Exclusive DML lock: statements hold it shared across their
+        // whole log+apply, so BEGIN cannot interleave with an in-flight
+        // autocommit statement — whose commit marker would otherwise
+        // land inside the open group (sealing its unsealed records) or
+        // after the recorded WAL offset (so ROLLBACK's truncation would
+        // erase a committed record). Also excludes checkpoint/vacuum.
+        let _dml = self.env.as_ref().map(|e| e.dml_lock.write());
         let mut guard = self.txn.inner.lock();
         if guard.is_some() {
             return Err(EngineError::Execution("a transaction is already open".into()));
@@ -220,12 +224,20 @@ impl Catalog {
     pub fn commit_transaction(&self) -> Result<()> {
         // Exclusive: no statement is mid-flight while the group seals.
         let _dml = self.env.as_ref().map(|e| e.dml_lock.write());
-        let open =
-            self.txn.inner.lock().take().ok_or_else(|| {
-                EngineError::Execution("COMMIT without an open transaction".into())
-            })?;
+        let mut guard = self.txn.inner.lock();
+        if guard.is_none() {
+            return Err(EngineError::Execution("COMMIT without an open transaction".into()));
+        }
+        // Seal before discarding the undo state: a seal failure leaves
+        // the transaction open (COMMIT can be retried, ROLLBACK still
+        // has its undo log) instead of an unsealed group that a later
+        // autocommit statement's marker would silently commit.
         if let Some(env) = &self.env {
             env.seal_group()?;
+        }
+        let open = guard.take().expect("checked above");
+        drop(guard);
+        if let Some(env) = &self.env {
             let mut freed = Vec::new();
             for rec in &open.undo {
                 if let UndoRecord::Drop { pages, .. } = rec {
@@ -240,17 +252,30 @@ impl Catalog {
         Ok(())
     }
 
-    /// Roll the open transaction back: apply the undo log in reverse
-    /// (truncate appends, remove created tables, reinstall dropped ones,
-    /// retract unique declarations), then truncate the WAL to the
-    /// `BEGIN` offset so recovery and live state agree.
+    /// Roll the open transaction back: truncate the WAL to the `BEGIN`
+    /// offset, then apply the undo log in reverse (truncate appends,
+    /// remove created tables, reinstall dropped ones, retract unique
+    /// declarations) so recovery and live state agree.
     pub fn rollback_transaction(&self) -> Result<()> {
         // Exclusive: undo must not race in-flight statements.
         let _dml = self.env.as_ref().map(|e| e.dml_lock.write());
-        let open =
-            self.txn.inner.lock().take().ok_or_else(|| {
-                EngineError::Execution("ROLLBACK without an open transaction".into())
-            })?;
+        let mut guard = self.txn.inner.lock();
+        let wal_offset = match guard.as_ref() {
+            Some(open) => open.wal_offset,
+            None => {
+                return Err(EngineError::Execution("ROLLBACK without an open transaction".into()))
+            }
+        };
+        // Erase the group from the WAL before touching in-memory state:
+        // if the truncate fails the transaction stays open and ROLLBACK
+        // can be retried — otherwise the group's unsealed records would
+        // linger and the next autocommit statement's commit marker would
+        // seal them, making recovery replay rolled-back statements.
+        if let Some(env) = &self.env {
+            env.truncate_wal_to(wal_offset)?;
+        }
+        let open = guard.take().expect("checked above");
+        drop(guard);
         for rec in open.undo.into_iter().rev() {
             obs::metrics::STORAGE_TXN_UNDO_RECORDS.add(1);
             match rec {
@@ -284,9 +309,6 @@ impl Catalog {
                     }
                 }
             }
-        }
-        if let Some(env) = &self.env {
-            env.truncate_wal_to(open.wal_offset)?;
         }
         obs::metrics::STORAGE_TXN_ROLLBACKS.add(1);
         Ok(())

@@ -78,9 +78,11 @@ pub const REC_APPEND: u8 = 3;
 pub const REC_UNIQUE: u8 = 4;
 
 const DIRECTORY_MAGIC: &[u8; 4] = b"IDBD";
-/// v2 added the data-file generation and the free-page list; v1 files
-/// (no reclamation state) still decode.
-const DIRECTORY_VERSION: u8 = 2;
+/// v2 added the data-file generation and the free-page list (raw page
+/// ids); v3 run-length encodes the free list as `(start, len)` pairs so
+/// directory size is bounded by fragmentation, not freed-page count.
+/// Both older formats still decode.
+const DIRECTORY_VERSION: u8 = 3;
 
 /// File name of data generation `gen`: generation 0 keeps the original
 /// `data.idb` name, later generations (one per completed vacuum) get a
@@ -99,6 +101,48 @@ fn parse_data_file_gen(name: &str) -> Option<u64> {
         return Some(0);
     }
     name.strip_prefix("data.idb.")?.parse().ok()
+}
+
+/// Total pages covered by a free-run list.
+fn run_total(runs: &[(u64, u64)]) -> u64 {
+    runs.iter().map(|&(_, len)| len).sum()
+}
+
+/// Collapse arbitrary page ids (any order, duplicates tolerated) into
+/// sorted disjoint `(start, len)` runs.
+fn runs_from_pages(mut pages: Vec<u64>) -> Vec<(u64, u64)> {
+    pages.sort_unstable();
+    pages.dedup();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for p in pages {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == p => *len += 1,
+            _ => runs.push((p, 1)),
+        }
+    }
+    runs
+}
+
+/// Union of two sorted disjoint run lists, coalescing overlapping and
+/// adjacent runs (re-freeing an already-free page is tolerated).
+fn union_runs(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i].0 <= b[j].0);
+        let (start, len) = if take_a {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        match out.last_mut() {
+            Some((s, l)) if start <= *s + *l => *l = (*l).max(start + len - *s),
+            _ => out.push((start, len)),
+        }
+    }
+    out
 }
 
 /// A column chunk's location in the data file: `pages` consecutive pages
@@ -175,9 +219,11 @@ pub struct StorageEnv {
     wal: Wal,
     /// Next never-allocated page id; the allocator prefers `free`.
     next_page: AtomicU64,
-    /// Freed page ids available for reuse, kept sorted ascending so
-    /// allocation (first fit) is deterministic under WAL replay.
-    free: Mutex<Vec<u64>>,
+    /// Freed page runs `(start, len)`, kept sorted, disjoint, and
+    /// coalesced: allocation (first fit) stays deterministic under WAL
+    /// replay, and memory/disk cost is bounded by fragmentation rather
+    /// than freed-page count.
+    free: Mutex<Vec<(u64, u64)>>,
     /// Data-file generation: 0 until the first vacuum, +1 per vacuum.
     generation: AtomicU64,
     /// Records with `lsn <= checkpoint_lsn` are reflected in the
@@ -208,43 +254,55 @@ impl StorageEnv {
 
     /// Pages currently on the free list (tests assert reclamation).
     pub fn free_page_count(&self) -> usize {
-        self.free.lock().len()
+        run_total(&self.free.lock()) as usize
     }
 
-    /// Reserve `n` consecutive pages, preferring a free-list run (first
-    /// fit over the sorted list, so replay re-allocates identically);
-    /// falls back to growing the file. Returns the first page id.
+    /// Reserve `n` consecutive pages, preferring the first free run that
+    /// fits (so replay re-allocates identically); falls back to growing
+    /// the file. Returns the first page id.
     pub(crate) fn allocate_pages(&self, n: usize) -> u64 {
-        let mut free = self.free.lock();
-        if n > 0 && free.len() >= n {
-            let mut run_start = 0usize;
-            for i in 0..free.len() {
-                if i > run_start && free[i] != free[i - 1] + 1 {
-                    run_start = i;
+        if n > 0 {
+            let mut free = self.free.lock();
+            if let Some(i) = free.iter().position(|&(_, len)| len >= n as u64) {
+                let (start, len) = free[i];
+                if len == n as u64 {
+                    free.remove(i);
+                } else {
+                    free[i] = (start + n as u64, len - n as u64);
                 }
-                if i - run_start + 1 == n {
-                    let first = free[run_start];
-                    free.drain(run_start..=i);
-                    obs::metrics::STORAGE_PAGES_REUSED.add(n as u64);
-                    obs::metrics::STORAGE_FREE_PAGES.set(free.len() as i64);
-                    return first;
-                }
+                obs::metrics::STORAGE_PAGES_REUSED.add(n as u64);
+                obs::metrics::STORAGE_FREE_PAGES.set(run_total(&free) as i64);
+                return start;
             }
         }
-        drop(free);
         self.next_page.fetch_add(n as u64, Ordering::Relaxed)
     }
 
-    /// Return pages to the free list (DROP TABLE, rollback truncation,
-    /// open-time orphan GC). Duplicates are tolerated and collapsed.
+    /// Return pages to the free list (DROP TABLE, rollback truncation).
+    /// Duplicates — within the batch or against already-free pages — are
+    /// tolerated and collapsed.
     pub(crate) fn free_pages(&self, pages: impl IntoIterator<Item = u64>) {
+        let incoming = runs_from_pages(pages.into_iter().collect());
+        if incoming.is_empty() {
+            return;
+        }
         let mut free = self.free.lock();
-        let before = free.len();
-        free.extend(pages);
-        free.sort_unstable();
-        free.dedup();
-        obs::metrics::STORAGE_PAGES_FREED.add((free.len() - before) as u64);
-        obs::metrics::STORAGE_FREE_PAGES.set(free.len() as i64);
+        let before = run_total(&free);
+        *free = union_runs(&free, &incoming);
+        let after = run_total(&free);
+        obs::metrics::STORAGE_PAGES_FREED.add(after - before);
+        obs::metrics::STORAGE_FREE_PAGES.set(after as i64);
+    }
+
+    /// Replace the free list wholesale (the open-time orphan GC, which
+    /// recomputes it as allocated-minus-live).
+    pub(crate) fn set_free_runs(&self, runs: Vec<(u64, u64)>) {
+        let total = run_total(&runs);
+        let mut free = self.free.lock();
+        let before = run_total(&free);
+        *free = runs;
+        obs::metrics::STORAGE_PAGES_FREED.add(total.saturating_sub(before));
+        obs::metrics::STORAGE_FREE_PAGES.set(total as i64);
     }
 
     /// Log one statement as a committed record group: the record, its
@@ -597,7 +655,7 @@ struct DirectoryFile {
     next_page: u64,
     checkpoint_lsn: u64,
     generation: u64,
-    free: Vec<u64>,
+    free: Vec<(u64, u64)>,
     tables: Vec<TableEntry>,
 }
 
@@ -620,8 +678,9 @@ fn encode_directory(catalog: &Catalog, env: &StorageEnv, checkpoint_lsn: u64) ->
     {
         let free = env.free.lock();
         out.extend_from_slice(&(free.len() as u32).to_le_bytes());
-        for page in free.iter() {
-            out.extend_from_slice(&page.to_le_bytes());
+        for &(start, len) in free.iter() {
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
         }
     }
     let names = catalog.table_names();
@@ -665,15 +724,26 @@ fn decode_directory(bytes: &[u8]) -> Result<DirectoryFile> {
     }
     let next_page = r.u64()?;
     let checkpoint_lsn = r.u64()?;
-    // v1 predates reclamation: generation 0, nothing free.
-    let (generation, free) = if version >= 2 {
+    // v1 predates reclamation: generation 0, nothing free. v2 stored
+    // the free list as raw page ids; v3 as `(start, len)` runs.
+    let (generation, free) = if version >= 3 {
         let generation = r.u64()?;
-        let nfree = r.u32()? as usize;
-        let mut free = Vec::with_capacity(nfree);
-        for _ in 0..nfree {
-            free.push(r.u64()?);
+        let nruns = r.u32()? as usize;
+        let mut free = Vec::with_capacity(nruns);
+        for _ in 0..nruns {
+            let start = r.u64()?;
+            let len = r.u64()?;
+            free.push((start, len));
         }
         (generation, free)
+    } else if version == 2 {
+        let generation = r.u64()?;
+        let nfree = r.u32()? as usize;
+        let mut pages = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            pages.push(r.u64()?);
+        }
+        (generation, runs_from_pages(pages))
     } else {
         (0, Vec::new())
     };
@@ -802,20 +872,34 @@ pub(crate) fn open_catalog(root: &Path, config: &EngineConfig) -> Result<Arc<Cat
     }
     env.replaying.store(false, Ordering::Release);
 
-    // Orphan GC: recompute the free list as allocated-minus-live. This
-    // reclaims pages of tables dropped before reclamation existed and of
-    // appends torn by a crash, and subsumes the checkpointed list.
-    let mut live = std::collections::HashSet::new();
+    // Orphan GC: recompute the free list as allocated-minus-live, built
+    // as the runs between consecutive live pages so cost is O(live),
+    // not O(next_page), even when a huge DROP freed most of the file.
+    // This reclaims pages of tables dropped before reclamation existed
+    // and of appends torn by a crash, and subsumes the checkpointed
+    // list.
+    let mut live: Vec<u64> = Vec::new();
     for name in catalog.table_names() {
         live.extend(catalog.table(&name)?.all_pages());
     }
+    live.sort_unstable();
+    live.dedup();
     let end = env.next_page.load(Ordering::Acquire);
-    let orphaned: Vec<u64> = (0..end).filter(|p| !live.contains(p)).collect();
-    {
-        let mut free = env.free.lock();
-        free.clear();
+    let mut orphaned: Vec<(u64, u64)> = Vec::new();
+    let mut cursor = 0u64;
+    for &p in &live {
+        if p >= end {
+            break;
+        }
+        if p > cursor {
+            orphaned.push((cursor, p - cursor));
+        }
+        cursor = p + 1;
     }
-    env.free_pages(orphaned);
+    if cursor < end {
+        orphaned.push((cursor, end - cursor));
+    }
+    env.set_free_runs(orphaned);
     Ok(catalog)
 }
 
@@ -1036,6 +1120,41 @@ mod tests {
             let mut r = Reader::new(&buf[..cut]);
             assert!(decode_column(&mut r).is_err(), "cut at {cut} must error");
         }
+    }
+
+    #[test]
+    fn free_run_helpers_coalesce_dedup_and_union() {
+        assert_eq!(runs_from_pages(vec![5, 3, 4, 9, 3, 11, 10]), vec![(3, 3), (9, 3)]);
+        assert_eq!(runs_from_pages(Vec::new()), Vec::<(u64, u64)>::new());
+        // Adjacent, overlapping, and duplicate runs all collapse.
+        assert_eq!(
+            union_runs(&[(0, 2), (10, 2)], &[(2, 3), (10, 2), (20, 1)]),
+            vec![(0, 5), (10, 2), (20, 1)]
+        );
+        assert_eq!(union_runs(&[(0, 10)], &[(2, 3)]), vec![(0, 10)]);
+        assert_eq!(run_total(&[(3, 3), (9, 2)]), 5);
+    }
+
+    #[test]
+    fn directory_v2_raw_free_list_decodes_as_runs() {
+        // Hand-build a v2 header (raw page-id free list, no tables).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(DIRECTORY_MAGIC);
+        bytes.push(2);
+        bytes.extend_from_slice(&99u64.to_le_bytes()); // next_page
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // checkpoint_lsn
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // generation
+        let pages: [u64; 4] = [4, 5, 6, 9];
+        bytes.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        for p in pages {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ntables
+        let dir = decode_directory(&bytes).unwrap();
+        assert_eq!(dir.next_page, 99);
+        assert_eq!(dir.checkpoint_lsn, 7);
+        assert_eq!(dir.generation, 1);
+        assert_eq!(dir.free, vec![(4, 3), (9, 1)]);
     }
 
     #[test]
